@@ -1,0 +1,140 @@
+(* Benchmark harness: regenerates every table of the paper's evaluation and
+   times the kernels behind each one with Bechamel.
+
+     dune exec bench/main.exe                 # all tables + microbenchmarks
+     dune exec bench/main.exe -- table2       # one artifact
+     dune exec bench/main.exe -- --scale 0.5 table5
+     dune exec bench/main.exe -- micro        # Bechamel suite only
+
+   Table circuits default to full profile scale except the four Table 5
+   giants (0.25 linear scale); see DESIGN.md §5 and EXPERIMENTS.md. *)
+
+open Bechamel
+
+module Experiments = Tvs_harness.Experiments
+module Prep = Tvs_harness.Prep
+
+let scale : float option ref = ref None
+let only : string list ref = ref []
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+        scale := Some (float_of_string v);
+        go rest
+    | arg :: rest ->
+        only := arg :: !only;
+        go rest
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let wants what = !only = [] || List.mem what !only
+
+let section title body =
+  Printf.printf "==== %s ====\n%s\n%!" title body
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: one per table, timing the kernel that the
+   table's experiment leans on.                                        *)
+
+let micro_tests () =
+  let fig1 = Tvs_circuits.Fig1.circuit () in
+  let fig1_faults =
+    Array.of_list (List.map (Tvs_circuits.Fig1.paper_fault fig1) Tvs_circuits.Fig1.table1_faults)
+  in
+  let s444 = Tvs_circuits.Synth.generate_named "s444" in
+  let s444_faults = Tvs_fault.Fault_gen.collapsed s444 in
+  let s444_ctx = Tvs_atpg.Podem.create s444 in
+  let s444_sim = Tvs_sim.Parallel.create s444 in
+  let s444_vec =
+    let rng = Tvs_util.Rng.of_string "bench:vec" in
+    {
+      Tvs_atpg.Cube.pi = Array.init (Tvs_netlist.Circuit.num_inputs s444) (fun _ -> Tvs_util.Rng.bool rng);
+      scan = Array.init (Tvs_netlist.Circuit.num_flops s444) (fun _ -> Tvs_util.Rng.bool rng);
+    }
+  in
+  [
+    (* Table 1: one stitched cycle of the worked example. *)
+    Test.make ~name:"table1/cycle-step"
+      (Staged.stage (fun () ->
+           let machine = Tvs_core.Cycle.create fig1 ~faults:fig1_faults in
+           List.iter
+             (fun fresh -> ignore (Tvs_core.Cycle.step machine ~pi:[||] ~fresh))
+             Tvs_circuits.Fig1.fresh_bits));
+    (* Table 2: constrained PODEM, the kernel behind every shift-size row. *)
+    Test.make ~name:"table2/podem-constrained"
+      (Staged.stage
+         (let constraints =
+            Array.init (Tvs_netlist.Circuit.num_flops s444) (fun i ->
+                if i < 10 then Tvs_logic.Ternary.X else Tvs_logic.Ternary.of_bool (i mod 2 = 0))
+          in
+          fun () ->
+            Array.iteri
+              (fun i f ->
+                if i mod 97 = 0 then
+                  ignore (Tvs_atpg.Podem.generate ~constraints s444_ctx f))
+              s444_faults));
+    (* Table 3: XOR write-back/observation schemes. *)
+    Test.make ~name:"table3/xor-schemes"
+      (Staged.stage
+         (let contents = Array.init 64 (fun i -> i mod 3 = 0) in
+          let fresh = Array.make 8 true in
+          let capture = Array.init 64 (fun i -> i mod 5 = 0) in
+          fun () ->
+            List.iter
+              (fun scheme ->
+                ignore (Tvs_scan.Xor_scheme.observe scheme ~contents ~fresh);
+                ignore (Tvs_scan.Xor_scheme.writeback scheme ~applied_scan:contents ~capture))
+              [ Tvs_scan.Xor_scheme.Nxor; Tvs_scan.Xor_scheme.Vxor; Tvs_scan.Xor_scheme.Hxor 3 ]));
+    (* Table 4: SCOAP hardness ordering, the basis of the Hardness strategy. *)
+    Test.make ~name:"table4/scoap-hardness"
+      (Staged.stage (fun () ->
+           let guide = Tvs_atpg.Scoap.compute s444 in
+           Array.iter (fun f -> ignore (Tvs_atpg.Scoap.fault_hardness guide f)) s444_faults));
+    (* Table 5: word-parallel fault simulation, the large-circuit workhorse. *)
+    Test.make ~name:"table5/parallel-faultsim"
+      (Staged.stage (fun () ->
+           ignore
+             (Tvs_fault.Fault_sim.detected_faults s444_sim ~pi:s444_vec.Tvs_atpg.Cube.pi
+                ~state:s444_vec.Tvs_atpg.Cube.scan s444_faults)));
+  ]
+
+let run_micro () =
+  let tests = micro_tests () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  Printf.printf "==== Bechamel microbenchmarks (one kernel per table) ====\n";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analysis = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> Printf.printf "%-28s %12.0f ns/run\n%!" name est
+          | Some [] | None -> Printf.printf "%-28s (no estimate)\n%!" name)
+        analysis)
+    tests;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  parse_args ();
+  let t0 = Unix.gettimeofday () in
+  if wants "table1" then section "Table 1 / Figure 1" (Experiments.table1 ());
+  if wants "table2" then section "Table 2" (Experiments.table2 ?scale:!scale ());
+  if wants "table3" then section "Table 3" (Experiments.table3 ?scale:!scale ());
+  if wants "table4" then section "Table 4" (Experiments.table4 ?scale:!scale ());
+  if wants "table5" then section "Table 5" (Experiments.table5 ?scale:!scale ());
+  if wants "ablations" then section "Ablations" (Experiments.ablations ());
+  if wants "misr" then section "MISR aliasing / diagnosis study" (Experiments.misr_study ());
+  if wants "comparison" then
+    section "Prior-art comparison" (Experiments.comparison_study ());
+  if wants "diagnosis" then section "Diagnosis resolution" (Experiments.diagnosis_study ());
+  if wants "randtest" then
+    section "Random-pattern testability" (Experiments.random_testability ());
+  if wants "micro" then run_micro ();
+  Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

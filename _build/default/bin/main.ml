@@ -1,0 +1,283 @@
+(* tvs — command-line driver for the test-vector-stitching toolkit.
+
+   Subcommands:
+     stats     structural statistics of a circuit
+     atpg      traditional full-shift test generation (baseline)
+     faultsim  fault-simulate a circuit's baseline test set
+     stitch    run the stitched flow and report compression
+     table     regenerate a paper table (1-5)
+     ablation  run the design-choice ablations
+     fig1      print the worked-example walkthrough *)
+
+module Circuit = Tvs_netlist.Circuit
+module Bench_format = Tvs_netlist.Bench_format
+module Stats = Tvs_netlist.Stats
+module Fault_gen = Tvs_fault.Fault_gen
+module Fault_sim = Tvs_fault.Fault_sim
+module Parallel = Tvs_sim.Parallel
+module Cube = Tvs_atpg.Cube
+module Xor_scheme = Tvs_scan.Xor_scheme
+module Policy = Tvs_core.Policy
+module Baseline = Tvs_core.Baseline
+module Experiments = Tvs_harness.Experiments
+module Prep = Tvs_harness.Prep
+
+open Cmdliner
+
+(* A circuit argument: a known profile name ("s444"), "s27", "fig1", or a
+   path to a .bench file. *)
+let load_circuit ?(scale = 1.0) spec =
+  match spec with
+  | "fig1" -> Tvs_circuits.Fig1.circuit ()
+  | "s27" -> Tvs_circuits.S27.circuit ()
+  | name when List.exists (fun p -> p.Tvs_circuits.Profiles.name = name) Tvs_circuits.Profiles.all
+    ->
+      Tvs_circuits.Synth.generate (Tvs_circuits.Profiles.scale (Tvs_circuits.Profiles.find name) scale)
+  | path when Sys.file_exists path -> Bench_format.parse_file path
+  | spec -> failwith (Printf.sprintf "unknown circuit %S (not a profile, not a file)" spec)
+
+let circuit_arg =
+  let doc = "Circuit: a benchmark profile name (s444 ... s38584), s27, fig1, or a .bench file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let scale_arg =
+  let doc = "Linear scale factor applied to profile circuits." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"F" ~doc)
+
+let prep_of ?scale spec = Prep.of_circuit (load_circuit ?scale spec)
+
+let stats_cmd =
+  let run spec scale =
+    let c = load_circuit ~scale spec in
+    Format.printf "%a@." Stats.pp (Stats.compute c);
+    let issues = Tvs_netlist.Validate.check c in
+    if issues = [] then Format.printf "validation: clean@."
+    else begin
+      Format.printf "validation issues:@.";
+      List.iter (fun i -> Format.printf "  %a@." (Tvs_netlist.Validate.pp_issue c) i) issues
+    end
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Structural statistics and validation of a circuit")
+    Term.(const run $ circuit_arg $ scale_arg)
+
+let atpg_cmd =
+  let run spec scale =
+    let prep = prep_of ~scale spec in
+    let b = prep.Prep.baseline in
+    Printf.printf "circuit        : %s\n" (Circuit.name prep.Prep.circuit);
+    Printf.printf "faults (coll.) : %d (of %d total)\n" (Array.length prep.Prep.faults)
+      (Array.length prep.Prep.all_faults);
+    Printf.printf "vectors (aTV)  : %d\n" b.Baseline.num_vectors;
+    Printf.printf "redundant      : %d\n" (List.length b.Baseline.redundant);
+    Printf.printf "aborted        : %d\n" (List.length b.Baseline.aborted);
+    Printf.printf "coverage       : %.4f\n" b.Baseline.coverage;
+    Printf.printf "test time      : %d shift cycles\n" b.Baseline.time;
+    Printf.printf "tester memory  : %d bits\n" b.Baseline.memory
+  in
+  Cmd.v (Cmd.info "atpg" ~doc:"Traditional full-shift test generation (the aTV baseline)")
+    Term.(const run $ circuit_arg $ scale_arg)
+
+let faultsim_cmd =
+  let run spec scale =
+    let prep = prep_of ~scale spec in
+    let c = prep.Prep.circuit in
+    let sim = Parallel.create c in
+    let detected = Array.make (Array.length prep.Prep.faults) false in
+    Array.iter
+      (fun (v : Cube.vector) ->
+        let flags = Fault_sim.detected_faults sim ~pi:v.Cube.pi ~state:v.Cube.scan prep.Prep.faults in
+        Array.iteri (fun i b -> if b then detected.(i) <- true) flags)
+      prep.Prep.baseline.Baseline.vectors;
+    let hits = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 detected in
+    Printf.printf "%s: %d/%d faults detected by the %d baseline vectors (%.2f%%)\n"
+      (Circuit.name c) hits (Array.length prep.Prep.faults)
+      prep.Prep.baseline.Baseline.num_vectors
+      (100.0 *. float_of_int hits /. float_of_int (Array.length prep.Prep.faults))
+  in
+  Cmd.v (Cmd.info "faultsim" ~doc:"Fault-simulate the baseline test set")
+    Term.(const run $ circuit_arg $ scale_arg)
+
+let scheme_arg =
+  let doc = "Observation scheme: nxor, vxor or hxor:<taps>." in
+  let parse s =
+    match Xor_scheme.of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+  in
+  let scheme_conv = Arg.conv ~docv:"SCHEME" (parse, fun fmt s -> Format.pp_print_string fmt (Xor_scheme.to_string s)) in
+  Arg.(value & opt scheme_conv Xor_scheme.Nxor & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+
+let selection_arg =
+  let doc = "Vector selection: random, hardness, most-faults or weighted." in
+  let parse = function
+    | "random" -> Ok Policy.Random_order
+    | "hardness" -> Ok Policy.Hardness_order
+    | "most-faults" -> Ok (Policy.Most_faults 5)
+    | "weighted" -> Ok (Policy.Weighted 5)
+    | s -> Error (`Msg (Printf.sprintf "unknown selection %S" s))
+  in
+  let sel_conv =
+    Arg.conv ~docv:"SEL"
+      (parse, fun fmt s -> Format.pp_print_string fmt (Policy.describe_selection s))
+  in
+  Arg.(value & opt sel_conv (Policy.Most_faults 5) & info [ "selection" ] ~docv:"SEL" ~doc)
+
+let shift_arg =
+  let doc = "Fixed shift size per cycle; omit for the variable policy." in
+  Arg.(value & opt (some int) None & info [ "shift" ] ~docv:"S" ~doc)
+
+let stitch_cmd =
+  let run spec scale scheme selection shift =
+    let prep = prep_of ~scale spec in
+    let shift_policy = Option.map (fun s -> Policy.Fixed s) shift in
+    let r = Experiments.run_flow ~scheme ?shift:shift_policy ~selection ~label:"cli" prep in
+    Printf.printf "circuit     : %s\n" (Circuit.name prep.Prep.circuit);
+    Printf.printf "scheme      : %s\n" (Xor_scheme.to_string scheme);
+    Printf.printf "selection   : %s\n" (Policy.describe_selection selection);
+    Printf.printf "aTV         : %d\n" r.Experiments.atv;
+    Printf.printf "TV          : %d\n" r.Experiments.tv;
+    Printf.printf "extra       : %d\n" r.Experiments.ex;
+    Printf.printf "peak hidden : %d\n" r.Experiments.peak_hidden;
+    Printf.printf "m (memory)  : %.2f\n" r.Experiments.m;
+    Printf.printf "t (time)    : %.2f\n" r.Experiments.t;
+    Printf.printf "coverage    : %.4f\n" r.Experiments.coverage
+  in
+  Cmd.v (Cmd.info "stitch" ~doc:"Run the stitched compression flow")
+    Term.(const run $ circuit_arg $ scale_arg $ scheme_arg $ selection_arg $ shift_arg)
+
+let table_cmd =
+  let which =
+    let doc = "Table number (1-5)." in
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc)
+  in
+  let circuits_arg =
+    let doc = "Restrict to these circuits (comma-separated)." in
+    Arg.(value & opt (some string) None & info [ "circuits" ] ~docv:"LIST" ~doc)
+  in
+  let run n scale circuits =
+    let circuits = Option.map (String.split_on_char ',') circuits in
+    (* scale < 0 means "per-circuit defaults". *)
+    let scale = if scale < 0.0 then None else Some scale in
+    let text =
+      match n with
+      | 1 -> Experiments.table1 ()
+      | 2 -> Experiments.table2 ?scale ?circuits ()
+      | 3 -> Experiments.table3 ?scale ?circuits ()
+      | 4 -> Experiments.table4 ?scale ?circuits ()
+      | 5 -> Experiments.table5 ?scale ?circuits ()
+      | n -> failwith (Printf.sprintf "no table %d in the paper" n)
+    in
+    print_string text
+  in
+  let scale_arg =
+    let doc = "Uniform scale override; omit for per-circuit defaults." in
+    Arg.(value & opt float (-1.0) & info [ "scale" ] ~docv:"F" ~doc)
+  in
+  Cmd.v (Cmd.info "table" ~doc:"Regenerate a paper table")
+    Term.(const run $ which $ scale_arg $ circuits_arg)
+
+let ablation_cmd =
+  let circuit_arg =
+    let doc = "Profile circuit for the ablations." in
+    Arg.(value & opt string "s953" & info [ "circuit" ] ~docv:"NAME" ~doc)
+  in
+  let run scale circuit = print_string (Experiments.ablations ~scale ~circuit ()) in
+  Cmd.v (Cmd.info "ablation" ~doc:"Run the design-choice ablations")
+    Term.(const run $ scale_arg $ circuit_arg)
+
+let misr_cmd =
+  let circuit_arg =
+    let doc = "Profile circuit for the study." in
+    Arg.(value & opt string "s953" & info [ "circuit" ] ~docv:"NAME" ~doc)
+  in
+  let run scale circuit = print_string (Experiments.misr_study ~scale ~circuit ()) in
+  Cmd.v (Cmd.info "misr" ~doc:"MISR aliasing and diagnosis-resolution study")
+    Term.(const run $ scale_arg $ circuit_arg)
+
+let comparison_cmd =
+  let circuits_arg =
+    let doc = "Circuits (comma-separated)." in
+    Arg.(value & opt (some string) None & info [ "circuits" ] ~docv:"LIST" ~doc)
+  in
+  let run scale circuits =
+    let circuits = Option.map (String.split_on_char ',') circuits in
+    print_string (Experiments.comparison_study ~scale ?circuits ())
+  in
+  Cmd.v (Cmd.info "comparison" ~doc:"Static reordering vs stitched generation")
+    Term.(const run $ scale_arg $ circuits_arg)
+
+let diagnosis_cmd =
+  let circuit_arg =
+    let doc = "Profile circuit for the study." in
+    Arg.(value & opt string "s444" & info [ "circuit" ] ~docv:"NAME" ~doc)
+  in
+  let run scale circuit = print_string (Experiments.diagnosis_study ~scale ~circuit ()) in
+  Cmd.v (Cmd.info "diagnosis" ~doc:"Fault-dictionary diagnosis resolution study")
+    Term.(const run $ scale_arg $ circuit_arg)
+
+let randtest_cmd =
+  let patterns_arg =
+    let doc = "Number of LFSR patterns." in
+    Arg.(value & opt int 256 & info [ "patterns" ] ~docv:"N" ~doc)
+  in
+  let run patterns = print_string (Experiments.random_testability ~patterns ()) in
+  Cmd.v (Cmd.info "randtest" ~doc:"LFSR random-pattern testability sweep")
+    Term.(const run $ patterns_arg)
+
+let export_cmd =
+  let out_arg =
+    let doc = "Output file for the tester program." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc)
+  in
+  let run spec scale scheme selection shift out =
+    let prep = prep_of ~scale spec in
+    let c = prep.Prep.circuit in
+    let chain_len = Circuit.num_flops c in
+    let base = Tvs_core.Engine.default_config ~chain_len in
+    let config =
+      {
+        base with
+        Tvs_core.Engine.scheme;
+        selection;
+        shift =
+          (match shift with Some s -> Policy.Fixed s | None -> base.Tvs_core.Engine.shift);
+      }
+    in
+    let r =
+      Tvs_core.Engine.run ~config ~fallback:prep.Prep.baseline.Baseline.vectors
+        ~rng:(Tvs_util.Rng.of_string (Circuit.name c ^ ":export")) prep.Prep.ctx
+        ~faults:prep.Prep.testable
+    in
+    let stitched =
+      Tvs_scan.Tester_format.of_stitched ~chain_len ~npi:(Circuit.num_inputs c)
+        ~vectors:r.Tvs_core.Engine.stimuli ()
+    in
+    (* Append the traditional extras as full loads. *)
+    let extra_ops =
+      List.concat_map
+        (fun (v : Cube.vector) ->
+          Tvs_scan.Protocol.load_ops ~fresh:v.Cube.scan @ [ Tvs_scan.Protocol.Capture v.Cube.pi ])
+        r.Tvs_core.Engine.extra_stimuli
+    in
+    let program =
+      { stitched with Tvs_scan.Tester_format.ops = stitched.Tvs_scan.Tester_format.ops @ extra_ops }
+    in
+    Tvs_scan.Tester_format.write_file out program;
+    Printf.printf "wrote %s: %d shift cycles, %d captures\n" out
+      (Tvs_scan.Tester_format.num_shift_cycles program)
+      (Tvs_scan.Tester_format.num_captures program)
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Run the stitched flow and write an ATE program file")
+    Term.(const run $ circuit_arg $ scale_arg $ scheme_arg $ selection_arg $ shift_arg $ out_arg)
+
+let fig1_cmd =
+  let run () = print_string (Experiments.table1 ()) in
+  Cmd.v (Cmd.info "fig1" ~doc:"Print the Section 3 worked example (Table 1)")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "tvs" ~version:"1.0.0"
+      ~doc:"Virtual test compression through test vector stitching (DATE 2003 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ stats_cmd; atpg_cmd; faultsim_cmd; stitch_cmd; table_cmd; ablation_cmd; misr_cmd; comparison_cmd; diagnosis_cmd; randtest_cmd; export_cmd; fig1_cmd ]))

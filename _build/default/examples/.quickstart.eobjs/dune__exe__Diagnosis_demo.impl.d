@@ -1,0 +1,1 @@
+examples/diagnosis_demo.ml: Array Format List String Tvs_atpg Tvs_circuits Tvs_core Tvs_fault Tvs_logic Tvs_netlist Tvs_scan Tvs_sim Tvs_util

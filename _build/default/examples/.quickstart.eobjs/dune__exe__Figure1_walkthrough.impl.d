@@ -1,0 +1,1 @@
+examples/figure1_walkthrough.ml: Array Format List String Tvs_circuits Tvs_core Tvs_fault Tvs_harness Tvs_netlist

@@ -1,0 +1,1 @@
+examples/policy_sweep.ml: Array Format List Printf Sys Tvs_core Tvs_harness Tvs_netlist Tvs_scan Tvs_util

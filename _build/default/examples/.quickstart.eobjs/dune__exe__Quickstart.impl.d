@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Tvs_atpg Tvs_circuits Tvs_core Tvs_fault Tvs_netlist Tvs_scan Tvs_util

@@ -1,0 +1,1 @@
+examples/soc_cores.ml: Format List Printf Tvs_core Tvs_harness Tvs_netlist Tvs_scan Tvs_util

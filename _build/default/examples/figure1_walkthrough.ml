@@ -1,0 +1,45 @@
+(* The paper's Section 3 worked example, end to end.
+
+     dune exec examples/figure1_walkthrough.exe
+
+   Reconstructs the Figure 1 circuit (three gates, scan chain of length 3),
+   applies the four test vectors with the stitched schedule 3+2+2+2, and
+   regenerates Table 1: every fault's test vector and response per cycle,
+   including the hidden faults F/0, F/1 and D-F/1 whose effects survive in
+   the retained part of the chain and are caught through mutated vectors. *)
+
+module Circuit = Tvs_netlist.Circuit
+module Cycle = Tvs_core.Cycle
+module Fig1 = Tvs_circuits.Fig1
+module Experiments = Tvs_harness.Experiments
+
+let () =
+  let c = Fig1.circuit () in
+  Format.printf "Circuit: %a@." Circuit.pp_summary c;
+  Format.printf
+    "Scan cells a, b, c capture F = AND(D, E), E = OR(B, C), D = AND(A, B).@\n@.";
+  print_string (Experiments.table1 ());
+  print_newline ();
+  (* Narrate the hidden-fault story the paper tells. *)
+  let faults = Array.of_list (List.map (Fig1.paper_fault c) Fig1.table1_faults) in
+  let machine = Cycle.create c ~faults in
+  let name i = Tvs_fault.Fault.name c faults.(i) in
+  let names is = String.concat ", " (List.map name is) in
+  List.iteri
+    (fun k fresh ->
+      let r = Cycle.step machine ~pi:[||] ~fresh in
+      Format.printf "cycle %d:@." (k + 1);
+      if r.Cycle.caught_now <> [] then Format.printf "  caught: %s@." (names r.Cycle.caught_now);
+      if r.Cycle.newly_hidden <> [] then
+        Format.printf "  became hidden: %s@." (names r.Cycle.newly_hidden);
+      if r.Cycle.reverted <> [] then
+        Format.printf "  effect vanished (back to uncaught): %s@." (names r.Cycle.reverted))
+    Fig1.fresh_bits;
+  let r = Cycle.flush machine ~full:false in
+  Format.printf "final unload:@.";
+  if r.Cycle.caught_now <> [] then Format.printf "  caught: %s@." (names r.Cycle.caught_now);
+  let leftover = Cycle.uncaught_indices machine in
+  Format.printf "  never caught: %s (redundant: no test exists)@." (names leftover);
+  Format.printf
+    "@.Totals: 11 shift cycles and 17 stored bits, versus 15 cycles and 24 bits@.%s@."
+    "for the traditional flow - a 27% time and 29% memory reduction, free of hardware."

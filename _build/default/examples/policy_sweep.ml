@@ -1,0 +1,75 @@
+(* Design-space exploration of Section 6 on one mid-size circuit.
+
+     dune exec examples/policy_sweep.exe [-- circuit]
+
+   Sweeps the three implementation axes the paper discusses — shift size
+   (fixed fractions vs variable), observation scheme (NXOR / VXOR / HXOR),
+   and vector selection (random / hardness / most-faults / weighted) — and
+   prints one table per axis, holding the other axes at the paper's
+   preferred settings. *)
+
+module Circuit = Tvs_netlist.Circuit
+module Xor_scheme = Tvs_scan.Xor_scheme
+module Policy = Tvs_core.Policy
+module Experiments = Tvs_harness.Experiments
+module Prep = Tvs_harness.Prep
+module Table = Tvs_util.Table
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "s953" in
+  let prep = Prep.get name in
+  let chain_len = Circuit.num_flops prep.Prep.circuit in
+  Format.printf "Sweeping policies on %a@.@." Circuit.pp_summary prep.Prep.circuit;
+
+  let report tbl label (r : Experiments.run_summary) =
+    Table.add_row tbl
+      [
+        label;
+        string_of_int r.Experiments.tv;
+        string_of_int r.Experiments.ex;
+        string_of_int r.Experiments.peak_hidden;
+        Table.fmt_ratio r.Experiments.m;
+        Table.fmt_ratio r.Experiments.t;
+        Printf.sprintf "%.3f" r.Experiments.coverage;
+      ]
+  in
+  let headers = [ "setting"; "TV"; "ex"; "peak f_h"; "m"; "t"; "cov" ] in
+
+  (* Axis 1: shift size (Section 6.1). *)
+  let tbl = Table.create headers in
+  List.iter
+    (fun frac ->
+      let s = max 1 (chain_len * frac / 8) in
+      let r =
+        Experiments.run_flow ~shift:(Policy.Fixed s)
+          ~label:(Printf.sprintf "sweep:fix%d" frac) prep
+      in
+      report tbl (Printf.sprintf "fixed %d/8 (s=%d)" frac s) r)
+    [ 2; 4; 6 ];
+  report tbl "variable (/8, x2)" (Experiments.run_flow ~label:"sweep:var" prep);
+  print_endline "Shift size (NXOR, most-faults):";
+  Table.print tbl;
+
+  (* Axis 2: observation scheme (Section 6.2). *)
+  let tbl = Table.create headers in
+  List.iter
+    (fun (label, scheme) ->
+      report tbl label (Experiments.run_flow ~scheme ~label:("sweep:" ^ label) prep))
+    [ ("NXOR (no hardware)", Xor_scheme.Nxor);
+      ("VXOR (1 XOR/cell)", Xor_scheme.Vxor);
+      ("HXOR 3 taps", Xor_scheme.Hxor 3);
+      ("HXOR 5 taps", Xor_scheme.Hxor 5) ];
+  print_endline "Observation scheme (variable shift, most-faults):";
+  Table.print tbl;
+
+  (* Axis 3: vector selection (Section 6.3). *)
+  let tbl = Table.create headers in
+  List.iter
+    (fun (label, selection) ->
+      report tbl label (Experiments.run_flow ~selection ~label:("sweep:" ^ label) prep))
+    [ ("random", Policy.Random_order);
+      ("hardness", Policy.Hardness_order);
+      ("most-faults (5)", Policy.Most_faults 5);
+      ("weighted (5)", Policy.Weighted 5) ];
+  print_endline "Vector selection (variable shift, NXOR):";
+  Table.print tbl

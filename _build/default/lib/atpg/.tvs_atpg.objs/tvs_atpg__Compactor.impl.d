@@ -1,0 +1,1 @@
+lib/atpg/compactor.ml: Array Cube List Tvs_fault

@@ -1,0 +1,1 @@
+lib/atpg/cube.ml: Array Format String Tvs_logic Tvs_netlist Tvs_util

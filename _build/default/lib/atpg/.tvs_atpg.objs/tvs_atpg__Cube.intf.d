@@ -1,0 +1,1 @@
+lib/atpg/cube.mli: Format Tvs_logic Tvs_netlist Tvs_util

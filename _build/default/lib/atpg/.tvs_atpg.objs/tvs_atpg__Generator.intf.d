@@ -1,0 +1,1 @@
+lib/atpg/generator.mli: Cube Podem Tvs_fault Tvs_util

@@ -1,0 +1,1 @@
+lib/atpg/podem.ml: Array Cube Hashtbl List Scoap Tvs_fault Tvs_logic Tvs_netlist

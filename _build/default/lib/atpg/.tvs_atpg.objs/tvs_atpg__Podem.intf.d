@@ -1,0 +1,1 @@
+lib/atpg/podem.mli: Cube Scoap Tvs_fault Tvs_logic Tvs_netlist

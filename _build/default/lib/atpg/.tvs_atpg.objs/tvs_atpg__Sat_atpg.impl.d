@@ -1,0 +1,1 @@
+lib/atpg/sat_atpg.ml: Array Cube Hashtbl List Tvs_fault Tvs_logic Tvs_netlist Tvs_util

@@ -1,0 +1,1 @@
+lib/atpg/sat_atpg.mli: Cube Tvs_fault Tvs_logic Tvs_netlist

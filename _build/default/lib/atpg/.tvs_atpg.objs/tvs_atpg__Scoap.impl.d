@@ -1,0 +1,1 @@
+lib/atpg/scoap.ml: Array Tvs_fault Tvs_netlist

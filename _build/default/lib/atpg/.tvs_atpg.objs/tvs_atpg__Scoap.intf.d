@@ -1,0 +1,1 @@
+lib/atpg/scoap.mli: Tvs_fault Tvs_netlist

@@ -1,0 +1,453 @@
+module Circuit = Tvs_netlist.Circuit
+module Gate = Tvs_netlist.Gate
+module Ternary = Tvs_logic.Ternary
+module Fivev = Tvs_logic.Fivev
+module Fault = Tvs_fault.Fault
+
+type result = Detected of Cube.t | Untestable | Aborted
+
+type config = { backtrack_limit : int; guided : bool }
+
+let default_config = { backtrack_limit = 100; guided = true }
+
+(* Assignable positions: primary inputs and scan cells. *)
+type pos = Pi of int | Cell of int
+
+type ctx = {
+  c : Circuit.t;
+  guide : Scoap.t;
+  values : Fivev.t array; (* per net, kept current by event-driven implication *)
+  positions : (pos * Circuit.net) array;
+  pos_of_net : int array; (* net -> index into [positions], or -1 *)
+  levels : int array;
+  depth : int;
+  (* Event queue: one bucket of nets per logic level, processed ascending so
+     each net is evaluated at most once per propagation. *)
+  buckets : Circuit.net list array;
+  queued : bool array;
+  (* Fault-cone marking, generation-stamped to avoid O(nets) clears. *)
+  tfo_stamp : int array;
+  mutable stamp : int;
+  (* Fault-free implied values for the last-seen constraint array, so that
+     repeated calls under one cycle's constraints (the stitching engine's
+     pattern) pay a blit instead of a full re-evaluation. *)
+  mutable memo_key : Ternary.t array option;
+  memo_values : Fivev.t array;
+}
+
+let create ?scoap c =
+  let guide = match scoap with Some s -> s | None -> Scoap.compute c in
+  let pis = Circuit.inputs c and ffs = Circuit.flops c in
+  let positions =
+    Array.append
+      (Array.mapi (fun i net -> (Pi i, net)) pis)
+      (Array.mapi (fun i net -> (Cell i, net)) ffs)
+  in
+  let n = Circuit.num_nets c in
+  let pos_of_net = Array.make n (-1) in
+  Array.iteri (fun idx (_, net) -> pos_of_net.(net) <- idx) positions;
+  let levels = Array.init n (fun net -> Circuit.level c net) in
+  let depth = Circuit.depth c in
+  {
+    c;
+    guide;
+    values = Array.make n Fivev.X;
+    positions;
+    pos_of_net;
+    levels;
+    depth;
+    buckets = Array.make (depth + 1) [];
+    queued = Array.make n false;
+    tfo_stamp = Array.make n (-1);
+    stamp = 0;
+    memo_key = None;
+    memo_values = Array.make n Fivev.X;
+  }
+
+let circuit ctx = ctx.c
+let scoap ctx = ctx.guide
+
+(* Value of the faulty machine forced at the fault site, given the fault-free
+   value [v] flowing there. Unknown good value stays unknown. *)
+let site_transform (fault : Fault.t) v =
+  match Fivev.good v with
+  | Ternary.X -> Fivev.X
+  | g -> Fivev.of_pair g (Ternary.of_bool fault.stuck)
+
+(* Per-generate state: the fault, its transitive fanout (the only region
+   where D values can live), the observation points inside it, and the
+   current input assignment. *)
+type run = {
+  ctx : ctx;
+  fault : Fault.t;
+  assignment : Ternary.t array;
+  tfo_gates : Circuit.net list;  (* gate nets in the fault's fanout cone *)
+  obs_po : Circuit.net list;  (* primary-output nets in the cone *)
+  obs_flops : Circuit.net list;  (* flop nets whose D capture lies in the cone *)
+}
+
+let is_branch_read (fault : Fault.t) sink pin =
+  match fault.branch with Some (s, p) -> s = sink && p = pin | None -> false
+
+(* Value of [src] as seen by pin [pin] of [sink], fault-aware. *)
+let read run ~sink ~pin src =
+  let v = run.ctx.values.(src) in
+  if run.fault.stem = src && is_branch_read run.fault sink pin then site_transform run.fault v
+  else v
+
+let eval_net run net =
+  let ctx = run.ctx in
+  let v =
+    match Circuit.driver ctx.c net with
+    | Circuit.Gate_node (kind, ins) ->
+        Gate.eval_fivev kind (Array.mapi (fun pin src -> read run ~sink:net ~pin src) ins)
+    | Circuit.Const b -> if b then Fivev.One else Fivev.Zero
+    | Circuit.Primary_input | Circuit.Flip_flop _ -> (
+        match run.assignment.(ctx.pos_of_net.(net)) with
+        | Ternary.X -> Fivev.X
+        | Ternary.Zero -> Fivev.Zero
+        | Ternary.One -> Fivev.One)
+  in
+  if run.fault.branch = None && net = run.fault.stem then site_transform run.fault v else v
+
+(* Fault-free full evaluation of the constraint-only assignment. The fault
+   transform is layered on afterwards by [init_values] via propagation, so
+   this result can be memoized across faults sharing one constraint array. *)
+let eval_fault_free run =
+  let ctx = run.ctx in
+  let base_eval net =
+    match Circuit.driver ctx.c net with
+    | Circuit.Gate_node (kind, ins) ->
+        Gate.eval_fivev kind (Array.map (fun src -> ctx.values.(src)) ins)
+    | Circuit.Const b -> if b then Fivev.One else Fivev.Zero
+    | Circuit.Primary_input | Circuit.Flip_flop _ -> (
+        match run.assignment.(ctx.pos_of_net.(net)) with
+        | Ternary.X -> Fivev.X
+        | Ternary.Zero -> Fivev.Zero
+        | Ternary.One -> Fivev.One)
+  in
+  Array.iter (fun net -> ctx.values.(net) <- base_eval net) (Circuit.inputs ctx.c);
+  Array.iter (fun net -> ctx.values.(net) <- base_eval net) (Circuit.flops ctx.c);
+  Array.iter (fun net -> ctx.values.(net) <- base_eval net) (Circuit.topo_order ctx.c)
+
+let enqueue ctx net =
+  if not ctx.queued.(net) then begin
+    ctx.queued.(net) <- true;
+    let l = ctx.levels.(net) in
+    ctx.buckets.(l) <- net :: ctx.buckets.(l)
+  end
+
+(* Event-driven implication from one changed source net. Returns the trail of
+   (net, old_value) pairs for undo. *)
+let propagate run source =
+  let ctx = run.ctx in
+  let trail = ref [] in
+  enqueue ctx source;
+  for level = 0 to ctx.depth do
+    let rec drain = function
+      | [] -> ()
+      | net :: rest ->
+          ctx.queued.(net) <- false;
+          let old_v = ctx.values.(net) in
+          let new_v = eval_net run net in
+          if not (Fivev.equal old_v new_v) then begin
+            trail := (net, old_v) :: !trail;
+            ctx.values.(net) <- new_v;
+            Array.iter
+              (fun (sink, _pin) ->
+                match Circuit.driver ctx.c sink with
+                | Circuit.Gate_node _ -> enqueue ctx sink
+                | Circuit.Primary_input | Circuit.Flip_flop _ | Circuit.Const _ -> ())
+              (Circuit.fanout ctx.c net)
+          end;
+          drain rest
+    in
+    let nets = ctx.buckets.(level) in
+    ctx.buckets.(level) <- [];
+    drain nets
+  done;
+  !trail
+
+let undo run trail = List.iter (fun (net, old_v) -> run.ctx.values.(net) <- old_v) trail
+
+(* Mark the fault's transitive fanout cone; collect its observation points
+   and gate nets. *)
+let mark_tfo ctx (fault : Fault.t) =
+  ctx.stamp <- ctx.stamp + 1;
+  let stamp = ctx.stamp in
+  let gates = ref [] and obs_po = ref [] and obs_flops = ref [] in
+  let add_flop fnet = if not (List.memq fnet !obs_flops) then obs_flops := fnet :: !obs_flops in
+  let rec visit net =
+    if ctx.tfo_stamp.(net) <> stamp then begin
+      ctx.tfo_stamp.(net) <- stamp;
+      (match Circuit.driver ctx.c net with
+      | Circuit.Gate_node _ -> gates := net :: !gates
+      | Circuit.Primary_input | Circuit.Flip_flop _ | Circuit.Const _ -> ());
+      if Circuit.is_output ctx.c net then obs_po := net :: !obs_po;
+      Array.iter
+        (fun (sink, _pin) ->
+          match Circuit.driver ctx.c sink with
+          | Circuit.Flip_flop _ -> add_flop sink
+          | Circuit.Gate_node _ -> visit sink
+          | Circuit.Primary_input | Circuit.Const _ -> ())
+        (Circuit.fanout ctx.c net)
+    end
+  in
+  (match fault.branch with
+  | None -> visit fault.stem
+  | Some (sink, _pin) -> (
+      match Circuit.driver ctx.c sink with
+      | Circuit.Flip_flop _ -> add_flop sink
+      | Circuit.Gate_node _ -> visit sink
+      | Circuit.Primary_input | Circuit.Const _ -> ()));
+  (!gates, !obs_po, !obs_flops)
+
+let error_observed run =
+  List.exists (fun net -> Fivev.is_error run.ctx.values.(net)) run.obs_po
+  || List.exists
+       (fun fnet ->
+         match Circuit.driver run.ctx.c fnet with
+         | Circuit.Flip_flop d -> Fivev.is_error (read run ~sink:fnet ~pin:0 d)
+         | Circuit.Primary_input | Circuit.Gate_node _ | Circuit.Const _ -> false)
+       run.obs_flops
+
+let site_value run =
+  match run.fault.branch with
+  | None -> run.ctx.values.(run.fault.stem)
+  | Some _ -> site_transform run.fault run.ctx.values.(run.fault.stem)
+
+(* Gates in the fault cone whose output is X while a (fault-aware) input
+   carries an error. *)
+let d_frontier run =
+  let has_error_input net ins =
+    let found = ref false in
+    Array.iteri (fun pin src -> if Fivev.is_error (read run ~sink:net ~pin src) then found := true) ins;
+    !found
+  in
+  List.filter
+    (fun net ->
+      Fivev.equal run.ctx.values.(net) Fivev.X
+      &&
+      match Circuit.driver run.ctx.c net with
+      | Circuit.Gate_node (_, ins) -> has_error_input net ins
+      | Circuit.Primary_input | Circuit.Flip_flop _ | Circuit.Const _ -> false)
+    run.tfo_gates
+
+(* Can an error at some D-frontier gate still reach an observation point
+   through X-valued nets? *)
+let x_path_exists run frontier =
+  let c = run.ctx.c and values = run.ctx.values in
+  let visited = Hashtbl.create 64 in
+  let rec reachable net =
+    if Hashtbl.mem visited net then false
+    else begin
+      Hashtbl.add visited net ();
+      Fivev.equal values.(net) Fivev.X
+      && (Circuit.is_output c net
+         || Array.exists
+              (fun (sink, _pin) ->
+                match Circuit.driver c sink with
+                | Circuit.Flip_flop _ -> true
+                | Circuit.Gate_node _ -> reachable sink
+                | Circuit.Primary_input | Circuit.Const _ -> false)
+              (Circuit.fanout c net))
+    end
+  in
+  List.exists reachable frontier
+
+(* Backtrace an objective (net, value) to an unassigned input position.
+   Heuristic only; soundness comes from implication plus backtracking. *)
+let backtrace run ~guided (net0, v0) =
+  let ctx = run.ctx in
+  let c = ctx.c and values = ctx.values and guide = ctx.guide in
+  let first_x ins =
+    let best = ref None in
+    Array.iter (fun i -> if !best = None && Fivev.equal values.(i) Fivev.X then best := Some (i, 0)) ins;
+    !best
+  in
+  let pick prefer_high v ins =
+    if not guided then first_x ins
+    else begin
+      let best = ref None in
+      Array.iter
+        (fun i ->
+          if Fivev.equal values.(i) Fivev.X then
+            let cost = Scoap.cc guide i v in
+            match !best with
+            | Some (_, bcost) when (if prefer_high then bcost >= cost else bcost <= cost) -> ()
+            | Some _ | None -> best := Some (i, cost))
+        ins;
+      !best
+    end
+  in
+  let easiest = pick false and hardest = pick true in
+  let rec walk net v fuel =
+    if fuel = 0 then None
+    else
+      let idx = ctx.pos_of_net.(net) in
+      if idx >= 0 then
+        if Ternary.equal run.assignment.(idx) Ternary.X then Some (idx, v) else None
+      else
+        match Circuit.driver c net with
+        | Circuit.Const _ -> None
+        | Circuit.Primary_input | Circuit.Flip_flop _ -> None
+        | Circuit.Gate_node (kind, ins) -> (
+            let u = v <> Gate.inversion kind in
+            match Gate.controlling_value kind with
+            | Some ctrl ->
+                let choice = if u = ctrl then easiest u ins else hardest u ins in
+                (match choice with Some (i, _) -> walk i u (fuel - 1) | None -> None)
+            | None -> (
+                match kind with
+                | Gate.Not | Gate.Buf -> walk ins.(0) u (fuel - 1)
+                | Gate.Xor | Gate.Xnor ->
+                    (* Choose an X input; its target makes the total parity
+                       match, counting specified inputs and treating other X
+                       inputs as 0 ([u] already accounts for XNOR inversion). *)
+                    let parity = ref u in
+                    Array.iter
+                      (fun i ->
+                        match Fivev.good values.(i) with
+                        | Ternary.One -> parity := not !parity
+                        | Ternary.Zero | Ternary.X -> ())
+                      ins;
+                    (match easiest !parity ins with
+                    | Some (i, _) -> walk i !parity (fuel - 1)
+                    | None -> None)
+                | Gate.And | Gate.Or | Gate.Nand | Gate.Nor -> None))
+  in
+  walk net0 v0 (Circuit.num_nets c + 1)
+
+(* Pick the propagation objective from the D-frontier: the gate whose output
+   is cheapest to observe, targeting one of its X inputs with the gate's
+   non-controlling value. *)
+let propagation_objective run frontier =
+  let values = run.ctx.values and guide = run.ctx.guide in
+  let cheapest =
+    List.fold_left
+      (fun acc net ->
+        let cost = Scoap.co_stem guide net in
+        match acc with Some (_, c0) when c0 <= cost -> acc | Some _ | None -> Some (net, cost))
+      None frontier
+  in
+  match cheapest with
+  | None -> None
+  | Some (net, _) -> (
+      match Circuit.driver run.ctx.c net with
+      | Circuit.Gate_node (kind, ins) -> (
+          let target = match Gate.controlling_value kind with Some c -> not c | None -> false in
+          let x_input = Array.find_opt (fun i -> Fivev.equal values.(i) Fivev.X) ins in
+          match x_input with Some i -> Some (i, target) | None -> None)
+      | Circuit.Primary_input | Circuit.Flip_flop _ | Circuit.Const _ -> None)
+
+type decision = {
+  pos_idx : int;
+  mutable value : bool;
+  mutable flipped : bool;
+  mutable trail : (Circuit.net * Fivev.t) list;
+}
+
+let generate ?(config = default_config) ?constraints ctx (fault : Fault.t) =
+  let c = ctx.c in
+  let nflops = Circuit.num_flops c in
+  let constraints =
+    match constraints with
+    | Some arr ->
+        if Array.length arr <> nflops then invalid_arg "Podem.generate: constraints length mismatch";
+        arr
+    | None -> Array.make nflops Ternary.X
+  in
+  let npos = Array.length ctx.positions in
+  let assignment = Array.make npos Ternary.X in
+  Array.iteri
+    (fun i v ->
+      match fst ctx.positions.(Circuit.num_inputs c + i) with
+      | Cell _ -> assignment.(Circuit.num_inputs c + i) <- v
+      | Pi _ -> assert false)
+    constraints;
+  let tfo_gates, obs_po, obs_flops = mark_tfo ctx fault in
+  let run = { ctx; fault; assignment; tfo_gates; obs_po; obs_flops } in
+  let n = Array.length ctx.values in
+  (match ctx.memo_key with
+  | Some key when key == constraints -> Array.blit ctx.memo_values 0 ctx.values 0 n
+  | Some _ | None ->
+      eval_fault_free run;
+      Array.blit ctx.values 0 ctx.memo_values 0 n;
+      ctx.memo_key <- Some constraints);
+  (* Layer the fault transform on the fault-free base. *)
+  (match fault.branch with
+  | None -> ignore (propagate run fault.stem)
+  | Some (sink, _pin) -> (
+      match Circuit.driver c sink with
+      | Circuit.Gate_node _ -> ignore (propagate run sink)
+      | Circuit.Flip_flop _ | Circuit.Primary_input | Circuit.Const _ -> ()));
+  let assign pos_idx v =
+    assignment.(pos_idx) <- Ternary.of_bool v;
+    propagate run (snd ctx.positions.(pos_idx))
+  in
+  let unassign pos_idx trail =
+    assignment.(pos_idx) <- Ternary.X;
+    undo run trail
+  in
+  let extract_cube () =
+    let pi = Array.make (Circuit.num_inputs c) Ternary.X in
+    let scan = Array.make nflops Ternary.X in
+    Array.iteri
+      (fun idx (p, _) ->
+        match p with Pi i -> pi.(i) <- assignment.(idx) | Cell i -> scan.(i) <- assignment.(idx))
+      ctx.positions;
+    ({ pi; scan } : Cube.t)
+  in
+  let stack = ref [] in
+  let backtracks = ref 0 in
+  (* Pop fully explored decisions, then flip the most recent unexplored one.
+     [None] when the whole space is exhausted. *)
+  let rec flip_last () =
+    match !stack with
+    | [] -> None
+    | d :: rest ->
+        unassign d.pos_idx d.trail;
+        if d.flipped then begin
+          stack := rest;
+          flip_last ()
+        end
+        else begin
+          d.value <- not d.value;
+          d.flipped <- true;
+          d.trail <- assign d.pos_idx d.value;
+          Some ()
+        end
+  in
+  let rec search () =
+    if error_observed run then Detected (extract_cube ())
+    else begin
+      let site = site_value run in
+      let activated = Fivev.is_error site in
+      let objective =
+        if activated then begin
+          let frontier = d_frontier run in
+          if frontier = [] || not (x_path_exists run frontier) then None
+          else propagation_objective run frontier
+        end
+        else if Fivev.equal site Fivev.X then Some (fault.stem, not fault.stuck)
+        else None (* activation impossible under current assignments *)
+      in
+      let next =
+        match objective with
+        | Some (net, v) -> backtrace run ~guided:config.guided (net, v)
+        | None -> None
+      in
+      match next with
+      | Some (pos_idx, v) ->
+          let trail = assign pos_idx v in
+          stack := { pos_idx; value = v; flipped = false; trail } :: !stack;
+          search ()
+      | None ->
+          if !backtracks >= config.backtrack_limit then Aborted
+          else begin
+            incr backtracks;
+            match flip_last () with Some () -> search () | None -> Untestable
+          end
+    end
+  in
+  search ()

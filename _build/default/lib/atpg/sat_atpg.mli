@@ -1,0 +1,28 @@
+(** SAT-based test generation: a complete decision procedure for single
+    stuck-at detectability, used to cross-validate PODEM.
+
+    The classic miter encoding: one CNF copy of the fault-free circuit, a
+    second copy of the fault's output cone with the fault site forced to its
+    stuck value, and a constraint that some observation point (primary
+    output or scan capture) differs between the copies. A satisfying
+    assignment is a test vector; unsatisfiability is a {e proof} of
+    redundancy — PODEM's [Untestable] answers and every [Detected] cube can
+    be checked against it (see [test_sat_atpg.ml]).
+
+    Complete but slower than PODEM; intended for validation and for
+    adjudicating PODEM's backtrack-limit aborts, not for the inner loop. *)
+
+type result =
+  | Detected of Cube.t  (** fully specified over (PI, scan) *)
+  | Untestable  (** proven: no test exists under the given constraints *)
+  | Unknown  (** decision budget exhausted — inconclusive *)
+
+val generate :
+  ?constraints:Tvs_logic.Ternary.t array ->
+  ?max_decisions:int ->
+  Tvs_netlist.Circuit.t ->
+  Tvs_fault.Fault.t ->
+  result
+(** [constraints] pins scan cells exactly as in {!Podem.generate}.
+    [max_decisions] bounds the search (default 200_000); decisions are made
+    on input variables first, so internal nets follow by propagation. *)

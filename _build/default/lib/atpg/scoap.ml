@@ -1,0 +1,128 @@
+module Circuit = Tvs_netlist.Circuit
+module Gate = Tvs_netlist.Gate
+
+let unreachable = max_int / 4
+
+type t = { c : Circuit.t; cc0 : int array; cc1 : int array; co : int array }
+
+let sat_add a b = if a >= unreachable || b >= unreachable then unreachable else min unreachable (a + b)
+
+let sum_sat arr f = Array.fold_left (fun acc x -> sat_add acc (f x)) 0 arr
+
+let min_over arr f = Array.fold_left (fun acc x -> min acc (f x)) unreachable arr
+
+(* Minimal cost of giving the inputs of an n-ary parity gate even (dp.(0)) or
+   odd (dp.(1)) parity. *)
+let parity_costs cc0 cc1 ins =
+  let dp = [| 0; unreachable |] in
+  Array.iter
+    (fun i ->
+      let even = min (sat_add dp.(0) cc0.(i)) (sat_add dp.(1) cc1.(i)) in
+      let odd = min (sat_add dp.(1) cc0.(i)) (sat_add dp.(0) cc1.(i)) in
+      dp.(0) <- even;
+      dp.(1) <- odd)
+    ins;
+  dp
+
+(* Observability of one fanout branch, given the sink's output CO and the
+   side-input controllabilities already in [t]. Valid both during the reverse
+   sweep (sinks are processed before their fanins) and for later queries. *)
+let co_branch t ~sink ~pin =
+  match Circuit.driver t.c sink with
+  | Circuit.Flip_flop _ -> 0 (* captured into the scan chain: directly observed *)
+  | Circuit.Gate_node (kind, ins) ->
+      let out_co = t.co.(sink) in
+      let others f =
+        let acc = ref 0 in
+        Array.iteri (fun j i -> if j <> pin then acc := sat_add !acc (f i)) ins;
+        !acc
+      in
+      let side_cost =
+        match kind with
+        | Gate.And | Gate.Nand -> others (fun i -> t.cc1.(i))
+        | Gate.Or | Gate.Nor -> others (fun i -> t.cc0.(i))
+        | Gate.Not | Gate.Buf -> 0
+        | Gate.Xor | Gate.Xnor -> others (fun i -> min t.cc0.(i) t.cc1.(i))
+      in
+      sat_add (sat_add out_co side_cost) 1
+  | Circuit.Primary_input | Circuit.Const _ -> unreachable
+
+let compute c =
+  let n = Circuit.num_nets c in
+  let cc0 = Array.make n unreachable in
+  let cc1 = Array.make n unreachable in
+  Array.iter
+    (fun net ->
+      cc0.(net) <- 1;
+      cc1.(net) <- 1)
+    (Circuit.inputs c);
+  Array.iter
+    (fun net ->
+      cc0.(net) <- 1;
+      cc1.(net) <- 1)
+    (Circuit.flops c);
+  Array.iter
+    (fun net ->
+      match Circuit.driver c net with
+      | Circuit.Const b ->
+          if b then cc1.(net) <- 0 else cc0.(net) <- 0
+      | Circuit.Gate_node (kind, ins) -> (
+          let inc x = sat_add x 1 in
+          match kind with
+          | Gate.And ->
+              cc1.(net) <- inc (sum_sat ins (fun i -> cc1.(i)));
+              cc0.(net) <- inc (min_over ins (fun i -> cc0.(i)))
+          | Gate.Nand ->
+              cc0.(net) <- inc (sum_sat ins (fun i -> cc1.(i)));
+              cc1.(net) <- inc (min_over ins (fun i -> cc0.(i)))
+          | Gate.Or ->
+              cc0.(net) <- inc (sum_sat ins (fun i -> cc0.(i)));
+              cc1.(net) <- inc (min_over ins (fun i -> cc1.(i)))
+          | Gate.Nor ->
+              cc1.(net) <- inc (sum_sat ins (fun i -> cc0.(i)));
+              cc0.(net) <- inc (min_over ins (fun i -> cc1.(i)))
+          | Gate.Not ->
+              cc0.(net) <- inc cc1.(ins.(0));
+              cc1.(net) <- inc cc0.(ins.(0))
+          | Gate.Buf ->
+              cc0.(net) <- inc cc0.(ins.(0));
+              cc1.(net) <- inc cc1.(ins.(0))
+          | Gate.Xor ->
+              let dp = parity_costs cc0 cc1 ins in
+              cc0.(net) <- inc dp.(0);
+              cc1.(net) <- inc dp.(1)
+          | Gate.Xnor ->
+              let dp = parity_costs cc0 cc1 ins in
+              cc0.(net) <- inc dp.(1);
+              cc1.(net) <- inc dp.(0))
+      | Circuit.Primary_input | Circuit.Flip_flop _ -> ())
+    (Circuit.topo_order c);
+  let t = { c; cc0; cc1; co = Array.make n unreachable } in
+  let stem_co net =
+    let direct = if Circuit.is_output c net then 0 else unreachable in
+    Array.fold_left
+      (fun acc (sink, pin) -> min acc (co_branch t ~sink ~pin))
+      direct (Circuit.fanout c net)
+  in
+  (* Reverse topological sweep: gate outputs first, then sources. *)
+  let order = Circuit.topo_order c in
+  for i = Array.length order - 1 downto 0 do
+    t.co.(order.(i)) <- stem_co order.(i)
+  done;
+  Array.iter (fun net -> t.co.(net) <- stem_co net) (Circuit.inputs c);
+  Array.iter (fun net -> t.co.(net) <- stem_co net) (Circuit.flops c);
+  t
+
+let cc0 t net = t.cc0.(net)
+let cc1 t net = t.cc1.(net)
+let cc t net v = if v then t.cc1.(net) else t.cc0.(net)
+let co_stem t net = t.co.(net)
+
+let fault_hardness t (f : Tvs_fault.Fault.t) =
+  let activation = cc t f.stem (not f.stuck) in
+  let observation =
+    match f.branch with
+    | None -> co_stem t f.stem
+    | Some (sink, pin) -> co_branch t ~sink ~pin
+  in
+  sat_add activation observation

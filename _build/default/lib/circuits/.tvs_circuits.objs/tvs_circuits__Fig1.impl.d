@@ -1,0 +1,1 @@
+lib/circuits/fig1.ml: Array Printf String Tvs_fault Tvs_netlist

@@ -1,0 +1,1 @@
+lib/circuits/fig1.mli: Tvs_fault Tvs_netlist

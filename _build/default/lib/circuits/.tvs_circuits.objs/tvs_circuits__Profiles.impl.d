@@ -1,0 +1,1 @@
+lib/circuits/profiles.ml: Float List Printf

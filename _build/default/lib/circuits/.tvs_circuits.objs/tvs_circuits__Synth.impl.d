@@ -1,0 +1,1 @@
+lib/circuits/synth.ml: Array Hashtbl List Printf Profiles Tvs_netlist Tvs_util

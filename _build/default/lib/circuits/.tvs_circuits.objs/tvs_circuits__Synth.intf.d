@@ -1,0 +1,1 @@
+lib/circuits/synth.mli: Profiles Tvs_netlist

@@ -1,0 +1,52 @@
+module Circuit = Tvs_netlist.Circuit
+module Gate = Tvs_netlist.Gate
+module Fault = Tvs_fault.Fault
+
+let circuit () =
+  let b = Circuit.Builder.create "fig1" in
+  let a_q = Circuit.Builder.flop_forward b "A" in
+  let b_q = Circuit.Builder.flop_forward b "B" in
+  let c_q = Circuit.Builder.flop_forward b "C" in
+  let d = Circuit.Builder.gate b ~name:"D" Gate.And [ a_q; b_q ] in
+  let e = Circuit.Builder.gate b ~name:"E" Gate.Or [ b_q; c_q ] in
+  let f = Circuit.Builder.gate b ~name:"F" Gate.And [ d; e ] in
+  Circuit.Builder.connect_flop b a_q f;
+  Circuit.Builder.connect_flop b b_q e;
+  Circuit.Builder.connect_flop b c_q d;
+  Circuit.Builder.finish b
+
+let vectors =
+  [ [| true; true; false |]; [| false; false; true |]; [| true; false; false |]; [| false; true; false |] ]
+
+let shift_schedule = [ 3; 2; 2; 2 ]
+
+let fresh_bits =
+  [ [| true; true; false |]; [| false; false |]; [| true; false |]; [| false; true |] ]
+
+let table1_faults =
+  [
+    "F/0"; "F/1"; "D-F/1"; "E-F/1"; "D/0"; "D/1"; "B-D/1"; "A/1"; "B/0"; "B/1"; "E/0";
+    "B-E/0"; "C/0"; "E/1"; "E-b/0"; "E-b/1"; "D-c/0"; "D-c/1";
+  ]
+
+let paper_fault c name =
+  let fail () = failwith (Printf.sprintf "Fig1.paper_fault: cannot parse %S" name) in
+  match String.split_on_char '/' name with
+  | [ site; v ] -> (
+      let stuck = match v with "0" -> false | "1" -> true | _ -> fail () in
+      match String.split_on_char '-' site with
+      | [ stem_name ] -> Fault.stem_fault (Circuit.find_net c stem_name) stuck
+      | [ stem_name; sink_name ] ->
+          let stem = Circuit.find_net c stem_name in
+          (* Lowercase sinks denote scan cells: "b" is the cell whose Q net
+             is "B". *)
+          let sink = Circuit.find_net c (String.uppercase_ascii sink_name) in
+          let pin =
+            let fanout = Circuit.fanout c stem in
+            match Array.find_opt (fun (s, _) -> s = sink) fanout with
+            | Some (_, pin) -> pin
+            | None -> fail ()
+          in
+          Fault.branch_fault stem ~sink ~pin stuck
+      | _ -> fail ())
+  | _ -> fail ()

@@ -1,0 +1,33 @@
+(** The worked example of the paper's Section 3 (Figure 1 / Table 1).
+
+    Three gates and a scan chain of length 3, no primary inputs or outputs:
+    - scan cells [a], [b], [c] (head to tail) output nets [A], [B], [C];
+    - [D = AND(A, B)], [E = OR(B, C)], [F = AND(D, E)];
+    - cell [a] captures [F], cell [b] captures [E], cell [c] captures [D].
+
+    The reconstruction is validated against every row of Table 1 by the test
+    suite: each listed fault's response sequence under the paper's four
+    vectors matches the published table, fault F/0 goes hidden in cycle 1 and
+    is caught in cycle 2, F/1 and D-F/1 go hidden in cycle 2 and are caught
+    in cycle 3, and E-F/1 is redundant. *)
+
+val circuit : unit -> Tvs_netlist.Circuit.t
+
+val vectors : bool array list
+(** The paper's four test vectors [110; 001; 100; 010], given as scan-chain
+    contents (cells [a], [b], [c]). *)
+
+val shift_schedule : int list
+(** [3; 2; 2; 2]: full first load, then two fresh bits per cycle. *)
+
+val fresh_bits : bool array list
+(** The per-cycle fresh head bits that realise {!vectors} under
+    {!shift_schedule}: [110], then [00], [10], [01]. *)
+
+val paper_fault : Tvs_netlist.Circuit.t -> string -> Tvs_fault.Fault.t
+(** Resolve a fault name in the paper's notation ("F/0", "B-D/1", "E-b/0",
+    ...) against the reconstructed circuit. Raises [Failure] for unknown
+    names. *)
+
+val table1_faults : string list
+(** The 18 fault names of Table 1, in row order (excluding "correct"). *)

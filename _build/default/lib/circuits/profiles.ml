@@ -1,0 +1,45 @@
+type style = Balanced | Shallow | Deep
+
+type t = { name : string; npi : int; npo : int; nff : int; ngates : int; style : style }
+
+let p name npi npo nff ngates style = { name; npi; npo; nff; ngates; style }
+
+let table2_circuits =
+  [
+    p "s444" 3 6 21 181 Balanced;
+    p "s526" 3 6 21 193 Balanced;
+    p "s641" 35 24 19 379 Balanced;
+    p "s953" 16 23 29 395 Balanced;
+    p "s1196" 14 14 18 529 Balanced;
+    p "s1423" 17 5 74 657 Deep;
+    p "s5378" 35 49 179 2779 Balanced;
+    p "s9234" 19 22 228 5597 Deep;
+  ]
+
+let table5_only =
+  [
+    p "s13207" 31 121 669 7951 Balanced;
+    p "s15850" 14 87 597 9772 Deep;
+    p "s35932" 35 320 1728 16065 Shallow;
+    p "s38417" 28 106 1636 22179 Balanced;
+    p "s38584" 12 278 1452 19253 Balanced;
+  ]
+
+let table5_circuits =
+  List.filter (fun c -> c.name = "s5378" || c.name = "s9234") table2_circuits @ table5_only
+
+let all = table2_circuits @ table5_only
+
+let find name = List.find (fun c -> c.name = name) all
+
+let scale t f =
+  if Float.abs (f -. 1.0) < 1e-9 then t
+  else
+    let by n = max 1 (int_of_float (Float.round (float_of_int n *. f))) in
+    {
+      t with
+      name = Printf.sprintf "%s@%g" t.name f;
+      npo = by t.npo;
+      nff = by t.nff;
+      ngates = by t.ngates;
+    }

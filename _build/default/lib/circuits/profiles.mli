@@ -1,0 +1,45 @@
+(** Structural profiles of the ISCAS89 benchmarks used in the paper's tables.
+
+    The actual netlists are not distributable with this repository, so every
+    experiment instantiates a profile through {!Synth}: a deterministic
+    synthetic circuit matching the benchmark's published interface (#PI, #PO,
+    #FF = scan length) and approximate gate count — the quantities the
+    stitching technique's behaviour depends on. See DESIGN.md §3 for why
+    this substitution preserves the experiments' shape. *)
+
+type style =
+  | Balanced  (** typical control logic: mixed depth and fanout *)
+  | Shallow
+      (** wide, shallow, easy-to-test logic — the s35932 character the paper
+          calls out ("most faults of s35932 are easy-to-test") *)
+  | Deep  (** deeper cones with reconvergent fanout: harder faults *)
+
+type t = {
+  name : string;
+  npi : int;
+  npo : int;
+  nff : int;  (** scan chain length *)
+  ngates : int;
+  style : style;
+}
+
+val table2_circuits : t list
+(** s444, s526, s641, s953, s1196, s1423, s5378, s9234 — the rows of
+    Tables 2-4. *)
+
+val table5_circuits : t list
+(** s5378, s9234, s13207, s15850, s35932, s38417, s38584 — the rows of
+    Table 5. *)
+
+val all : t list
+(** Union of the above, each benchmark once. *)
+
+val find : string -> t
+(** Lookup by name; raises [Not_found]. *)
+
+val scale : t -> float -> t
+(** [scale p f] shrinks (or grows) the sequential and combinational bulk of
+    the profile — FF, gate and PO counts — by the linear factor [f], keeping
+    the PI count (which drives the info-ratio denominators). Used to run the
+    giant Table 5 circuits at tractable size. The scaled profile's name gains
+    an ["@f"] suffix when [f <> 1]. *)

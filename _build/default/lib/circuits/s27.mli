@@ -1,0 +1,8 @@
+(** The real ISCAS89 s27 benchmark (4 PI, 1 PO, 3 flip-flops, 10 gates),
+    embedded as `.bench` text. The one published netlist small enough to ship
+    verbatim; the larger benchmarks are profile-matched synthetics (see
+    {!Synth}). *)
+
+val bench_text : string
+
+val circuit : unit -> Tvs_netlist.Circuit.t

@@ -1,0 +1,19 @@
+(** Deterministic synthetic benchmark generator.
+
+    Produces a full-scan circuit matching a {!Profiles.t}: exact #PI, #PO,
+    #FF, approximately the requested gate count (a small parity-collapse tree
+    may be appended so no net dangles), acyclic combinational core, every
+    primary input consumed. The construction is seeded from the profile name
+    only, so every run of every experiment sees the same netlist.
+
+    Style shapes testability:
+    - [Shallow] draws gate inputs mostly from sources, giving wide shallow
+      cones whose faults are largely easy — the s35932 character;
+    - [Deep] draws heavily from recent gates, building deeper reconvergent
+      logic with harder faults;
+    - [Balanced] mixes both. *)
+
+val generate : Profiles.t -> Tvs_netlist.Circuit.t
+
+val generate_named : string -> Tvs_netlist.Circuit.t
+(** [generate (Profiles.find name)]. *)

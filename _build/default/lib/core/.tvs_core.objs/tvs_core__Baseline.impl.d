@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array List Tvs_atpg Tvs_fault Tvs_netlist Tvs_scan

@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Tvs_atpg Tvs_fault Tvs_util

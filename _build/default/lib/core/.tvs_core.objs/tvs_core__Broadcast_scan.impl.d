@@ -1,0 +1,1 @@
+lib/core/broadcast_scan.ml: Array Tvs_atpg Tvs_fault Tvs_logic Tvs_netlist Tvs_scan Tvs_sim Tvs_util

@@ -1,0 +1,1 @@
+lib/core/broadcast_scan.mli: Tvs_atpg Tvs_fault Tvs_netlist Tvs_util

@@ -1,0 +1,1 @@
+lib/core/cycle.ml: Array List Tvs_fault Tvs_logic Tvs_netlist Tvs_scan Tvs_sim

@@ -1,0 +1,1 @@
+lib/core/cycle.mli: Tvs_fault Tvs_logic Tvs_netlist Tvs_scan

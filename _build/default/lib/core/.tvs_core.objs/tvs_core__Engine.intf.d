@@ -1,0 +1,1 @@
+lib/core/engine.mli: Policy Tvs_atpg Tvs_fault Tvs_scan Tvs_util

@@ -1,0 +1,1 @@
+lib/core/static_stitch.ml: Array List Tvs_atpg Tvs_logic Tvs_netlist Tvs_scan Tvs_sim Tvs_util

@@ -1,0 +1,1 @@
+lib/core/static_stitch.mli: Tvs_atpg Tvs_netlist Tvs_util

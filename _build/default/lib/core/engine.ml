@@ -1,0 +1,283 @@
+module Circuit = Tvs_netlist.Circuit
+module Fault = Tvs_fault.Fault
+module Podem = Tvs_atpg.Podem
+module Cube = Tvs_atpg.Cube
+module Scoap = Tvs_atpg.Scoap
+module Generator = Tvs_atpg.Generator
+module Cost = Tvs_scan.Cost
+module Xor_scheme = Tvs_scan.Xor_scheme
+module Rng = Tvs_util.Rng
+
+type config = {
+  scheme : Xor_scheme.t;
+  shift : Policy.shift_policy;
+  selection : Policy.selection;
+  podem : Podem.config;
+  max_cycles : int;
+  stagnation_limit : int;
+  max_targets_per_cycle : int;
+}
+
+let default_config ~chain_len =
+  {
+    scheme = Xor_scheme.Nxor;
+    shift = Policy.default_variable ~chain_len;
+    selection = Policy.Most_faults 5;
+    podem = { Podem.default_config with backtrack_limit = 32 };
+    max_cycles = 4000;
+    stagnation_limit = 25;
+    max_targets_per_cycle = 25;
+  }
+
+type cycle_log = {
+  shift : int;
+  target : Fault.t;
+  caught : int;
+  became_hidden : int;
+  hidden_after : int;
+  uncaught_after : int;
+}
+
+type result = {
+  schedule : Cost.schedule;
+  stimuli : (bool array * bool array) list;
+  extra_stimuli : Cube.vector list;
+  stitched_vectors : int;
+  extra_vectors : int;
+  caught_stitched : int;
+  caught_extra : int;
+  total_faults : int;
+  redundant : Fault.t list;
+  aborted : Fault.t list;
+  peak_hidden : int;
+  log : cycle_log list;
+}
+
+let coverage r =
+  let considered = r.total_faults - List.length r.redundant in
+  if considered <= 0 then 1.0
+  else float_of_int (r.caught_stitched + r.caught_extra) /. float_of_int considered
+
+(* A candidate vector produced for one target fault under the cycle's
+   constraints, split into PI values and the fresh scan bits. *)
+type candidate = { target_idx : int; pi : bool array; fresh : bool array }
+
+let make_candidate ~rng ~s cube =
+  let vec = Cube.fill_random rng cube in
+  { target_idx = 0; pi = vec.Cube.pi; fresh = Array.sub vec.Cube.scan 0 s }
+
+(* Order in which targets are attempted this cycle. *)
+let target_order ~rng ~hardness selection uncaught =
+  let arr = Array.of_list uncaught in
+  (match selection with
+  | Policy.Hardness_order ->
+      Array.sort (fun a b -> compare hardness.(b) hardness.(a)) arr
+  | Policy.Random_order | Policy.Most_faults _ | Policy.Weighted _ -> Rng.shuffle rng arr);
+  Array.to_list arr
+
+let wanted_candidates = function
+  | Policy.Random_order | Policy.Hardness_order -> 1
+  | Policy.Most_faults k | Policy.Weighted k -> max 1 k
+
+(* Greedy score of a candidate: how many uncaught faults its vector
+   differentiates, estimated on a fixed random sample of f_u (full
+   classification per candidate would dominate the runtime on big circuits);
+   [Weighted] sums SCOAP hardness instead of counting. *)
+let sample_size = 512
+
+let score ~sim ~machine ~hardness selection ~sample cand =
+  match selection with
+  | Policy.Random_order | Policy.Hardness_order -> 0
+  | Policy.Most_faults _ | Policy.Weighted _ ->
+      let applied, _ = Tvs_scan.Chain.shift (Cycle.good_contents machine) ~fresh:cand.fresh in
+      let faults = Array.map snd sample in
+      let r = Tvs_fault.Fault_sim.run_batch sim ~pi:cand.pi ~state:applied ~faults in
+      let total = ref 0 in
+      Array.iteri
+        (fun k outcome ->
+          match outcome with
+          | Tvs_fault.Fault_sim.Same -> ()
+          | Tvs_fault.Fault_sim.Po_detected | Tvs_fault.Fault_sim.Capture_differs _ -> (
+              match selection with
+              | Policy.Weighted _ -> total := !total + hardness.(fst sample.(k))
+              | Policy.Random_order | Policy.Hardness_order | Policy.Most_faults _ -> incr total))
+        r.Tvs_fault.Fault_sim.outcomes;
+      !total
+
+let run ?config ?(fallback = [||]) ~rng ctx ~faults =
+  let c = Podem.circuit ctx in
+  let chain_len = Circuit.num_flops c in
+  let cfg = match config with Some cfg -> cfg | None -> default_config ~chain_len in
+  let machine = Cycle.create ~scheme:cfg.scheme c ~faults in
+  let sim = Tvs_sim.Parallel.create c in
+  let hardness =
+    let guide = Podem.scoap ctx in
+    Array.map (fun f -> Scoap.fault_hardness guide f) faults
+  in
+  let shifts = ref [] in
+  let stimuli = ref [] in
+  let log = ref [] in
+  let peak_hidden = ref 0 in
+  let stagnant = ref 0 in
+  let current_s = ref (min chain_len (max 1 (Policy.initial_shift cfg.shift))) in
+  let finished () = Cycle.num_uncaught machine = 0 && Cycle.num_hidden machine = 0 in
+  (* Produce candidate vectors for this cycle's shift size, or [None] if no
+     target is generatable under the constraints. *)
+  let collect_candidates s =
+    let constraints = Cycle.constraints_for machine ~s in
+    let order = target_order ~rng ~hardness cfg.selection (Cycle.uncaught_indices machine) in
+    let wanted = wanted_candidates cfg.selection in
+    let max_tries =
+      match cfg.shift with
+      | Policy.Fixed _ -> 4 * cfg.max_targets_per_cycle
+      | Policy.Variable _ -> cfg.max_targets_per_cycle
+    in
+    let rec gather acc found tries = function
+      | [] -> acc
+      | _ when found >= wanted || tries >= max_tries -> acc
+      | idx :: rest -> (
+          match Podem.generate ~config:cfg.podem ~constraints ctx faults.(idx) with
+          | Podem.Detected cube ->
+              let cand = { (make_candidate ~rng ~s cube) with target_idx = idx } in
+              gather (cand :: acc) (found + 1) (tries + 1) rest
+          | Podem.Untestable | Podem.Aborted -> gather acc found (tries + 1) rest)
+    in
+    List.rev (gather [] 0 0 order)
+  in
+  let apply_candidate s cand =
+    let report = Cycle.step machine ~pi:cand.pi ~fresh:cand.fresh in
+    shifts := s :: !shifts;
+    stimuli := (cand.pi, cand.fresh) :: !stimuli;
+    peak_hidden := max !peak_hidden (Cycle.num_hidden machine);
+    let caught = List.length report.Cycle.caught_now in
+    let became_hidden = List.length report.Cycle.newly_hidden in
+    (* Only catches count as progress: newly hidden faults can churn between
+       f_h and f_u forever without any ever reaching the tester. *)
+    if caught = 0 then incr stagnant else stagnant := 0;
+    log :=
+      {
+        shift = s;
+        target = faults.(cand.target_idx);
+        caught;
+        became_hidden;
+        hidden_after = Cycle.num_hidden machine;
+        uncaught_after = Cycle.num_uncaught machine;
+      }
+      :: !log
+  in
+  (* Main loop (Figure 2): iterate while uncaught faults remain and the
+     stitched phase keeps making progress. *)
+  let rec loop () =
+    if
+      finished ()
+      || Cycle.num_uncaught machine = 0
+      || Cycle.cycle_count machine >= cfg.max_cycles
+      || !stagnant >= cfg.stagnation_limit
+    then ()
+    else
+      let s = if Cycle.cycle_count machine = 0 then chain_len else !current_s in
+      match collect_candidates s with
+      | [] -> (
+          match Policy.grow cfg.shift ~current:!current_s with
+          | Some s' ->
+              current_s := s';
+              loop ()
+          | None -> () (* stuck: hand the rest to the extra phase *))
+      | first :: _ as candidates ->
+          let best =
+            match cfg.selection with
+            | Policy.Random_order | Policy.Hardness_order -> first
+            | Policy.Most_faults _ | Policy.Weighted _ ->
+                let sample =
+                  let uncaught = Array.of_list (Cycle.uncaught_indices machine) in
+                  Rng.shuffle rng uncaught;
+                  let k = min sample_size (Array.length uncaught) in
+                  Array.init k (fun i -> (uncaught.(i), faults.(uncaught.(i))))
+                in
+                let scored =
+                  List.map
+                    (fun cand ->
+                      (score ~sim ~machine ~hardness cfg.selection ~sample cand, cand))
+                    candidates
+                in
+                List.fold_left
+                  (fun (bs, bc) (sc, cand) -> if sc > bs then (sc, cand) else (bs, bc))
+                  (List.hd scored) (List.tl scored)
+                |> snd
+          in
+          apply_candidate s best;
+          current_s := Policy.shrink cfg.shift ~current:!current_s;
+          loop ()
+  in
+  loop ();
+  (* Final unload: a full drain when hidden faults remain to flush. *)
+  let need_drain = Cycle.num_hidden machine > 0 in
+  ignore (Cycle.flush machine ~full:need_drain);
+  let caught_stitched = Cycle.num_caught machine in
+  (* Extra phase: traditional full-shift vectors for the leftovers. *)
+  let leftover_idx = Cycle.uncaught_indices machine in
+  let leftover = Array.of_list (List.map (fun i -> faults.(i)) leftover_idx) in
+  let extra_stimuli = ref [] in
+  let extra_vectors, caught_extra, redundant, aborted =
+    if Array.length leftover = 0 then (0, 0, [], [])
+    else begin
+      let extra_podem = { cfg.podem with Podem.backtrack_limit = max 100 cfg.podem.Podem.backtrack_limit } in
+      let options = { Generator.default_options with random_patterns = 0; podem = extra_podem } in
+      let gen = Generator.generate ~options ~rng ctx leftover in
+      extra_stimuli := Array.to_list gen.Generator.vectors;
+      let nvec = ref (Array.length gen.Generator.vectors) in
+      let caught =
+        ref (Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 gen.Generator.detected)
+      in
+      (* Aborted leftovers are topped up from the known-good fallback set:
+         append any fallback vector that detects a still-missing fault. *)
+      let aborted = ref gen.Generator.aborted in
+      if !aborted <> [] && Array.length fallback > 0 then begin
+        let sim = Tvs_sim.Parallel.create c in
+        let missing = ref !aborted in
+        Array.iter
+          (fun (vec : Cube.vector) ->
+            if !missing <> [] then begin
+              let subset = Array.of_list !missing in
+              let flags =
+                Tvs_fault.Fault_sim.detected_faults sim ~pi:vec.Cube.pi ~state:vec.Cube.scan subset
+              in
+              let hit = Array.exists (fun b -> b) flags in
+              if hit then begin
+                incr nvec;
+                extra_stimuli := !extra_stimuli @ [ vec ];
+                let survivors = ref [] in
+                Array.iteri
+                  (fun k f -> if flags.(k) then incr caught else survivors := f :: !survivors)
+                  subset;
+                missing := List.rev !survivors
+              end
+            end)
+          fallback;
+        aborted := !missing
+      end;
+      (!nvec, !caught, gen.Generator.redundant, !aborted)
+    end
+  in
+  {
+    schedule =
+      {
+        Cost.chain_len;
+        npi = Circuit.num_inputs c;
+        npo = Circuit.num_outputs c;
+        shifts = List.rev !shifts;
+        extra = extra_vectors;
+        full_drain = need_drain;
+      };
+    stimuli = List.rev !stimuli;
+    extra_stimuli = !extra_stimuli;
+    stitched_vectors = List.length !shifts;
+    extra_vectors;
+    caught_stitched;
+    caught_extra;
+    total_faults = Array.length faults;
+    redundant;
+    aborted;
+    peak_hidden = !peak_hidden;
+    log = List.rev !log;
+  }

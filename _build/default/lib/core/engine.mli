@@ -1,0 +1,74 @@
+(** The stitched test-generation engine: the algorithmic framework of the
+    paper's Section 5 (Figure 2 flowchart) with the implementation options of
+    Section 6.
+
+    Each iteration chooses a shift size per the shift policy, derives the
+    constraint cube from the retained fault-free response, asks PODEM for a
+    vector catching a new [f_u] fault under that constraint, selects among
+    candidates per the selection strategy, and advances the {!Cycle} machine.
+    When no constrained vector can be produced, a variable policy widens the
+    shift; once it is exhausted the leftover faults are handed to the
+    traditional generator as full-shift "extra" vectors (the [ex] column of
+    Table 2). *)
+
+type config = {
+  scheme : Tvs_scan.Xor_scheme.t;
+  shift : Policy.shift_policy;
+  selection : Policy.selection;
+  podem : Tvs_atpg.Podem.config;
+  max_cycles : int;  (** hard cap on stitched cycles *)
+  stagnation_limit : int;
+      (** stop stitching after this many consecutive cycles catching nothing
+          (newly hidden faults do not count: they can churn between hidden
+          and uncaught without ever being observed) *)
+  max_targets_per_cycle : int;  (** PODEM attempts before declaring the cycle stuck *)
+}
+
+val default_config : chain_len:int -> config
+(** Variable shift (paper's winner), most-faults selection over 5 candidates,
+    no XOR hardware. *)
+
+type cycle_log = {
+  shift : int;
+  target : Tvs_fault.Fault.t;
+  caught : int;
+  became_hidden : int;
+  hidden_after : int;
+  uncaught_after : int;
+}
+
+type result = {
+  schedule : Tvs_scan.Cost.schedule;
+  stimuli : (bool array * bool array) list;
+      (** the stitched test data, in order: (PI values, fresh scan bits) per
+          cycle — everything an ATE needs besides the expected responses *)
+  extra_stimuli : Tvs_atpg.Cube.vector list;
+      (** the appended traditional vectors, in order *)
+  stitched_vectors : int;  (** TV *)
+  extra_vectors : int;  (** ex *)
+  caught_stitched : int;
+  caught_extra : int;
+  total_faults : int;
+  redundant : Tvs_fault.Fault.t list;  (** found untestable during the extra phase *)
+  aborted : Tvs_fault.Fault.t list;
+  peak_hidden : int;
+  log : cycle_log list;  (** per stitched cycle, in order *)
+}
+
+val coverage : result -> float
+(** Caught over non-redundant faults. *)
+
+val run :
+  ?config:config ->
+  ?fallback:Tvs_atpg.Cube.vector array ->
+  rng:Tvs_util.Rng.t ->
+  Tvs_atpg.Podem.ctx ->
+  faults:Tvs_fault.Fault.t array ->
+  result
+(** Deterministic given the rng state. The fault array should normally be the
+    collapsed list; known-redundant faults may be pre-filtered for speed.
+
+    [fallback] is a known-good full-shift test set (typically the baseline's):
+    when the extra phase's own ATPG aborts on a leftover fault, detecting
+    vectors are appended from it instead, so the stitched flow can never end
+    below the baseline's coverage. *)

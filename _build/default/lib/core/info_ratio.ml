@@ -1,0 +1,12 @@
+let tolerance = 0.05
+
+let info_of ~s ~chain_len ~npi =
+  float_of_int (s + npi) /. float_of_int (chain_len + npi)
+
+let shift_for ~num ~den ~chain_len ~npi =
+  assert (den > 0 && num > 0);
+  let target = float_of_int num /. float_of_int den in
+  let exact = (target *. float_of_int (chain_len + npi)) -. float_of_int npi in
+  let s = max 1 (min chain_len (int_of_float (Float.round exact))) in
+  let achieved = info_of ~s ~chain_len ~npi in
+  if Float.abs (achieved -. target) <= tolerance then Some s else None

@@ -1,0 +1,20 @@
+(** Shift sizes from target "info" ratios (paper Table 2).
+
+    All compression schemes trade on representing a long sequence with fewer
+    bits, so Table 2 compares fixed-shift configurations at equal data ratios
+    per cycle: info = (s + #PI) / (L + #PI) — the specified bits a cycle
+    consumes over the bits a traditional cycle consumes. Because the #PI term
+    is incompressible, low ratios are unattainable for circuits whose scan
+    chain is short relative to their input count; the paper prints '/' for
+    those entries. *)
+
+val shift_for : num:int -> den:int -> chain_len:int -> npi:int -> int option
+(** Smallest-error shift size [s] with [1 <= s <= chain_len] such that
+    [(s + npi) / (chain_len + npi)] is closest to [num/den]; [None] when even
+    clamping to the valid range misses the target by more than
+    {!tolerance}. *)
+
+val info_of : s:int -> chain_len:int -> npi:int -> float
+
+val tolerance : float
+(** Maximum acceptable |achieved - target| (0.05). *)

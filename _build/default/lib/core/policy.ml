@@ -1,0 +1,46 @@
+type shift_policy =
+  | Fixed of int
+  | Variable of { initial : int; growth : growth; max : int; decay : bool }
+
+and growth = Add of int | Double
+
+type selection =
+  | Random_order
+  | Hardness_order
+  | Most_faults of int
+  | Weighted of int
+
+let grow policy ~current =
+  match policy with
+  | Fixed _ -> None
+  | Variable { growth; max = cap; _ } ->
+      if current >= cap then None
+      else
+        let next = match growth with Add k -> current + k | Double -> current * 2 in
+        Some (min cap (max (current + 1) next))
+
+let initial_shift = function Fixed s -> s | Variable { initial; _ } -> initial
+
+let shrink policy ~current =
+  match policy with
+  | Fixed s -> s
+  | Variable { decay = false; _ } -> current
+  | Variable { initial; growth; decay = true; _ } ->
+      let back = match growth with Add k -> current - k | Double -> current / 2 in
+      max initial back
+
+let describe_shift = function
+  | Fixed s -> Printf.sprintf "fixed:%d" s
+  | Variable { initial; growth; max; decay } ->
+      let g = match growth with Add k -> Printf.sprintf "+%d" k | Double -> "x2" in
+      Printf.sprintf "variable:%d%s<=%d%s" initial g max (if decay then "~" else "")
+
+let describe_selection = function
+  | Random_order -> "random"
+  | Hardness_order -> "hardness"
+  | Most_faults k -> Printf.sprintf "most-faults:%d" k
+  | Weighted k -> Printf.sprintf "weighted:%d" k
+
+let default_variable ~chain_len =
+  let step = max 1 (chain_len / 8) in
+  Variable { initial = step; growth = Add step; max = chain_len; decay = true }

@@ -1,0 +1,41 @@
+(** Tuning knobs of the stitched generation flow (paper Section 6).
+
+    Two orthogonal axes: how many bits to shift per cycle (Section 6.1) and
+    how to select the next test vector (Section 6.3). *)
+
+type shift_policy =
+  | Fixed of int  (** the same shift size every cycle (after the full first load) *)
+  | Variable of { initial : int; growth : growth; max : int; decay : bool }
+      (** start small; grow when no constrained vector can catch new faults;
+          with [decay], shrink back toward [initial] after successful cycles
+          so the schedule spends most of its time at cheap shift sizes *)
+
+and growth = Add of int | Double
+
+type selection =
+  | Random_order  (** first generatable target from a shuffled fault order *)
+  | Hardness_order  (** hardest-to-test faults first (SCOAP estimate) *)
+  | Most_faults of int
+      (** try up to [k] candidate targets, keep the vector differentiating
+          the most uncaught faults (the paper's greedy winner) *)
+  | Weighted of int
+      (** like [Most_faults] but each fault weighs its SCOAP hardness,
+          the paper's combination of the two schemes *)
+
+val grow : shift_policy -> current:int -> int option
+(** Next shift size after a stuck cycle: [None] when the policy cannot grow
+    (fixed, or already at max). The result is clamped to [max]. *)
+
+val initial_shift : shift_policy -> int
+(** Shift size for the first post-load cycle. *)
+
+val shrink : shift_policy -> current:int -> int
+(** Shift size after a successful cycle: one growth step back toward
+    [initial] for a decaying variable policy, [current] otherwise. *)
+
+val describe_shift : shift_policy -> string
+val describe_selection : selection -> string
+
+val default_variable : chain_len:int -> shift_policy
+(** The paper's preferred scheme: start at [max 1 (chain_len / 8)], double
+    when stuck, decay after success, capped at [chain_len]. *)

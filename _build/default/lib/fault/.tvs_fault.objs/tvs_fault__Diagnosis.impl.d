@@ -1,0 +1,1 @@
+lib/fault/diagnosis.ml: Array Buffer Fault Hashtbl List Option Tvs_sim

@@ -1,0 +1,1 @@
+lib/fault/diagnosis.mli: Fault Tvs_sim

@@ -1,0 +1,1 @@
+lib/fault/fault.ml: Array Format Hashtbl Printf Stdlib String Tvs_netlist Tvs_sim

@@ -1,0 +1,1 @@
+lib/fault/fault.mli: Format Tvs_netlist Tvs_sim

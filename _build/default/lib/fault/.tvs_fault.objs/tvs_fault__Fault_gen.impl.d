@@ -1,0 +1,1 @@
+lib/fault/fault_gen.ml: Array Fault Hashtbl List Tvs_netlist

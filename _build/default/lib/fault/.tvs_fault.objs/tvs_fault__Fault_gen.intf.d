@@ -1,0 +1,1 @@
+lib/fault/fault_gen.mli: Fault Tvs_netlist

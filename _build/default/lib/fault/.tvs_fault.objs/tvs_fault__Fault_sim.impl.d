@@ -1,0 +1,1 @@
+lib/fault/fault_sim.ml: Array Fault List Tvs_sim

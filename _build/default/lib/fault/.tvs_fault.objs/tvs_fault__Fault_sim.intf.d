@@ -1,0 +1,1 @@
+lib/fault/fault_sim.mli: Fault Tvs_sim

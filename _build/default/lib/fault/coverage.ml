@@ -1,0 +1,34 @@
+type t = { total : int; detected : int; redundant : int; aborted : int }
+
+let make ~total ~detected ~redundant ~aborted =
+  if total < 0 || detected < 0 || redundant < 0 || aborted < 0 then
+    invalid_arg "Coverage.make: negative count";
+  if detected + redundant + aborted > total then invalid_arg "Coverage.make: parts exceed total";
+  { total; detected; redundant; aborted }
+
+let of_flags ~detected ~redundant ~aborted =
+  let hits = Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 detected in
+  make ~total:(Array.length detected) ~detected:hits ~redundant ~aborted
+
+let fault_coverage t =
+  let considered = t.total - t.redundant in
+  if considered <= 0 then 1.0 else float_of_int t.detected /. float_of_int considered
+
+let atpg_effectiveness t =
+  if t.total = 0 then 1.0 else float_of_int (t.detected + t.redundant) /. float_of_int t.total
+
+let undetected t = t.total - t.detected - t.redundant
+
+let merge a b =
+  {
+    total = a.total + b.total;
+    detected = a.detected + b.detected;
+    redundant = a.redundant + b.redundant;
+    aborted = a.aborted + b.aborted;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "%d/%d detected (%.2f%% coverage, %d redundant, %d aborted)" t.detected
+    t.total
+    (100.0 *. fault_coverage t)
+    t.redundant t.aborted

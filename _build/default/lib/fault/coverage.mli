@@ -1,0 +1,33 @@
+(** Fault-coverage accounting.
+
+    Small arithmetic shared by the baseline generator, the stitched engine
+    and the reports: given per-fault dispositions, compute the classic
+    figures of merit. *)
+
+type t = {
+  total : int;
+  detected : int;
+  redundant : int;  (** proven untestable: excluded from coverage *)
+  aborted : int;  (** ATPG gave up: counted against effectiveness only *)
+}
+
+val make : total:int -> detected:int -> redundant:int -> aborted:int -> t
+(** Raises [Invalid_argument] when the parts exceed the total or any count
+    is negative. *)
+
+val of_flags : detected:bool array -> redundant:int -> aborted:int -> t
+
+val fault_coverage : t -> float
+(** detected / (total - redundant): the figure the paper's "no loss of fault
+    coverage" claim is about. 1.0 on an empty universe. *)
+
+val atpg_effectiveness : t -> float
+(** (detected + redundant) / total: how many faults the flow resolved either
+    way. *)
+
+val undetected : t -> int
+
+val merge : t -> t -> t
+(** Componentwise sum (e.g. totals across SOC cores). *)
+
+val pp : Format.formatter -> t -> unit

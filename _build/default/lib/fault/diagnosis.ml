@@ -1,0 +1,62 @@
+module Parallel = Tvs_sim.Parallel
+module Lanes = Tvs_sim.Lanes
+
+type response = bool array list
+
+let respond sim ~tests ?fault () =
+  let injections = match fault with None -> [] | Some f -> [ Fault.to_injection f ~lane:1 ] in
+  let lane = match fault with None -> 0 | Some _ -> 1 in
+  let widen arr = Array.map (fun b -> if b then Lanes.all_mask else 0) arr in
+  Array.to_list tests
+  |> List.map (fun (pi, scan) ->
+         let r = Parallel.run sim ~pi:(widen pi) ~state:(widen scan) ~injections in
+         Array.append
+           (Array.map (fun w -> Lanes.get w lane) r.Parallel.po)
+           (Array.map (fun w -> Lanes.get w lane) r.Parallel.capture))
+
+let key_of response =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun frame -> Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) frame)
+    response;
+  Buffer.contents buf
+
+type dictionary = {
+  good_key : string;
+  classes : (string, Fault.t list) Hashtbl.t;  (* faulty behaviours only *)
+  detected : int;
+}
+
+let build sim ~faults ~tests =
+  let good_key = key_of (respond sim ~tests ()) in
+  let classes = Hashtbl.create 64 in
+  let detected = ref 0 in
+  Array.iter
+    (fun f ->
+      let key = key_of (respond sim ~tests ~fault:f ()) in
+      if key <> good_key then begin
+        incr detected;
+        Hashtbl.replace classes key (f :: Option.value ~default:[] (Hashtbl.find_opt classes key))
+      end)
+    faults;
+  (* Keep dictionary order inside each class. *)
+  Hashtbl.iter (fun k l -> Hashtbl.replace classes k (List.rev l)) classes;
+  { good_key; classes; detected = !detected }
+
+type outcome = No_defect | Candidates of Fault.t list | Unknown_defect
+
+let diagnose t ~observed =
+  let key = key_of observed in
+  if key = t.good_key then No_defect
+  else
+    match Hashtbl.find_opt t.classes key with
+    | Some faults -> Candidates faults
+    | None -> Unknown_defect
+
+let num_detected t = t.detected
+
+let num_classes t = Hashtbl.length t.classes
+
+let resolution t =
+  if Hashtbl.length t.classes = 0 then 1.0
+  else float_of_int t.detected /. float_of_int (Hashtbl.length t.classes)

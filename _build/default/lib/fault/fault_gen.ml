@@ -1,0 +1,75 @@
+module Circuit = Tvs_netlist.Circuit
+module Gate = Tvs_netlist.Gate
+
+let all c =
+  let acc = ref [] in
+  let add f = acc := f :: !acc in
+  for net = 0 to Circuit.num_nets c - 1 do
+    add (Fault.stem_fault net false);
+    add (Fault.stem_fault net true);
+    let fanout = Circuit.fanout c net in
+    if Array.length fanout >= 2 then
+      Array.iter
+        (fun (sink, pin) ->
+          add (Fault.branch_fault net ~sink ~pin false);
+          add (Fault.branch_fault net ~sink ~pin true))
+        fanout
+  done;
+  Array.of_list (List.rev !acc)
+
+(* Directed merging: each mergeable input-side fault points at the equivalent
+   gate-output fault; following parents reaches the class representative
+   nearest the observation points. *)
+let collapse c faults =
+  let parent : (Fault.t, Fault.t) Hashtbl.t = Hashtbl.create 256 in
+  let merge_into ~child ~root = Hashtbl.replace parent child root in
+  let pin_fault fanin ~sink ~pin v =
+    if Array.length (Circuit.fanout c fanin) >= 2 then
+      Some (Fault.branch_fault fanin ~sink ~pin v)
+    else if Circuit.is_output c fanin then None (* stays distinguishable at the PO *)
+    else Some (Fault.stem_fault fanin v)
+  in
+  for net = 0 to Circuit.num_nets c - 1 do
+    match Circuit.driver c net with
+    | Circuit.Gate_node (kind, ins) -> (
+        let inv = Gate.inversion kind in
+        match Gate.controlling_value kind with
+        | Some ctrl ->
+            let out_fault = Fault.stem_fault net (ctrl <> inv) in
+            Array.iteri
+              (fun pin fanin ->
+                match pin_fault fanin ~sink:net ~pin ctrl with
+                | Some f -> merge_into ~child:f ~root:out_fault
+                | None -> ())
+              ins
+        | None ->
+            if Array.length ins = 1 then
+              (* NOT / BUFF: both polarities collapse through. *)
+              List.iter
+                (fun v ->
+                  match pin_fault ins.(0) ~sink:net ~pin:0 v with
+                  | Some f -> merge_into ~child:f ~root:(Fault.stem_fault net (v <> inv))
+                  | None -> ())
+                [ false; true ])
+    | Circuit.Primary_input | Circuit.Flip_flop _ | Circuit.Const _ -> ()
+  done;
+  let rec find f =
+    match Hashtbl.find_opt parent f with None -> f | Some p -> find p
+  in
+  let seen = Hashtbl.create 256 in
+  let keep = ref [] in
+  Array.iter
+    (fun f ->
+      let root = find f in
+      if not (Hashtbl.mem seen root) then begin
+        Hashtbl.add seen root ();
+        keep := root :: !keep
+      end)
+    faults;
+  Array.of_list (List.rev !keep)
+
+let collapsed c = collapse c (all c)
+
+let collapse_ratio c =
+  let total = Array.length (all c) in
+  if total = 0 then 1.0 else float_of_int (Array.length (collapsed c)) /. float_of_int total

@@ -1,0 +1,22 @@
+(** Fault list construction and structural equivalence collapsing. *)
+
+val all : Tvs_netlist.Circuit.t -> Fault.t array
+(** The full single-stuck-at list: both polarities on every stem, plus both
+    polarities on every fanout branch of stems with two or more consumers.
+    Deterministic order (net id, then consumer order, then polarity). *)
+
+val collapse : Tvs_netlist.Circuit.t -> Fault.t array -> Fault.t array
+(** Structural equivalence collapsing, keeping one representative per class:
+    - input stuck-at-controlling ≡ output stuck-at-(controlling xor
+      inversion) for AND/NAND/OR/NOR;
+    - both input faults of NOT/BUFF ≡ the corresponding output faults.
+    A stem is never merged through a gate when the stem is a primary output
+    (it would remain distinguishable there) or has other fanout. The
+    representative chosen is the class member closest to the outputs (the
+    gate-output fault). *)
+
+val collapsed : Tvs_netlist.Circuit.t -> Fault.t array
+(** [collapse c (all c)]. *)
+
+val collapse_ratio : Tvs_netlist.Circuit.t -> float
+(** |collapsed| / |all|; the classic sanity metric for the collapser. *)

@@ -1,0 +1,103 @@
+module Parallel = Tvs_sim.Parallel
+module Lanes = Tvs_sim.Lanes
+
+type outcome = Same | Po_detected | Capture_differs of bool array
+
+type frame = { po : bool array; capture : bool array }
+
+type batch_result = { good : frame; outcomes : outcome array }
+
+let chunk_size = Lanes.width - 1 (* lane 0 is the fault-free machine *)
+
+(* Per-lane difference masks against lane 0 for one array of result words. *)
+let diff_mask words used_mask =
+  let acc = ref 0 in
+  Array.iter
+    (fun w ->
+      let ref0 = - (w land 1) land Lanes.all_mask in
+      acc := !acc lor ((w lxor ref0) land used_mask))
+    words;
+  !acc
+
+let lane0_frame (r : Parallel.result) =
+  {
+    po = Array.map (fun w -> Lanes.get w 0) r.po;
+    capture = Array.map (fun w -> Lanes.get w 0) r.capture;
+  }
+
+let outcomes_of_run (r : Parallel.result) ~nfaults =
+  let used = Lanes.mask (nfaults + 1) in
+  let po_diff = diff_mask r.po used in
+  let cap_diff = diff_mask r.capture used in
+  Array.init nfaults (fun i ->
+      let lane = i + 1 in
+      if Lanes.get po_diff lane then Po_detected
+      else if Lanes.get cap_diff lane then
+        Capture_differs (Array.map (fun w -> Lanes.get w lane) r.capture)
+      else Same)
+
+let run_chunk ctx ~pi_words ~state_words faults =
+  let injections =
+    List.mapi (fun i f -> Fault.to_injection f ~lane:(i + 1)) (Array.to_list faults)
+  in
+  let r = Parallel.run ctx ~pi:pi_words ~state:state_words ~injections in
+  (lane0_frame r, outcomes_of_run r ~nfaults:(Array.length faults))
+
+let broadcast_words arr = Array.map (fun b -> if b then Lanes.all_mask else 0) arr
+
+let run_batch ctx ~pi ~state ~faults =
+  let pi_words = broadcast_words pi in
+  let state_words = broadcast_words state in
+  let n = Array.length faults in
+  let outcomes = Array.make n Same in
+  let good = ref None in
+  let pos = ref 0 in
+  while !pos < n || !good = None do
+    let len = min chunk_size (n - !pos) in
+    let chunk = Array.sub faults !pos len in
+    let g, out = run_chunk ctx ~pi_words ~state_words chunk in
+    if !good = None then good := Some g;
+    Array.blit out 0 outcomes !pos len;
+    pos := !pos + max len 1
+  done;
+  match !good with
+  | Some good -> { good; outcomes }
+  | None -> assert false
+
+let run_per_state ctx ~pi ~good_state ~faults ~states =
+  let n = Array.length faults in
+  if Array.length states <> n then invalid_arg "Fault_sim.run_per_state: states length mismatch";
+  let nflops = Array.length good_state in
+  let pi_words = broadcast_words pi in
+  let outcomes = Array.make n Same in
+  let good = ref None in
+  let pos = ref 0 in
+  while !pos < n || !good = None do
+    let len = min chunk_size (n - !pos) in
+    (* Pack lane 0 from the fault-free state and lanes 1..len from each
+       fault's private state. *)
+    let state_words =
+      Array.init nflops (fun j ->
+          let w = ref (if good_state.(j) then 1 else 0) in
+          for i = 0 to len - 1 do
+            if states.(!pos + i).(j) then w := !w lor (1 lsl (i + 1))
+          done;
+          !w)
+    in
+    let chunk = Array.sub faults !pos len in
+    let g, out = run_chunk ctx ~pi_words ~state_words chunk in
+    if !good = None then good := Some g;
+    Array.blit out 0 outcomes !pos len;
+    pos := !pos + max len 1
+  done;
+  match !good with
+  | Some good -> { good; outcomes }
+  | None -> assert false
+
+let detects ctx ~pi ~state fault =
+  let r = run_batch ctx ~pi ~state ~faults:[| fault |] in
+  match r.outcomes.(0) with Same -> false | Po_detected | Capture_differs _ -> true
+
+let detected_faults ctx ~pi ~state faults =
+  let r = run_batch ctx ~pi ~state ~faults in
+  Array.map (function Same -> false | Po_detected | Capture_differs _ -> true) r.outcomes

@@ -1,0 +1,43 @@
+(** Batch fault simulation on top of the word-parallel engine.
+
+    One engine run simulates the fault-free machine in lane 0 and up to 62
+    faulty machines in the remaining lanes; arbitrary fault batches are
+    chunked internally. Two entry points cover the stitching engine's needs:
+
+    - {!run_batch}: all machines receive the same stimulus (screening the
+      uncaught set against a candidate vector);
+    - {!run_per_state}: each faulty machine applies its own scan state (the
+      hidden-fault case, where a fault's retained response bits mutate the
+      vector it actually receives). *)
+
+type outcome =
+  | Same  (** response identical to the fault-free machine *)
+  | Po_detected  (** differs at a primary output: immediately observed *)
+  | Capture_differs of bool array
+      (** primary outputs identical; faulty captured scan state attached
+          (length = number of flip-flops) *)
+
+type frame = { po : bool array; capture : bool array }
+
+type batch_result = { good : frame; outcomes : outcome array }
+
+val run_batch :
+  Tvs_sim.Parallel.t -> pi:bool array -> state:bool array -> faults:Fault.t array -> batch_result
+
+val run_per_state :
+  Tvs_sim.Parallel.t ->
+  pi:bool array ->
+  good_state:bool array ->
+  faults:Fault.t array ->
+  states:bool array array ->
+  batch_result
+(** [states.(i)] is the scan state fault [i]'s machine applies;
+    [Array.length states] must equal [Array.length faults]. *)
+
+val detects : Tvs_sim.Parallel.t -> pi:bool array -> state:bool array -> Fault.t -> bool
+(** Full-observability detection (all POs and the whole captured state), the
+    criterion of a traditional full-shift scan test. *)
+
+val detected_faults :
+  Tvs_sim.Parallel.t -> pi:bool array -> state:bool array -> Fault.t array -> bool array
+(** Full-observability detection flags for a whole fault list. *)

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Buffer Hashtbl List Option Prep Printf String Sys Tvs_atpg Tvs_circuits Tvs_core Tvs_fault Tvs_logic Tvs_netlist Tvs_scan Tvs_sim Tvs_util

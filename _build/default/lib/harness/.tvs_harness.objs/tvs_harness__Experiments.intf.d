@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Prep Tvs_core Tvs_scan

@@ -1,0 +1,1 @@
+lib/harness/prep.ml: Hashtbl Tvs_atpg Tvs_circuits Tvs_core Tvs_fault Tvs_netlist Tvs_util

@@ -1,0 +1,1 @@
+lib/harness/prep.mli: Tvs_atpg Tvs_core Tvs_fault Tvs_netlist Tvs_util

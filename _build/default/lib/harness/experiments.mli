@@ -1,0 +1,83 @@
+(** Regeneration of every table and figure of the paper's evaluation.
+
+    Each [tableN] function runs the corresponding experiment and renders an
+    ASCII table with the paper's columns (plus an average row). The [scale]
+    argument shrinks profile circuits (see DESIGN.md §5, "Scaling note");
+    every value printed is measured against this repository's own baseline on
+    the same circuit, exactly as the paper computes its ratios against its
+    own ATALANTA baseline. *)
+
+type run_summary = {
+  atv : int;
+  tv : int;
+  ex : int;
+  m : float;
+  t : float;
+  coverage : float;
+  peak_hidden : int;
+}
+
+val run_flow :
+  ?scheme:Tvs_scan.Xor_scheme.t ->
+  ?shift:Tvs_core.Policy.shift_policy ->
+  ?selection:Tvs_core.Policy.selection ->
+  label:string ->
+  Prep.t ->
+  run_summary
+(** One stitched run on a prepared circuit, defaults: NXOR, variable shift,
+    most-faults selection. Exposed for the examples and the CLI. *)
+
+val table1 : unit -> string
+(** The Section 3 worked example: the fault behaviour table regenerated from
+    the Figure 1 circuit (including the fault-set evolution summary). *)
+
+val table2 : ?scale:float -> ?circuits:string list -> unit -> string
+(** Size and type of shifting: fixed shifts at info ratios 3/8, 5/8, 7/8
+    ('/' where unattainable) and the variable-shift scheme. *)
+
+val table3 : ?scale:float -> ?circuits:string list -> unit -> string
+(** Hidden-fault observability: NXOR vs VXOR vs HXOR (3 taps). *)
+
+val table4 : ?scale:float -> ?circuits:string list -> unit -> string
+(** Vector selection: random vs hardness vs most-faults. *)
+
+val table5 : ?scale:float -> ?circuits:string list -> unit -> string
+(** Large circuits under the best scheme (variable shift + most-faults +
+    NXOR), with I/O and scan-length columns. *)
+
+val ablations : ?scale:float -> ?circuit:string -> unit -> string
+(** The DESIGN.md §6 design-choice ablations: parallel vs serial fault
+    simulation, SCOAP-guided vs naive backtrace, fault dropping on/off,
+    collapsing on/off. *)
+
+val misr_study : ?scale:float -> ?circuit:string -> unit -> string
+(** Quantifies the paper's "no MISR, no aliasing" motivation: compacts every
+    fault's response stream into MISRs of several widths and reports the
+    aliasing escapes and the diagnostic-resolution loss relative to the
+    stitched flow's exact per-cycle observation. *)
+
+val comparison_study : ?scale:float -> ?circuits:string list -> unit -> string
+(** The Section 2 qualitative argument, measured: static vector reordering
+    (Su & Hwang-style, separate-chain assumption) versus the paper's stitched
+    generation, on memory and time ratios. *)
+
+val random_testability : ?patterns:int -> ?circuits:string list -> unit -> string
+(** LFSR random-pattern fault coverage after 32 / 128 / [patterns] patterns
+    per circuit — the classic easy-vs-hard separation that explains the
+    paper's s35932 outlier (Table 5). Giants run at their default Table 5
+    scale. *)
+
+val diagnosis_study : ?scale:float -> ?circuit:string -> unit -> string
+(** Dictionary-based diagnosis with the baseline test set: detected faults,
+    distinguishable classes and average resolution — the concrete form of
+    the paper's "no loss of information for fault diagnosis". *)
+
+val default_table2_circuits : string list
+val default_table5_circuits : string list
+
+val table5_default_scale : string -> float
+(** Per-circuit default scale used by the benches: 1.0 up to s5378, 0.5 for
+    s9234, 0.25 for the four giants. *)
+
+val table24_default_scale : string -> float
+(** Default scale for the Table 2-4 circuits (0.5 for s9234). *)

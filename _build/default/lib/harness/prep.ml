@@ -1,0 +1,36 @@
+module Circuit = Tvs_netlist.Circuit
+module Fault_gen = Tvs_fault.Fault_gen
+module Podem = Tvs_atpg.Podem
+module Baseline = Tvs_core.Baseline
+module Rng = Tvs_util.Rng
+
+type t = {
+  circuit : Circuit.t;
+  all_faults : Tvs_fault.Fault.t array;
+  faults : Tvs_fault.Fault.t array;
+  ctx : Podem.ctx;
+  baseline : Baseline.t;
+  testable : Tvs_fault.Fault.t array;
+}
+
+let of_circuit circuit =
+  let all_faults = Fault_gen.all circuit in
+  let faults = Fault_gen.collapse circuit all_faults in
+  let ctx = Podem.create circuit in
+  let rng = Rng.of_string (Circuit.name circuit ^ ":baseline") in
+  let baseline = Baseline.run ~rng ctx ~faults in
+  let testable = Baseline.testable_faults baseline faults in
+  { circuit; all_faults; faults; ctx; baseline; testable }
+
+let cache : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let get ?(scale = 1.0) name =
+  let profile = Tvs_circuits.Profiles.scale (Tvs_circuits.Profiles.find name) scale in
+  match Hashtbl.find_opt cache profile.Tvs_circuits.Profiles.name with
+  | Some prep -> prep
+  | None ->
+      let prep = of_circuit (Tvs_circuits.Synth.generate profile) in
+      Hashtbl.add cache profile.Tvs_circuits.Profiles.name prep;
+      prep
+
+let engine_seed prep label = Rng.of_string (Circuit.name prep.circuit ^ ":" ^ label)

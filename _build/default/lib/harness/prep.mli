@@ -1,0 +1,24 @@
+(** Per-circuit preparation shared by every experiment: synthesis (or the
+    embedded netlist), fault-list construction and collapsing, PODEM context,
+    and the traditional-flow baseline. Memoized per circuit name so the
+    tables reuse one another's work within a process. *)
+
+type t = {
+  circuit : Tvs_netlist.Circuit.t;
+  all_faults : Tvs_fault.Fault.t array;  (** uncollapsed, for ablation *)
+  faults : Tvs_fault.Fault.t array;  (** collapsed list fed to the flows *)
+  ctx : Tvs_atpg.Podem.ctx;
+  baseline : Tvs_core.Baseline.t;
+  testable : Tvs_fault.Fault.t array;  (** faults the stitched flow must cover *)
+}
+
+val of_circuit : Tvs_netlist.Circuit.t -> t
+(** Uncached preparation of an arbitrary circuit. *)
+
+val get : ?scale:float -> string -> t
+(** Memoized preparation of a profile benchmark by name ("s444", ...);
+    [scale] shrinks the profile first (see {!Tvs_circuits.Profiles.scale}).
+    The baseline RNG stream is derived from the (scaled) circuit name. *)
+
+val engine_seed : t -> string -> Tvs_util.Rng.t
+(** Fresh deterministic stream for an experiment label on this circuit. *)

@@ -1,0 +1,1 @@
+lib/logic/bitvec.ml: Array String

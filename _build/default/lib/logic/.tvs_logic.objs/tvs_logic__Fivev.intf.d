@@ -1,0 +1,1 @@
+lib/logic/fivev.mli: Format Ternary

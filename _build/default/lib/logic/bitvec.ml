@@ -1,0 +1,86 @@
+let bits_per_word = 63
+
+type t = { len : int; words : int array }
+
+let length t = t.len
+
+let nwords len = (len + bits_per_word - 1) / bits_per_word
+
+let create len =
+  assert (len >= 0);
+  { len; words = Array.make (max 1 (nwords len)) 0 }
+
+let copy t = { len = t.len; words = Array.copy t.words }
+
+let check t i = if i < 0 || i >= t.len then invalid_arg "Bitvec: index out of bounds"
+
+let get t i =
+  check t i;
+  t.words.(i / bits_per_word) lsr (i mod bits_per_word) land 1 = 1
+
+let set t i b =
+  check t i;
+  let w = i / bits_per_word and off = i mod bits_per_word in
+  if b then t.words.(w) <- t.words.(w) lor (1 lsl off)
+  else t.words.(w) <- t.words.(w) land lnot (1 lsl off)
+
+let equal a b = a.len = b.len && a.words = b.words
+
+let of_bool_array arr =
+  let t = create (Array.length arr) in
+  Array.iteri (fun i b -> if b then set t i true) arr;
+  t
+
+let to_bool_array t = Array.init t.len (get t)
+
+let of_string s =
+  let t = create (String.length s) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '0' -> ()
+      | '1' -> set t i true
+      | _ -> invalid_arg "Bitvec.of_string: expected '0' or '1'")
+    s;
+  t
+
+let to_string t = String.init t.len (fun i -> if get t i then '1' else '0')
+
+let popcount_word w =
+  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+  go 0 w
+
+let popcount t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+
+let xor a b =
+  if a.len <> b.len then invalid_arg "Bitvec.xor: length mismatch";
+  { len = a.len; words = Array.init (Array.length a.words) (fun i -> a.words.(i) lxor b.words.(i)) }
+
+let first_diff a b =
+  if a.len <> b.len then invalid_arg "Bitvec.first_diff: length mismatch";
+  let rec scan_words w =
+    if w >= Array.length a.words then None
+    else
+      let d = a.words.(w) lxor b.words.(w) in
+      if d = 0 then scan_words (w + 1)
+      else
+        let rec lowest i = if d lsr i land 1 = 1 then i else lowest (i + 1) in
+        Some ((w * bits_per_word) + lowest 0)
+  in
+  scan_words 0
+
+let iteri_set f t =
+  for i = 0 to t.len - 1 do
+    if get t i then f i
+  done
+
+let fill t b =
+  let full = if b then (1 lsl bits_per_word) - 1 else 0 in
+  Array.fill t.words 0 (Array.length t.words) full;
+  if b then begin
+    (* Clear the unused bits of the last word so [equal]/[popcount] stay exact. *)
+    let used = t.len mod bits_per_word in
+    if used > 0 && t.len > 0 then
+      t.words.(Array.length t.words - 1) <- (1 lsl used) - 1;
+    if t.len = 0 then t.words.(0) <- 0
+  end

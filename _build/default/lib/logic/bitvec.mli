@@ -1,0 +1,42 @@
+(** Packed fixed-length bit vectors.
+
+    Used for response signatures, scan-chain snapshots and lane masks in the
+    parallel fault simulator. Bits are stored 63 per [int] word (the native
+    unboxed integer), index 0 is the least significant bit of word 0. *)
+
+type t
+
+val length : t -> int
+
+val create : int -> t
+(** All-zero vector of the given length. *)
+
+val copy : t -> t
+
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+
+val equal : t -> t -> bool
+
+val of_bool_array : bool array -> t
+val to_bool_array : t -> bool array
+
+val of_string : string -> t
+(** From a string of '0'/'1' characters, index 0 = leftmost character. *)
+
+val to_string : t -> string
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val xor : t -> t -> t
+(** Bitwise XOR; lengths must match. *)
+
+val first_diff : t -> t -> int option
+(** Index of the lowest bit where the two vectors differ, if any. *)
+
+val iteri_set : (int -> unit) -> t -> unit
+(** Apply to the index of every set bit, in increasing order. *)
+
+val fill : t -> bool -> unit
+(** Set every bit to the given value. *)

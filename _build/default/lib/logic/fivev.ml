@@ -1,0 +1,48 @@
+type t = Zero | One | D | Dbar | X
+
+let equal a b =
+  match (a, b) with
+  | Zero, Zero | One, One | D, D | Dbar, Dbar | X, X -> true
+  | (Zero | One | D | Dbar | X), _ -> false
+
+let of_pair good faulty =
+  match (good, faulty) with
+  | Ternary.X, _ | _, Ternary.X -> X
+  | Ternary.Zero, Ternary.Zero -> Zero
+  | Ternary.One, Ternary.One -> One
+  | Ternary.One, Ternary.Zero -> D
+  | Ternary.Zero, Ternary.One -> Dbar
+
+let good = function
+  | Zero -> Ternary.Zero
+  | One -> Ternary.One
+  | D -> Ternary.One
+  | Dbar -> Ternary.Zero
+  | X -> Ternary.X
+
+let faulty = function
+  | Zero -> Ternary.Zero
+  | One -> Ternary.One
+  | D -> Ternary.Zero
+  | Dbar -> Ternary.One
+  | X -> Ternary.X
+
+let is_error = function D | Dbar -> true | Zero | One | X -> false
+
+(* All connectives are computed componentwise on the (good, faulty) pair;
+   this automatically yields the textbook five-valued tables. *)
+let lift2 op a b = of_pair (op (good a) (good b)) (op (faulty a) (faulty b))
+
+let f_not a = of_pair (Ternary.t_not (good a)) (Ternary.t_not (faulty a))
+let f_and = lift2 Ternary.t_and
+let f_or = lift2 Ternary.t_or
+let f_xor = lift2 Ternary.t_xor
+
+let to_string = function
+  | Zero -> "0"
+  | One -> "1"
+  | D -> "D"
+  | Dbar -> "D'"
+  | X -> "X"
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

@@ -1,0 +1,34 @@
+(** Five-valued D-calculus used by PODEM.
+
+    Each value encodes a (fault-free, faulty) pair of ternary values:
+    - [Zero]  = (0, 0)
+    - [One]   = (1, 1)
+    - [D]     = (1, 0)   — the classic "D": good machine 1, faulty machine 0
+    - [Dbar]  = (0, 1)
+    - [X]     = unassigned in at least one machine
+
+    A fault is detected when a [D] or [Dbar] reaches an observation point. *)
+
+type t = Zero | One | D | Dbar | X
+
+val equal : t -> t -> bool
+
+val of_pair : Ternary.t -> Ternary.t -> t
+(** [of_pair good faulty]; any [X] component yields [X]. *)
+
+val good : t -> Ternary.t
+(** Projection onto the fault-free machine. *)
+
+val faulty : t -> Ternary.t
+(** Projection onto the faulty machine. *)
+
+val is_error : t -> bool
+(** [true] for [D] and [Dbar]. *)
+
+val f_not : t -> t
+val f_and : t -> t -> t
+val f_or : t -> t -> t
+val f_xor : t -> t -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

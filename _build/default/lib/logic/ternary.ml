@@ -1,0 +1,55 @@
+type t = Zero | One | X
+
+let equal a b =
+  match (a, b) with
+  | Zero, Zero | One, One | X, X -> true
+  | (Zero | One | X), _ -> false
+
+let of_bool b = if b then One else Zero
+
+let to_bool_exn = function
+  | Zero -> false
+  | One -> true
+  | X -> invalid_arg "Ternary.to_bool_exn: X"
+
+let is_specified = function Zero | One -> true | X -> false
+
+let compatible a b =
+  match (a, b) with Zero, One | One, Zero -> false | (Zero | One | X), _ -> true
+
+let merge a b =
+  match (a, b) with
+  | X, v | v, X -> Some v
+  | Zero, Zero -> Some Zero
+  | One, One -> Some One
+  | Zero, One | One, Zero -> None
+
+let t_not = function Zero -> One | One -> Zero | X -> X
+
+let t_and a b =
+  match (a, b) with
+  | Zero, _ | _, Zero -> Zero
+  | One, One -> One
+  | (One | X), (One | X) -> X
+
+let t_or a b =
+  match (a, b) with
+  | One, _ | _, One -> One
+  | Zero, Zero -> Zero
+  | (Zero | X), (Zero | X) -> X
+
+let t_xor a b =
+  match (a, b) with
+  | X, _ | _, X -> X
+  | Zero, Zero | One, One -> Zero
+  | Zero, One | One, Zero -> One
+
+let of_char = function
+  | '0' -> Zero
+  | '1' -> One
+  | 'x' | 'X' -> X
+  | c -> invalid_arg (Printf.sprintf "Ternary.of_char: %C" c)
+
+let to_char = function Zero -> '0' | One -> '1' | X -> 'X'
+
+let pp fmt v = Format.pp_print_char fmt (to_char v)

@@ -1,0 +1,38 @@
+(** Three-valued logic: 0, 1 and X (unspecified / don't-care).
+
+    Test cubes produced by ATPG leave unconstrained inputs at [X]; the
+    stitching algorithm exploits exactly those bits. Gate evaluation follows
+    the standard Kleene tables: a gate output is [X] only when the specified
+    inputs do not already force a controlled value. *)
+
+type t = Zero | One | X
+
+val equal : t -> t -> bool
+
+val of_bool : bool -> t
+
+val to_bool_exn : t -> bool
+(** Raises [Invalid_argument] on [X]. *)
+
+val is_specified : t -> bool
+(** [true] for [Zero] and [One]. *)
+
+val compatible : t -> t -> bool
+(** Two values are compatible when neither constrains the other to a
+    conflicting binary value: [X] is compatible with everything. *)
+
+val merge : t -> t -> t option
+(** Intersection of two cube values: [merge Zero One = None];
+    [merge X v = Some v]. *)
+
+val t_not : t -> t
+val t_and : t -> t -> t
+val t_or : t -> t -> t
+val t_xor : t -> t -> t
+
+val of_char : char -> t
+(** '0', '1', 'x' or 'X'. Raises [Invalid_argument] otherwise. *)
+
+val to_char : t -> char
+
+val pp : Format.formatter -> t -> unit

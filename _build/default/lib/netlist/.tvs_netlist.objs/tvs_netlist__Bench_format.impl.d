@@ -1,0 +1,1 @@
+lib/netlist/bench_format.ml: Array Buffer Circuit Filename Gate Hashtbl List Printf String

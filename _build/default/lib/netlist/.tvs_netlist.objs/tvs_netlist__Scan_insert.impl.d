@@ -1,0 +1,1 @@
+lib/netlist/scan_insert.ml: Array Circuit Gate

@@ -1,0 +1,182 @@
+exception Parse_error of int * string
+
+type statement =
+  | St_input of string
+  | St_output of string
+  | St_dff of string * string
+  | St_gate of string * Gate.kind * string list
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let is_ident_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '[' | ']' | '-' | '$' -> true
+  | _ -> false
+
+let split_args s =
+  String.split_on_char ',' s |> List.map String.trim |> List.filter (fun a -> a <> "")
+
+(* Parses "HEAD(arg1, arg2, ...)" returning (head, args). *)
+let parse_call lineno s =
+  match String.index_opt s '(' with
+  | None -> fail lineno (Printf.sprintf "expected a call, got %S" s)
+  | Some lp ->
+      let head = String.trim (String.sub s 0 lp) in
+      let len = String.length s in
+      if len = 0 || s.[len - 1] <> ')' then fail lineno "missing closing parenthesis";
+      let args = String.sub s (lp + 1) (len - lp - 2) in
+      (head, split_args args)
+
+let check_ident lineno nm =
+  if nm = "" then fail lineno "empty net name";
+  String.iter
+    (fun c -> if not (is_ident_char c) then fail lineno (Printf.sprintf "bad character %C in name %S" c nm))
+    nm
+
+let parse_statement lineno line =
+  let line = String.trim (strip_comment line) in
+  if line = "" then None
+  else
+    match String.index_opt line '=' with
+    | None -> (
+        let head, args = parse_call lineno line in
+        match (String.uppercase_ascii head, args) with
+        | "INPUT", [ nm ] ->
+            check_ident lineno nm;
+            Some (St_input nm)
+        | "OUTPUT", [ nm ] ->
+            check_ident lineno nm;
+            Some (St_output nm)
+        | ("INPUT" | "OUTPUT"), _ -> fail lineno "INPUT/OUTPUT take exactly one name"
+        | _ -> fail lineno (Printf.sprintf "unknown statement %S" head))
+    | Some eq ->
+        let target = String.trim (String.sub line 0 eq) in
+        check_ident lineno target;
+        let rhs = String.trim (String.sub line (eq + 1) (String.length line - eq - 1)) in
+        let head, args = parse_call lineno rhs in
+        if String.uppercase_ascii head = "DFF" then
+          match args with
+          | [ d ] ->
+              check_ident lineno d;
+              Some (St_dff (target, d))
+          | _ -> fail lineno "DFF takes exactly one data net"
+        else
+          match Gate.of_string head with
+          | None -> fail lineno (Printf.sprintf "unknown gate kind %S" head)
+          | Some kind ->
+              if not (Gate.arity_ok kind (List.length args)) then
+                fail lineno
+                  (Printf.sprintf "gate %s: invalid arity %d" (Gate.to_string kind)
+                     (List.length args));
+              List.iter (check_ident lineno) args;
+              Some (St_gate (target, kind, args))
+
+let parse_string ~name text =
+  let statements = ref [] in
+  String.split_on_char '\n' text
+  |> List.iteri (fun i line ->
+         match parse_statement (i + 1) line with
+         | Some st -> statements := st :: !statements
+         | None -> ());
+  let statements = List.rev !statements in
+  let b = Circuit.Builder.create name in
+  (* Pass 1: declare inputs and flip-flops (forward), recording definitions. *)
+  let defined = Hashtbl.create 64 in
+  let declare nm net = Hashtbl.replace defined nm net in
+  List.iter
+    (function
+      | St_input nm ->
+          if Hashtbl.mem defined nm then raise (Circuit.Build_error ("duplicate definition of " ^ nm));
+          declare nm (Circuit.Builder.input b nm)
+      | St_dff (q, _) ->
+          if Hashtbl.mem defined q then raise (Circuit.Build_error ("duplicate definition of " ^ q));
+          declare q (Circuit.Builder.flop_forward b q)
+      | St_output _ | St_gate _ -> ())
+    statements;
+  (* Pass 2: create gates in dependency order (gates may reference later
+     gates only through flip-flops in well-formed .bench files, but some
+     files do order gates arbitrarily, so iterate until fixpoint). *)
+  let gates_left =
+    ref
+      (List.filter_map (function St_gate (nm, k, ins) -> Some (nm, k, ins) | St_input _ | St_output _ | St_dff _ -> None) statements)
+  in
+  let progress = ref true in
+  while !gates_left <> [] && !progress do
+    progress := false;
+    let deferred = ref [] in
+    List.iter
+      (fun (nm, kind, ins) ->
+        if List.for_all (Hashtbl.mem defined) ins then begin
+          if Hashtbl.mem defined nm then raise (Circuit.Build_error ("duplicate definition of " ^ nm));
+          let fanins = List.map (Hashtbl.find defined) ins in
+          declare nm (Circuit.Builder.gate b ~name:nm kind fanins);
+          progress := true
+        end
+        else deferred := (nm, kind, ins) :: !deferred)
+      !gates_left;
+    gates_left := List.rev !deferred
+  done;
+  (match !gates_left with
+  | [] -> ()
+  | (nm, _, ins) :: _ ->
+      let missing = List.filter (fun i -> not (Hashtbl.mem defined i)) ins in
+      raise
+        (Circuit.Build_error
+           (Printf.sprintf "gate %s references undefined net(s): %s" nm (String.concat ", " missing))));
+  (* Pass 3: resolve flip-flop data nets and outputs. *)
+  List.iter
+    (function
+      | St_dff (q, d) -> (
+          match Hashtbl.find_opt defined d with
+          | Some dnet -> Circuit.Builder.connect_flop b (Hashtbl.find defined q) dnet
+          | None -> raise (Circuit.Build_error (Printf.sprintf "flop %s references undefined net %s" q d)))
+      | St_output nm -> (
+          match Hashtbl.find_opt defined nm with
+          | Some net -> Circuit.Builder.mark_output b net
+          | None -> raise (Circuit.Build_error ("OUTPUT references undefined net " ^ nm)))
+      | St_input _ | St_gate _ -> ())
+    statements;
+  Circuit.Builder.finish b
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let base = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name:base text
+
+let to_string c =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" (Circuit.name c));
+  Array.iter (fun n -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (Circuit.net_name c n))) (Circuit.inputs c);
+  Array.iter (fun n -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (Circuit.net_name c n))) (Circuit.outputs c);
+  Buffer.add_char buf '\n';
+  for net = 0 to Circuit.num_nets c - 1 do
+    match Circuit.driver c net with
+    | Circuit.Primary_input -> ()
+    | Circuit.Flip_flop d ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s = DFF(%s)\n" (Circuit.net_name c net) (Circuit.net_name c d))
+    | Circuit.Gate_node (kind, ins) ->
+        let args = Array.to_list ins |> List.map (Circuit.net_name c) |> String.concat ", " in
+        Buffer.add_string buf
+          (Printf.sprintf "%s = %s(%s)\n" (Circuit.net_name c net) (Gate.to_string kind) args)
+    | Circuit.Const v ->
+        (* .bench has no constant statement; encode as a degenerate gate pair
+           driven from itself via XOR/XNOR is unsound, so emit a comment and
+           rely on validation rejecting round-trips of constant circuits. *)
+        Buffer.add_string buf
+          (Printf.sprintf "# CONST %s = %b (not representable in .bench)\n" (Circuit.net_name c net) v)
+  done;
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc

@@ -1,0 +1,28 @@
+(** Reader and writer for the ISCAS89 `.bench` netlist format.
+
+    Grammar (one statement per line, '#' starts a comment):
+    {v
+      INPUT(name)
+      OUTPUT(name)
+      name = DFF(data)
+      name = GATE(a, b, ...)      # GATE in AND OR NAND NOR XOR XNOR NOT BUFF
+    v}
+
+    Flip-flops become scan cells in file order. Forward references are
+    allowed, as in the standard benchmark files. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse_string : name:string -> string -> Circuit.t
+(** Raises [Parse_error] on malformed input and [Circuit.Build_error] on
+    structural violations (duplicate definitions, undefined nets). *)
+
+val parse_file : string -> Circuit.t
+(** Circuit name is the file's basename without extension. *)
+
+val to_string : Circuit.t -> string
+(** Render back to `.bench`. Parsing the result yields a circuit with the
+    same structure (net order may canonicalise). *)
+
+val write_file : string -> Circuit.t -> unit

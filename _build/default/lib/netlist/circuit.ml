@@ -1,0 +1,257 @@
+type net = int
+
+type driver =
+  | Primary_input
+  | Flip_flop of net
+  | Gate_node of Gate.kind * net array
+  | Const of bool
+
+exception Build_error of string
+
+type t = {
+  name : string;
+  drivers : driver array;
+  net_names : string array;
+  inputs : net array;
+  outputs : net array;
+  flops : net array;
+  by_name : (string, net) Hashtbl.t;
+  fanouts : (net * int) array array;
+  output_set : bool array;
+  mutable topo : net array option;
+  mutable levels : int array option;
+}
+
+let name t = t.name
+let num_nets t = Array.length t.drivers
+let driver t n = t.drivers.(n)
+let net_name t n = t.net_names.(n)
+let find_net t s = Hashtbl.find t.by_name s
+let find_net_opt t s = Hashtbl.find_opt t.by_name s
+let inputs t = t.inputs
+let outputs t = t.outputs
+let flops t = t.flops
+let num_inputs t = Array.length t.inputs
+let num_outputs t = Array.length t.outputs
+let num_flops t = Array.length t.flops
+let fanout t n = t.fanouts.(n)
+let is_output t n = t.output_set.(n)
+
+let fanins_of = function
+  | Primary_input -> [||]
+  | Const _ -> [||]
+  | Flip_flop d -> [| d |]
+  | Gate_node (_, ins) -> ins
+
+let compute_fanouts drivers =
+  let n = Array.length drivers in
+  let counts = Array.make n 0 in
+  let note src = counts.(src) <- counts.(src) + 1 in
+  Array.iter (fun d -> Array.iter note (fanins_of d)) drivers;
+  let fanouts = Array.map (fun c -> Array.make c (-1, -1)) counts in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun sink d ->
+      Array.iteri
+        (fun pin src ->
+          fanouts.(src).(fill.(src)) <- (sink, pin);
+          fill.(src) <- fill.(src) + 1)
+        (fanins_of d))
+    drivers;
+  fanouts
+
+(* Kahn's algorithm over the combinational core: flip-flop Q nets and primary
+   inputs are sources; a flip-flop's D reference is a sink edge that does not
+   feed back combinationally. *)
+let compute_topo t =
+  let n = num_nets t in
+  let indeg = Array.make n 0 in
+  let comb_fanins net =
+    match t.drivers.(net) with
+    | Gate_node (_, ins) -> ins
+    | Primary_input | Flip_flop _ | Const _ -> [||]
+  in
+  for net = 0 to n - 1 do
+    indeg.(net) <- Array.length (comb_fanins net)
+  done;
+  let queue = Queue.create () in
+  for net = 0 to n - 1 do
+    if indeg.(net) = 0 then Queue.add net queue
+  done;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let net = Queue.pop queue in
+    incr seen;
+    (match t.drivers.(net) with
+    | Gate_node _ | Const _ -> order := net :: !order
+    | Primary_input | Flip_flop _ -> ());
+    Array.iter
+      (fun (sink, _pin) ->
+        match t.drivers.(sink) with
+        | Gate_node _ ->
+            indeg.(sink) <- indeg.(sink) - 1;
+            if indeg.(sink) = 0 then Queue.add sink queue
+        | Primary_input | Flip_flop _ | Const _ -> ())
+      t.fanouts.(net)
+  done;
+  if !seen <> n then failwith (Printf.sprintf "Circuit %s: combinational cycle detected" t.name);
+  Array.of_list (List.rev !order)
+
+let topo_order t =
+  match t.topo with
+  | Some order -> order
+  | None ->
+      let order = compute_topo t in
+      t.topo <- Some order;
+      order
+
+let compute_levels t =
+  let lv = Array.make (num_nets t) 0 in
+  Array.iter
+    (fun net ->
+      match t.drivers.(net) with
+      | Gate_node (_, ins) ->
+          let m = Array.fold_left (fun acc i -> max acc lv.(i)) (-1) ins in
+          lv.(net) <- m + 1
+      | Const _ | Primary_input | Flip_flop _ -> ())
+    (topo_order t);
+  lv
+
+let levels t =
+  match t.levels with
+  | Some lv -> lv
+  | None ->
+      let lv = compute_levels t in
+      t.levels <- Some lv;
+      lv
+
+let level t n = (levels t).(n)
+
+let depth t = Array.fold_left max 0 (levels t)
+
+module Builder = struct
+  type b = {
+    bname : string;
+    mutable rev_drivers : driver list;
+    mutable count : int;
+    names : (string, net) Hashtbl.t;
+    mutable rev_names : string list;
+    mutable rev_inputs : net list;
+    mutable rev_outputs : net list;
+    mutable rev_flops : net list;
+    pending : (net, unit) Hashtbl.t; (* forward flops awaiting a data net *)
+  }
+
+  let create bname =
+    {
+      bname;
+      rev_drivers = [];
+      count = 0;
+      names = Hashtbl.create 64;
+      rev_names = [];
+      rev_inputs = [];
+      rev_outputs = [];
+      rev_flops = [];
+      pending = Hashtbl.create 4;
+    }
+
+  let fresh b name_opt prefix d =
+    let id = b.count in
+    let nm = match name_opt with Some nm -> nm | None -> Printf.sprintf "%s%d" prefix id in
+    if Hashtbl.mem b.names nm then raise (Build_error (Printf.sprintf "duplicate net name %S" nm));
+    Hashtbl.add b.names nm id;
+    b.rev_names <- nm :: b.rev_names;
+    b.rev_drivers <- d :: b.rev_drivers;
+    b.count <- id + 1;
+    id
+
+  let check_net b n ctx =
+    if n < 0 || n >= b.count then raise (Build_error (Printf.sprintf "%s: unknown net %d" ctx n))
+
+  let input b nm =
+    let id = fresh b (Some nm) "" Primary_input in
+    b.rev_inputs <- id :: b.rev_inputs;
+    id
+
+  let const b ?name v = fresh b name "const" (Const v)
+
+  let gate b ?name kind ins =
+    List.iter (fun n -> check_net b n "gate fanin") ins;
+    let arr = Array.of_list ins in
+    if not (Gate.arity_ok kind (Array.length arr)) then
+      raise
+        (Build_error
+           (Printf.sprintf "gate %s: invalid arity %d" (Gate.to_string kind) (Array.length arr)));
+    fresh b name "n" (Gate_node (kind, arr))
+
+  let flop b ?name d =
+    check_net b d "flop data";
+    let id = fresh b name "ff" (Flip_flop d) in
+    b.rev_flops <- id :: b.rev_flops;
+    id
+
+  let flop_forward b nm =
+    let id = fresh b (Some nm) "" (Flip_flop (-1)) in
+    b.rev_flops <- id :: b.rev_flops;
+    Hashtbl.replace b.pending id ();
+    id
+
+  let connect_flop b q d =
+    check_net b d "flop data";
+    if not (Hashtbl.mem b.pending q) then
+      raise (Build_error (Printf.sprintf "connect_flop: net %d is not a pending flop" q));
+    Hashtbl.remove b.pending q;
+    (* Drivers are stored reversed: index from the tail. *)
+    let idx_from_end = b.count - 1 - q in
+    let rec replace i = function
+      | [] -> raise (Build_error "connect_flop: internal index error")
+      | _ :: rest when i = idx_from_end -> Flip_flop d :: rest
+      | d0 :: rest -> d0 :: replace (i + 1) rest
+    in
+    b.rev_drivers <- replace 0 b.rev_drivers
+
+  let mark_output b n =
+    check_net b n "output";
+    b.rev_outputs <- n :: b.rev_outputs
+
+  let finish b =
+    if Hashtbl.length b.pending > 0 then begin
+      let missing =
+        Hashtbl.fold (fun q () acc -> string_of_int q :: acc) b.pending []
+      in
+      raise (Build_error ("unconnected forward flops: " ^ String.concat ", " missing))
+    end;
+    let drivers = Array.of_list (List.rev b.rev_drivers) in
+    let net_names = Array.of_list (List.rev b.rev_names) in
+    let outputs = Array.of_list (List.rev b.rev_outputs) in
+    let output_set = Array.make (Array.length drivers) false in
+    Array.iter (fun n -> output_set.(n) <- true) outputs;
+    let t =
+      {
+        name = b.bname;
+        drivers;
+        net_names;
+        inputs = Array.of_list (List.rev b.rev_inputs);
+        outputs;
+        flops = Array.of_list (List.rev b.rev_flops);
+        by_name = b.names;
+        fanouts = compute_fanouts drivers;
+        output_set;
+        topo = None;
+        levels = None;
+      }
+    in
+    (* Force topo computation now so construction fails fast on cycles. *)
+    ignore (topo_order t);
+    t
+end
+
+let pp_summary fmt t =
+  let gates =
+    Array.fold_left
+      (fun acc d -> match d with Gate_node _ -> acc + 1 | Primary_input | Flip_flop _ | Const _ -> acc)
+      0 t.drivers
+  in
+  Format.fprintf fmt "%s: %d PI, %d PO, %d FF, %d gates, depth %d" t.name (num_inputs t)
+    (num_outputs t) (num_flops t) gates (depth t)

@@ -1,0 +1,70 @@
+type t = {
+  circuit : Circuit.t;
+  scan_en : Circuit.net;
+  scan_in : Circuit.net;
+  scan_out_index : int;
+}
+
+(* Rebuild the circuit net by net, rewriting every flop's data input to
+   MUX(scan_en, previous cell's Q, functional D). Net ids change; the map
+   from old to new ids is kept during construction. *)
+let insert c =
+  Array.iter
+    (fun reserved ->
+      if Circuit.find_net_opt c reserved <> None then
+        raise (Circuit.Build_error (reserved ^ " is a reserved scan pin name")))
+    [| "scan_en"; "scan_in"; "scan_out_tap" |];
+  if Circuit.num_flops c = 0 then raise (Circuit.Build_error "scan insertion needs flip-flops");
+  let b = Circuit.Builder.create (Circuit.name c ^ "_scan") in
+  let map = Array.make (Circuit.num_nets c) (-1) in
+  (* Sources first: original PIs, then the mode pins, then all flops
+     (forward-declared so functional logic can reference their Qs). *)
+  Array.iter (fun net -> map.(net) <- Circuit.Builder.input b (Circuit.net_name c net)) (Circuit.inputs c);
+  let scan_en = Circuit.Builder.input b "scan_en" in
+  let scan_in = Circuit.Builder.input b "scan_in" in
+  Array.iter
+    (fun net -> map.(net) <- Circuit.Builder.flop_forward b (Circuit.net_name c net))
+    (Circuit.flops c);
+  (* Combinational logic in topological order. *)
+  Array.iter
+    (fun net ->
+      match Circuit.driver c net with
+      | Circuit.Gate_node (kind, ins) ->
+          map.(net) <-
+            Circuit.Builder.gate b ~name:(Circuit.net_name c net) kind
+              (Array.to_list (Array.map (fun i -> map.(i)) ins))
+      | Circuit.Const v -> map.(net) <- Circuit.Builder.const b ~name:(Circuit.net_name c net) v
+      | Circuit.Primary_input | Circuit.Flip_flop _ -> ())
+    (Circuit.topo_order c);
+  (* Scan multiplexers: cell 0 shifts from scan_in, cell i from cell i-1. *)
+  let not_se = Circuit.Builder.gate b ~name:"scan_en_n" Gate.Not [ scan_en ] in
+  let flops = Circuit.flops c in
+  Array.iteri
+    (fun i fnet ->
+      match Circuit.driver c fnet with
+      | Circuit.Flip_flop d ->
+          let shift_src = if i = 0 then scan_in else map.(flops.(i - 1)) in
+          let cell = Circuit.net_name c fnet in
+          let shift_path =
+            Circuit.Builder.gate b ~name:(cell ^ "_sh") Gate.And [ scan_en; shift_src ]
+          in
+          let func_path =
+            Circuit.Builder.gate b ~name:(cell ^ "_fn") Gate.And [ not_se; map.(d) ]
+          in
+          let mux = Circuit.Builder.gate b ~name:(cell ^ "_mux") Gate.Or [ shift_path; func_path ] in
+          Circuit.Builder.connect_flop b map.(fnet) mux
+      | Circuit.Primary_input | Circuit.Gate_node _ | Circuit.Const _ ->
+          raise (Circuit.Build_error "flop list corrupt"))
+    flops;
+  Array.iter (fun net -> Circuit.Builder.mark_output b map.(net)) (Circuit.outputs c);
+  (* The scan-out pin observes the tail cell through a buffer so the tap has
+     its own net name. *)
+  let tail = map.(flops.(Array.length flops - 1)) in
+  let tap = Circuit.Builder.gate b ~name:"scan_out_tap" Gate.Buf [ tail ] in
+  Circuit.Builder.mark_output b tap;
+  {
+    circuit = Circuit.Builder.finish b;
+    scan_en;
+    scan_in;
+    scan_out_index = Circuit.num_outputs c;
+  }

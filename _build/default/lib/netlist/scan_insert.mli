@@ -1,0 +1,27 @@
+(** Gate-level scan insertion.
+
+    Turns a sequential circuit into its testable equivalent by giving every
+    flip-flop a scan multiplexer: in shift mode (scan-enable high) the chain
+    forms a shift register from a new [scan_in] primary input through the
+    flops in scan order to a new [scan_out] primary output; in capture mode
+    each flop loads its functional D input.
+
+    The result is what a DFT tool would hand to the tester. The rest of this
+    project works on the {e abstraction} (the combinational core plus
+    {!Tvs_scan.Chain} mechanics); this module exists so the abstraction can
+    be validated cycle-by-cycle against a real netlist — see
+    {!Tvs_scan.Protocol} and [test/test_protocol.ml]. *)
+
+type t = {
+  circuit : Circuit.t;
+  scan_en : Circuit.net;  (** new primary input *)
+  scan_in : Circuit.net;  (** new primary input *)
+  scan_out_index : int;  (** index of the new scan-out within [Circuit.outputs] *)
+}
+(** The inserted netlist. Original primary inputs keep their names and
+    order; the two mode pins are appended; flip-flops keep their scan
+    order. *)
+
+val insert : Circuit.t -> t
+(** Raises [Circuit.Build_error] if the circuit already uses the reserved
+    names [scan_en] / [scan_in] / [scan_out_tap], or has no flip-flops. *)

@@ -1,0 +1,55 @@
+type t = {
+  name : string;
+  num_inputs : int;
+  num_outputs : int;
+  num_flops : int;
+  num_gates : int;
+  num_nets : int;
+  depth : int;
+  gate_histogram : (Gate.kind * int) list;
+  max_fanin : int;
+  max_fanout : int;
+  num_stems_with_fanout : int;
+}
+
+let compute c =
+  let histogram = Hashtbl.create 8 in
+  let num_gates = ref 0 in
+  let max_fanin = ref 0 in
+  let max_fanout = ref 0 in
+  let stems = ref 0 in
+  for net = 0 to Circuit.num_nets c - 1 do
+    (match Circuit.driver c net with
+    | Circuit.Gate_node (kind, ins) ->
+        incr num_gates;
+        max_fanin := max !max_fanin (Array.length ins);
+        Hashtbl.replace histogram kind (1 + Option.value ~default:0 (Hashtbl.find_opt histogram kind))
+    | Circuit.Primary_input | Circuit.Flip_flop _ | Circuit.Const _ -> ());
+    let fo = Array.length (Circuit.fanout c net) in
+    max_fanout := max !max_fanout fo;
+    if fo >= 2 then incr stems
+  done;
+  let gate_histogram =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) histogram []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  {
+    name = Circuit.name c;
+    num_inputs = Circuit.num_inputs c;
+    num_outputs = Circuit.num_outputs c;
+    num_flops = Circuit.num_flops c;
+    num_gates = !num_gates;
+    num_nets = Circuit.num_nets c;
+    depth = Circuit.depth c;
+    gate_histogram;
+    max_fanin = !max_fanin;
+    max_fanout = !max_fanout;
+    num_stems_with_fanout = !stems;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v>circuit %s@,  PI=%d PO=%d FF=%d gates=%d nets=%d depth=%d@,  max fanin=%d max fanout=%d stems(fanout>=2)=%d@,  gates:"
+    s.name s.num_inputs s.num_outputs s.num_flops s.num_gates s.num_nets s.depth s.max_fanin
+    s.max_fanout s.num_stems_with_fanout;
+  List.iter (fun (k, n) -> Format.fprintf fmt " %s=%d" (Gate.to_string k) n) s.gate_histogram;
+  Format.fprintf fmt "@]"

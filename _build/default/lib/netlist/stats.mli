@@ -1,0 +1,20 @@
+(** Structural statistics of a circuit, as reported by the CLI and recorded
+    alongside every experiment. *)
+
+type t = {
+  name : string;
+  num_inputs : int;
+  num_outputs : int;
+  num_flops : int;
+  num_gates : int;
+  num_nets : int;
+  depth : int;
+  gate_histogram : (Gate.kind * int) list;  (** sorted by descending count *)
+  max_fanin : int;
+  max_fanout : int;
+  num_stems_with_fanout : int;  (** nets with fanout >= 2: branch-fault sites *)
+}
+
+val compute : Circuit.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+type issue =
+  | Dangling_net of Circuit.net
+  | Undriven_output of Circuit.net
+  | No_inputs
+  | No_observation_points
+  | Trivial_gate of Circuit.net
+
+let pp_issue c fmt = function
+  | Dangling_net n -> Format.fprintf fmt "net %s drives nothing and is not an output" (Circuit.net_name c n)
+  | Undriven_output n -> Format.fprintf fmt "output %s is a constant" (Circuit.net_name c n)
+  | No_inputs -> Format.fprintf fmt "circuit has no primary inputs"
+  | No_observation_points -> Format.fprintf fmt "circuit has no outputs and no flip-flops"
+  | Trivial_gate n -> Format.fprintf fmt "gate %s has a single input but is not a buffer/inverter" (Circuit.net_name c n)
+
+let check c =
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+  if Circuit.num_inputs c = 0 then add No_inputs;
+  if Circuit.num_outputs c = 0 && Circuit.num_flops c = 0 then add No_observation_points;
+  for net = 0 to Circuit.num_nets c - 1 do
+    (match Circuit.driver c net with
+    | Circuit.Gate_node (kind, ins) ->
+        if Array.length ins = 1 then begin
+          match kind with
+          | Gate.And | Gate.Or | Gate.Nand | Gate.Nor -> add (Trivial_gate net)
+          | Gate.Xor | Gate.Xnor | Gate.Not | Gate.Buf -> ()
+        end
+    | Circuit.Const _ -> if Circuit.is_output c net then add (Undriven_output net)
+    | Circuit.Primary_input | Circuit.Flip_flop _ -> ());
+    if Array.length (Circuit.fanout c net) = 0 && not (Circuit.is_output c net) then
+      add (Dangling_net net)
+  done;
+  List.rev !issues
+
+let is_clean c = check c = []

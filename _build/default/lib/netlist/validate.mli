@@ -1,0 +1,20 @@
+(** Structural sanity checks on circuits.
+
+    [Circuit.Builder] already guarantees well-formed references and acyclic
+    combinational logic; this module adds the checks a DFT flow cares about
+    before investing compute in a netlist. *)
+
+type issue =
+  | Dangling_net of Circuit.net  (** drives nothing and is not an output *)
+  | Undriven_output of Circuit.net  (** an output that is a constant *)
+  | No_inputs
+  | No_observation_points  (** neither outputs nor flip-flops *)
+  | Trivial_gate of Circuit.net  (** single-input AND/OR family gate *)
+
+val pp_issue : Circuit.t -> Format.formatter -> issue -> unit
+
+val check : Circuit.t -> issue list
+(** All issues found, in net order. An empty list means the circuit is clean
+    for test generation. *)
+
+val is_clean : Circuit.t -> bool

@@ -1,0 +1,1 @@
+lib/scan/chain.ml: Array Tvs_logic

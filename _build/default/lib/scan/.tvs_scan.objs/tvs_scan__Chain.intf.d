@@ -1,0 +1,1 @@
+lib/scan/chain.mli: Tvs_logic

@@ -1,0 +1,1 @@
+lib/scan/cost.mli:

@@ -1,0 +1,1 @@
+lib/scan/lfsr.ml: Array List Misr Tvs_logic

@@ -1,0 +1,1 @@
+lib/scan/lfsr.mli: Tvs_logic

@@ -1,0 +1,1 @@
+lib/scan/misr.ml: Array List Tvs_logic

@@ -1,0 +1,1 @@
+lib/scan/misr.mli: Tvs_logic

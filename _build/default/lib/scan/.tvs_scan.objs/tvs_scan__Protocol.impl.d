@@ -1,0 +1,1 @@
+lib/scan/protocol.ml: Array List Tvs_netlist Tvs_sim

@@ -1,0 +1,1 @@
+lib/scan/protocol.mli: Tvs_netlist

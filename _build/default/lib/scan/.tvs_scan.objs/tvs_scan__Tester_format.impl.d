@@ -1,0 +1,1 @@
+lib/scan/tester_format.ml: Array Buffer List Option Printf Protocol String

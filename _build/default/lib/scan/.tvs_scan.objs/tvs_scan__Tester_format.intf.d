@@ -1,0 +1,1 @@
+lib/scan/tester_format.mli: Protocol

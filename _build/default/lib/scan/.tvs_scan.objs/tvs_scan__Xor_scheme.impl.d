@@ -1,0 +1,1 @@
+lib/scan/xor_scheme.ml: Array Chain Format List Printf String

@@ -1,0 +1,1 @@
+lib/scan/xor_scheme.mli: Format

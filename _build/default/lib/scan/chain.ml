@@ -1,0 +1,24 @@
+module Ternary = Tvs_logic.Ternary
+
+let shift state ~fresh =
+  let len = Array.length state in
+  let s = Array.length fresh in
+  if s > len then invalid_arg "Chain.shift: more fresh bits than cells";
+  let state' = Array.init len (fun i -> if i < s then fresh.(i) else state.(i - s)) in
+  let out = Array.init s (fun k -> state.(len - 1 - k)) in
+  (state', out)
+
+let shift_ternary state ~s =
+  let len = Array.length state in
+  if s > len then invalid_arg "Chain.shift_ternary: shift exceeds chain length";
+  Array.init len (fun i -> if i < s then Ternary.X else state.(i - s))
+
+let emitted state ~s =
+  let len = Array.length state in
+  if s > len then invalid_arg "Chain.emitted: shift exceeds chain length";
+  Array.init s (fun k -> state.(len - 1 - k))
+
+let retained state ~s =
+  let len = Array.length state in
+  if s > len then invalid_arg "Chain.retained: shift exceeds chain length";
+  Array.init (len - s) (fun i -> state.(i))

@@ -1,0 +1,33 @@
+(** Scan-chain shift mechanics.
+
+    Convention: cell 0 is the scan-in head, cell [L-1] the scan-out tail.
+    One shift step moves every cell one position toward the tail, emits the
+    tail cell, and loads a fresh bit into the head. Shifting [s] steps
+    therefore emits the last [s] cells (tail first) and leaves the first [s]
+    cells holding fresh data.
+
+    This matches the paper's worked example: contents [110] shifted by two
+    with fresh bits yielding final head cells [00] produce [001] — "the
+    leftmost bit is shifted to the rightmost scan cell". *)
+
+val shift : bool array -> fresh:bool array -> bool array * bool array
+(** [shift state ~fresh] with [s = Array.length fresh <= length state]
+    returns [(state', out)] where
+    - [state'.(i) = fresh.(i)] for [i < s] — {b note}: [fresh.(i)] is the
+      {e final} content of cell [i], i.e. bits listed in reverse injection
+      order;
+    - [state'.(i) = state.(i - s)] for [i >= s];
+    - [out.(k) = state.(L - 1 - k)]: the emitted stream, tail cell first. *)
+
+val shift_ternary :
+  Tvs_logic.Ternary.t array -> s:int -> Tvs_logic.Ternary.t array
+(** The constraint cube for the next vector: cells [0 .. s-1] become [X]
+    (free for ATPG), cell [i >= s] receives the retained value
+    [state.(i - s)]. *)
+
+val emitted : bool array -> s:int -> bool array
+(** Just the outgoing stream of a shift of [s]: tail cell first. *)
+
+val retained : bool array -> s:int -> bool array
+(** The [L - s] values that stay in the chain, in their post-shift cell
+    order: [retained state ~s = Array.sub state' s (L - s)]. *)

@@ -1,0 +1,49 @@
+type schedule = {
+  chain_len : int;
+  npi : int;
+  npo : int;
+  shifts : int list;
+  extra : int;
+  full_drain : bool;
+}
+
+let num_vectors s = List.length s.shifts + s.extra
+
+let sum = List.fold_left ( + ) 0
+
+let final_unload s =
+  if s.extra > 0 then 0 (* the first extra full load drains the chain *)
+  else if s.full_drain then s.chain_len
+  else match List.rev s.shifts with last :: _ -> last | [] -> 0
+
+let time s =
+  let stitched = sum s.shifts in
+  let extra_cycles = if s.extra > 0 then (s.extra * s.chain_len) + s.chain_len else 0 in
+  stitched + final_unload s + extra_cycles
+
+let memory s =
+  let scan_in = sum s.shifts in
+  (* Each stitched response is observed during the following shift; the last
+     one during the final unload. *)
+  let scan_out =
+    match s.shifts with
+    | [] -> 0
+    | _first :: rest -> sum rest + (if s.extra > 0 then s.chain_len else final_unload s)
+  in
+  let io = num_vectors s * (s.npi + s.npo) in
+  let extra_bits = s.extra * 2 * s.chain_len in
+  scan_in + scan_out + io + extra_bits
+
+let baseline_time ~chain_len ~nvec = chain_len * (nvec + 1)
+
+let baseline_memory ~chain_len ~npi ~npo ~nvec = nvec * ((2 * chain_len) + npi + npo)
+
+type ratios = { m : float; t : float }
+
+let ratios s ~baseline_nvec =
+  let bt = baseline_time ~chain_len:s.chain_len ~nvec:baseline_nvec in
+  let bm = baseline_memory ~chain_len:s.chain_len ~npi:s.npi ~npo:s.npo ~nvec:baseline_nvec in
+  {
+    t = (if bt = 0 then 1.0 else float_of_int (time s) /. float_of_int bt);
+    m = (if bm = 0 then 1.0 else float_of_int (memory s) /. float_of_int bm);
+  }

@@ -1,0 +1,46 @@
+(** ATE cost model: test application time in shift cycles and tester memory
+    in stored stimulus/response bits (DESIGN.md Section 4).
+
+    The model reproduces the paper's worked example exactly: a chain of 3
+    with shift schedule [3; 2; 2; 2] costs 11 cycles and 17 bits against a
+    4-vector baseline of 15 cycles and 24 bits. *)
+
+type schedule = {
+  chain_len : int;
+  npi : int;
+  npo : int;
+  shifts : int list;
+      (** per stitched vector, in application order; the first entry is
+          normally [chain_len] (full load of the first vector) *)
+  extra : int;  (** appended traditional full-shift vectors *)
+  full_drain : bool;
+      (** whether the final unload empties the whole chain (used when hidden
+          faults remain to flush); otherwise the final unload has the size of
+          the last shift *)
+}
+
+val num_vectors : schedule -> int
+(** Stitched plus extra vectors. *)
+
+val time : schedule -> int
+(** Total shift cycles: all loads, plus the final unload (subsumed by the
+    first extra full shift when [extra > 0]). *)
+
+val memory : schedule -> int
+(** Stored bits: scan stimulus, observed scan response, primary-input
+    stimulus per vector and primary-output response per vector. *)
+
+val baseline_time : chain_len:int -> nvec:int -> int
+(** [chain_len * (nvec + 1)]: each load overlaps the previous unload, one
+    final unload. *)
+
+val baseline_memory : chain_len:int -> npi:int -> npo:int -> nvec:int -> int
+(** [nvec * (2 * chain_len + npi + npo)]. *)
+
+type ratios = { m : float; t : float }
+
+val ratios :
+  schedule -> baseline_nvec:int -> ratios
+(** The paper's reported quantities: [t] = time ratio, [m] = memory ratio,
+    both against a traditional run of [baseline_nvec] vectors on the same
+    circuit. *)

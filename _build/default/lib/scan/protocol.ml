@@ -1,0 +1,52 @@
+module Circuit = Tvs_netlist.Circuit
+module Scan_insert = Tvs_netlist.Scan_insert
+module Parallel = Tvs_sim.Parallel
+
+type op = Shift of bool | Capture of bool array
+
+type observed = {
+  scan_stream : bool list;
+  po_samples : bool array list;
+  final_state : bool array;
+}
+
+let run (inserted : Scan_insert.t) ~init ops =
+  let c = inserted.Scan_insert.circuit in
+  let n_func_pi = Circuit.num_inputs c - 2 in
+  let n_func_po = Circuit.num_outputs c - 1 in
+  let scan_out = inserted.Scan_insert.scan_out_index in
+  if Array.length init <> Circuit.num_flops c then invalid_arg "Protocol.run: init length mismatch";
+  let sim = Parallel.create c in
+  let state = ref (Array.copy init) in
+  let scan_stream = ref [] and po_samples = ref [] in
+  (* One clock: outputs are combinational on the pre-edge state (that is
+     what the tester strobes), then the edge loads the mux outputs. *)
+  let clock ~scan_en ~scan_in ~func_pi =
+    if Array.length func_pi <> n_func_pi then invalid_arg "Protocol.run: pi length mismatch";
+    let pi = Array.append func_pi [| scan_en; scan_in |] in
+    let po, capture = Parallel.run_single sim ~pi ~state:!state in
+    state := capture;
+    po
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Shift bit ->
+          let po = clock ~scan_en:true ~scan_in:bit ~func_pi:(Array.make n_func_pi false) in
+          scan_stream := po.(scan_out) :: !scan_stream
+      | Capture func_pi ->
+          let po = clock ~scan_en:false ~scan_in:false ~func_pi in
+          po_samples := Array.sub po 0 n_func_po :: !po_samples)
+    ops;
+  { scan_stream = List.rev !scan_stream; po_samples = List.rev !po_samples; final_state = !state }
+
+let load_ops ~fresh =
+  let s = Array.length fresh in
+  (* Chain.shift's convention: fresh.(i) is the final content of cell i, so
+     the bit injected at step k is fresh.(s - 1 - k). *)
+  List.init s (fun k -> Shift fresh.(s - 1 - k))
+
+let stitched_ops ~vectors =
+  List.concat_map (fun (pi, fresh) -> load_ops ~fresh @ [ Capture pi ]) vectors
+
+let full_unload_ops ~chain_len = List.init chain_len (fun _ -> Shift false)

@@ -1,0 +1,39 @@
+(** Cycle-accurate test application on a scan-inserted netlist.
+
+    Drives a {!Tvs_netlist.Scan_insert.t} one clock at a time — shift cycles
+    with scan-enable high, capture cycles with it low — sampling the
+    [scan_out] pin on every shift and the primary outputs on every capture.
+    This is the tester's-eye view of the hardware.
+
+    Its purpose is validation: the stitched flow is built on an abstraction
+    (combinational core + {!Chain} shift mechanics), and the test suite
+    checks that abstraction against this physical model cycle by cycle, on
+    both the traditional and the stitched schedule. *)
+
+type op =
+  | Shift of bool  (** one shift clock, injecting the given scan-in bit *)
+  | Capture of bool array  (** one capture clock under the given PI values *)
+
+type observed = {
+  scan_stream : bool list;  (** scan-out samples, one per shift, in order *)
+  po_samples : bool array list;  (** primary outputs, one per capture, in order *)
+  final_state : bool array;  (** chain contents after the last cycle *)
+}
+
+val run : Tvs_netlist.Scan_insert.t -> init:bool array -> op list -> observed
+(** [init] is the chain contents before the first cycle (length = #cells).
+    During shift cycles the functional primary inputs are held at zero; a
+    real tester can drive anything there, and the sampled data is
+    unaffected. *)
+
+val load_ops : fresh:bool array -> op list
+(** The shift sequence realising {!Chain.shift}'s convention: after these
+    [Array.length fresh] clocks, cell [i] holds [fresh.(i)]. *)
+
+val stitched_ops : vectors:(bool array * bool array) list -> op list
+(** The full stitched schedule for [(pi, fresh)] pairs: each vector's fresh
+    bits are shifted in (observing the previous response on the way out),
+    then captured under its PI values. *)
+
+val full_unload_ops : chain_len:int -> op list
+(** Trailing shifts that drain the whole chain. *)

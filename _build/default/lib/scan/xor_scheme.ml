@@ -1,0 +1,64 @@
+type t = Nxor | Vxor | Hxor of int
+
+let equal a b =
+  match (a, b) with
+  | Nxor, Nxor | Vxor, Vxor -> true
+  | Hxor n, Hxor m -> n = m
+  | (Nxor | Vxor | Hxor _), _ -> false
+
+let to_string = function
+  | Nxor -> "nxor"
+  | Vxor -> "vxor"
+  | Hxor n -> Printf.sprintf "hxor:%d" n
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "nxor" -> Some Nxor
+  | "vxor" -> Some Vxor
+  | s when String.length s > 5 && String.sub s 0 5 = "hxor:" -> (
+      match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+      | Some n when n >= 1 -> Some (Hxor n)
+      | Some _ | None -> None)
+  | _ -> None
+
+let writeback t ~applied_scan ~capture =
+  match t with
+  | Nxor | Hxor _ -> Array.copy capture
+  | Vxor ->
+      if Array.length applied_scan <> Array.length capture then
+        invalid_arg "Xor_scheme.writeback: length mismatch";
+      Array.map2 (fun a b -> a <> b) applied_scan capture
+
+let taps n ~chain_len =
+  assert (n >= 1);
+  let n = min n chain_len in
+  let spacing = chain_len / n in
+  List.init n (fun k -> chain_len - 1 - (k * spacing))
+
+let observe t ~contents ~fresh =
+  let len = Array.length contents in
+  let s = Array.length fresh in
+  if s > len then invalid_arg "Xor_scheme.observe: shift exceeds chain length";
+  match t with
+  | Nxor | Vxor -> Chain.emitted contents ~s
+  | Hxor n ->
+      let tap_cells = taps n ~chain_len:len in
+      (* Step-by-step: at each step read the XOR of the taps, then shift by
+         one, injecting fresh bits in injection order (the last element of
+         [fresh] is injected first; see Chain.shift's convention that
+         [fresh.(i)] is the final content of cell [i]). *)
+      let state = Array.copy contents in
+      let out = Array.make s false in
+      for k = 0 to s - 1 do
+        out.(k) <- List.fold_left (fun acc i -> acc <> state.(i)) false tap_cells;
+        for i = len - 1 downto 1 do
+          state.(i) <- state.(i - 1)
+        done;
+        state.(0) <- fresh.(s - 1 - k)
+      done;
+      out
+
+let hardware_cost t ~chain_len =
+  match t with Nxor -> 0 | Vxor -> chain_len | Hxor n -> max 0 (min n chain_len - 1)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,40 @@
+(** Response observation / write-back schemes of the paper's Section 6.2.
+
+    - [Nxor]: plain implementation. The captured response is written back to
+      the chain unchanged; the observed stream is the raw bits leaving the
+      tail.
+    - [Vxor] (vertical XOR): the value written back into each cell is the
+      captured response XORed with the test vector that was sitting in that
+      cell — [R ⊕ T]. A hidden fault is erased only when
+      [R_f ⊕ T_f = R ⊕ T], preserving fault effects that plain write-back
+      would overwrite. Costs one XOR gate per scan cell.
+    - [Hxor n] (horizontal XOR): write-back is plain, but the scan-out pin
+      carries the XOR of [n] taps spaced evenly along the chain, so a shift
+      of [L/n] steps sweeps the whole chain past some tap. Costs [n-1] XOR
+      gates total. *)
+
+type t = Nxor | Vxor | Hxor of int
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val of_string : string -> t option
+(** "nxor" | "vxor" | "hxor:<taps>" (case-insensitive). *)
+
+val writeback : t -> applied_scan:bool array -> capture:bool array -> bool array
+(** Chain contents after the capture cycle. [applied_scan] is the scan part
+    of the vector that was applied (the pre-capture chain contents). *)
+
+val observe : t -> contents:bool array -> fresh:bool array -> bool array
+(** The bit stream the tester sees while shifting
+    [s = Array.length fresh] steps: for [Nxor]/[Vxor] the raw tail stream,
+    for [Hxor n] the tap-XOR stream computed step by step (fresh bits
+    entering the head participate once they pass a tap). *)
+
+val taps : int -> chain_len:int -> int list
+(** Tap cell indices of [Hxor n] on a chain of the given length: the tail
+    cell plus [n-1] evenly spaced predecessors. Exposed for tests. *)
+
+val hardware_cost : t -> chain_len:int -> int
+(** Number of XOR gates the scheme adds (0 for [Nxor]). *)
+
+val pp : Format.formatter -> t -> unit

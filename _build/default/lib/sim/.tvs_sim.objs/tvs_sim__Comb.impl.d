@@ -1,0 +1,1 @@
+lib/sim/comb.ml: Array Tvs_logic Tvs_netlist

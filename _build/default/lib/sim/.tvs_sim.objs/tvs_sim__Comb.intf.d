@@ -1,0 +1,1 @@
+lib/sim/comb.mli: Tvs_logic Tvs_netlist

@@ -1,0 +1,1 @@
+lib/sim/lanes.mli:

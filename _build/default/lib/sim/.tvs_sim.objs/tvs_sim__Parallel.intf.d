@@ -1,0 +1,1 @@
+lib/sim/parallel.mli: Tvs_netlist

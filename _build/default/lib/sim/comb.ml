@@ -1,0 +1,41 @@
+module Circuit = Tvs_netlist.Circuit
+module Gate = Tvs_netlist.Gate
+module Ternary = Tvs_logic.Ternary
+
+type 'v frame = { po : 'v array; capture : 'v array }
+
+let ternary_nets c ~pi ~state =
+  if Array.length pi <> Circuit.num_inputs c then invalid_arg "Comb: pi length mismatch";
+  if Array.length state <> Circuit.num_flops c then invalid_arg "Comb: state length mismatch";
+  let values = Array.make (Circuit.num_nets c) Ternary.X in
+  Array.iteri (fun i net -> values.(net) <- pi.(i)) (Circuit.inputs c);
+  Array.iteri (fun i net -> values.(net) <- state.(i)) (Circuit.flops c);
+  Array.iter
+    (fun net ->
+      match Circuit.driver c net with
+      | Circuit.Gate_node (kind, ins) ->
+          values.(net) <- Gate.eval_ternary kind (Array.map (fun i -> values.(i)) ins)
+      | Circuit.Const b -> values.(net) <- Ternary.of_bool b
+      | Circuit.Primary_input | Circuit.Flip_flop _ -> ())
+    (Circuit.topo_order c);
+  values
+
+let frame_of_values c values =
+  let po = Array.map (fun net -> values.(net)) (Circuit.outputs c) in
+  let capture =
+    Array.map
+      (fun fnet ->
+        match Circuit.driver c fnet with
+        | Circuit.Flip_flop d -> values.(d)
+        | Circuit.Primary_input | Circuit.Gate_node _ | Circuit.Const _ ->
+            invalid_arg "Comb: flop list corrupt")
+      (Circuit.flops c)
+  in
+  { po; capture }
+
+let eval_ternary c ~pi ~state = frame_of_values c (ternary_nets c ~pi ~state)
+
+let eval_bool c ~pi ~state =
+  let t3 = Array.map Ternary.of_bool in
+  let { po; capture } = eval_ternary c ~pi:(t3 pi) ~state:(t3 state) in
+  { po = Array.map Ternary.to_bool_exn po; capture = Array.map Ternary.to_bool_exn capture }

@@ -1,0 +1,25 @@
+(** Single-machine levelized simulation of the combinational core in two- and
+    three-valued logic.
+
+    The ternary entry points are what test-cube handling needs: an [X] input
+    propagates as "unknown", so the fault-free response of a cube shows which
+    outputs are already determined by the specified bits. *)
+
+type 'v frame = { po : 'v array; capture : 'v array }
+(** Response at the observation points: primary outputs and flip-flop D
+    captures (scan order). *)
+
+val eval_bool : Tvs_netlist.Circuit.t -> pi:bool array -> state:bool array -> bool frame
+
+val eval_ternary :
+  Tvs_netlist.Circuit.t ->
+  pi:Tvs_logic.Ternary.t array ->
+  state:Tvs_logic.Ternary.t array ->
+  Tvs_logic.Ternary.t frame
+
+val ternary_nets :
+  Tvs_netlist.Circuit.t ->
+  pi:Tvs_logic.Ternary.t array ->
+  state:Tvs_logic.Ternary.t array ->
+  Tvs_logic.Ternary.t array
+(** Value of every net, indexed by net id. *)

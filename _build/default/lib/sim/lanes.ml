@@ -1,0 +1,25 @@
+let width = 63
+
+let all_mask = (1 lsl width) - 1
+
+let mask k =
+  assert (k >= 0 && k <= width);
+  if k = width then all_mask else (1 lsl k) - 1
+
+let lane_bit i =
+  assert (i >= 0 && i < width);
+  1 lsl i
+
+let get word i = word lsr i land 1 = 1
+
+let set word i v = if v then word lor lane_bit i else word land lnot (lane_bit i)
+
+let broadcast v = if v then all_mask else 0
+
+let of_bools arr =
+  assert (Array.length arr <= width);
+  let w = ref 0 in
+  Array.iteri (fun i b -> if b then w := !w lor (1 lsl i)) arr;
+  !w
+
+let to_bools ~n word = Array.init n (get word)

@@ -1,0 +1,32 @@
+(** Bit-lane packing helpers for the word-parallel simulator.
+
+    A machine word carries up to [width] independent simulation lanes
+    (63 on a 64-bit OCaml runtime; the sign bit is unused so masks stay
+    non-negative). Lane 0 conventionally holds the fault-free machine. *)
+
+val width : int
+(** Number of usable lanes per word. *)
+
+val all_mask : int
+(** Word with every usable lane set. *)
+
+val mask : int -> int
+(** [mask k] has lanes [0 .. k-1] set. [0 <= k <= width]. *)
+
+val lane_bit : int -> int
+(** [lane_bit i] has only lane [i] set. *)
+
+val get : int -> int -> bool
+(** [get word i] reads lane [i]. *)
+
+val set : int -> int -> bool -> int
+(** [set word i v] returns [word] with lane [i] forced to [v]. *)
+
+val broadcast : bool -> int
+(** All lanes equal to the given value. *)
+
+val of_bools : bool array -> int
+(** Pack up to [width] lane values, index = lane. *)
+
+val to_bools : n:int -> int -> bool array
+(** Unpack the first [n] lanes. *)

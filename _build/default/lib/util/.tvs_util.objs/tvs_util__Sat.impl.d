@@ -1,0 +1,1 @@
+lib/util/sat.ml: Array List

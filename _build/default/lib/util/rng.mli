@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the project flows through this module so that every
+    experiment is reproducible bit-for-bit. The generator is SplitMix64
+    (Steele, Lea & Flood, OOPSLA 2014): tiny state, excellent statistical
+    quality for simulation workloads, and trivially splittable, which lets
+    each (circuit, experiment) pair derive an independent stream. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator seeded with [seed]. *)
+
+val of_string : string -> t
+(** [of_string s] derives a generator from an arbitrary label (e.g. a circuit
+    name) via a FNV-1a hash, so streams for distinct labels are independent. *)
+
+val split : t -> t
+(** [split t] returns a new generator whose stream is independent of the
+    remainder of [t]'s stream; [t] advances by one step. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val bool : t -> bool
+(** Uniform boolean. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t arr] returns a uniformly chosen element. [arr] must be non-empty. *)

@@ -1,0 +1,147 @@
+type result = Sat of bool array | Unsat | Unknown
+
+(* Assignment: 0 = unassigned, 1 = true, -1 = false. *)
+
+let check ~nvars clauses model =
+  ignore nvars;
+  List.for_all
+    (fun clause ->
+      List.exists
+        (fun lit ->
+          let v = abs lit in
+          if lit > 0 then model.(v) else not model.(v))
+        clause)
+    clauses
+
+exception Out_of_budget
+
+let solve ?(decision_order = []) ?max_decisions ~nvars clauses =
+  if nvars < 0 then invalid_arg "Sat.solve: negative variable count";
+  List.iter
+    (List.iter (fun lit ->
+         if lit = 0 || abs lit > nvars then invalid_arg "Sat.solve: literal out of range"))
+    clauses;
+  if List.exists (fun c -> c = []) clauses then Unsat
+  else begin
+    let clauses = Array.of_list (List.map Array.of_list clauses) in
+    let assign = Array.make (nvars + 1) 0 in
+    (* Occurrence lists: clauses watching each variable (simple scheme: all
+       clauses containing the variable). *)
+    let occurs = Array.make (nvars + 1) [] in
+    Array.iteri
+      (fun ci clause ->
+        Array.iter
+          (fun lit ->
+            let v = abs lit in
+            if not (List.memq ci occurs.(v)) then occurs.(v) <- ci :: occurs.(v))
+          clause)
+      clauses;
+    let value lit =
+      let v = assign.(abs lit) in
+      if v = 0 then 0 else if lit > 0 then v else -v
+    in
+    let trail = ref [] in
+    let set lit =
+      assign.(abs lit) <- (if lit > 0 then 1 else -1);
+      trail := abs lit :: !trail
+    in
+    let undo_to mark =
+      while !trail != mark do
+        match !trail with
+        | v :: rest ->
+            assign.(v) <- 0;
+            trail := rest
+        | [] -> assert false
+      done
+    in
+    (* Unit propagation from the clauses touching recently assigned
+       variables; returns false on conflict. *)
+    let rec propagate queue =
+      match queue with
+      | [] -> true
+      | v :: rest ->
+          let continue = ref (Some rest) in
+          List.iter
+            (fun ci ->
+              match !continue with
+              | None -> ()
+              | Some pending ->
+                  let clause = clauses.(ci) in
+                  let satisfied = ref false in
+                  let unassigned = ref 0 in
+                  let last = ref 0 in
+                  Array.iter
+                    (fun lit ->
+                      match value lit with
+                      | 1 -> satisfied := true
+                      | 0 ->
+                          incr unassigned;
+                          last := lit
+                      | _ -> ())
+                    clause;
+                  if not !satisfied then
+                    if !unassigned = 0 then continue := None (* conflict *)
+                    else if !unassigned = 1 then begin
+                      set !last;
+                      continue := Some (abs !last :: pending)
+                    end)
+            occurs.(v);
+          (match !continue with None -> false | Some pending -> propagate pending)
+    in
+    (* Initial units. *)
+    let initial_ok =
+      Array.for_all
+        (fun clause ->
+          if Array.length clause = 1 then begin
+            match value clause.(0) with
+            | -1 -> false
+            | 0 ->
+                set clause.(0);
+                propagate [ abs clause.(0) ]
+            | _ -> true
+          end
+          else true)
+        clauses
+    in
+    let order =
+      let preferred = List.filter (fun v -> v >= 1 && v <= nvars) decision_order in
+      let mark = Array.make (nvars + 1) false in
+      List.iter (fun v -> mark.(v) <- true) preferred;
+      let rest = List.init nvars (fun i -> i + 1) |> List.filter (fun v -> not mark.(v)) in
+      Array.of_list (preferred @ rest)
+    in
+    let decisions = ref 0 in
+    let budget_ok () =
+      match max_decisions with
+      | None -> ()
+      | Some cap ->
+          incr decisions;
+          if !decisions > cap then raise Out_of_budget
+    in
+    let rec pick_unassigned i =
+      if i >= Array.length order then 0
+      else if assign.(order.(i)) = 0 then order.(i)
+      else pick_unassigned (i + 1)
+    in
+    let rec search () =
+      let v = pick_unassigned 0 in
+      if v = 0 then true
+      else begin
+        budget_ok ();
+        let mark = !trail in
+        let try_value lit =
+          set lit;
+          if propagate [ abs lit ] && search () then true
+          else begin
+            undo_to mark;
+            false
+          end
+        in
+        try_value v || try_value (-v)
+      end
+    in
+    match initial_ok && search () with
+    | true -> Sat (Array.init (nvars + 1) (fun v -> v > 0 && assign.(v) = 1))
+    | false -> Unsat
+    | exception Out_of_budget -> Unknown
+  end

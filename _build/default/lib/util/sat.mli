@@ -1,0 +1,26 @@
+(** A small DPLL SAT solver.
+
+    Complete (sound SAT and UNSAT answers) with unit propagation and
+    chronological backtracking — deliberately simple, sized for the
+    cone-local CNFs of SAT-based ATPG where a few thousand variables is
+    typical. Variables are positive integers; a literal is [v] or [-v]. *)
+
+type result =
+  | Sat of bool array  (** satisfying assignment, index = variable *)
+  | Unsat
+  | Unknown  (** decision budget exhausted *)
+
+val solve : ?decision_order:int list -> ?max_decisions:int -> nvars:int -> int list list -> result
+(** [solve ~nvars clauses] decides the conjunction of [clauses]. Variables
+    range over [1 .. nvars]; index 0 of a [Sat] assignment is unused. An
+    empty clause yields [Unsat]; an empty clause list is satisfiable.
+
+    [decision_order] lists the variables to branch on first (e.g. circuit
+    inputs, whose assignment implies everything else by propagation);
+    remaining variables are decided in ascending order afterwards.
+    [max_decisions] bounds the search; exceeding it returns [Unknown]
+    (default: unbounded). Raises [Invalid_argument] on a literal out of
+    range. *)
+
+val check : nvars:int -> int list list -> bool array -> bool
+(** [check ~nvars clauses model] verifies a model (used by the tests). *)

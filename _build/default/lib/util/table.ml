@@ -1,0 +1,79 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Rule
+
+type t = {
+  headers : string list;
+  align : align list;
+  mutable rows : row list; (* reversed *)
+  ncols : int;
+}
+
+let create ?align headers =
+  let ncols = List.length headers in
+  let align =
+    match align with
+    | Some a -> a
+    | None -> (
+        match headers with [] -> [] | _ :: rest -> Left :: List.map (fun _ -> Right) rest)
+  in
+  { headers; align; rows = []; ncols }
+
+let add_row t cells = t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pad_to n cells =
+  let len = List.length cells in
+  if len >= n then cells else cells @ List.init (n - len) (fun _ -> "")
+
+let column_widths t rows =
+  let widths = Array.make t.ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> if i < t.ncols then widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Rule -> ()) rows;
+  widths
+
+let aligned align width s =
+  let pad = width - String.length s in
+  if pad <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make pad ' '
+    | Right -> String.make pad ' ' ^ s
+    | Center ->
+        let left = pad / 2 in
+        String.make left ' ' ^ s ^ String.make (pad - left) ' '
+
+let align_of t i = match List.nth_opt t.align i with Some a -> a | None -> Right
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = column_widths t rows in
+  let buf = Buffer.create 256 in
+  let emit_cells cells =
+    let cells = pad_to t.ncols cells in
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (aligned (align_of t i) widths.(i) c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let total_width = Array.fold_left ( + ) 0 widths + (2 * (t.ncols - 1)) in
+  let emit_rule () =
+    Buffer.add_string buf (String.make (max 1 total_width) '-');
+    Buffer.add_char buf '\n'
+  in
+  emit_cells t.headers;
+  emit_rule ();
+  List.iter (function Cells c -> emit_cells c | Rule -> emit_rule ()) rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let fmt_ratio r = Printf.sprintf "%.2f" r

@@ -1,0 +1,28 @@
+(** Minimal ASCII table renderer for experiment reports.
+
+    Used by the bench harness to print rows in the same layout as the paper's
+    tables. Cells are strings; columns are sized to their widest cell. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : ?align:align list -> string list -> t
+(** [create headers] starts a table with the given column headers.
+    [align] gives per-column alignment; missing entries default to [Right],
+    except the first column which defaults to [Left]. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row. Short rows are padded with empty cells. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator line. *)
+
+val render : t -> string
+(** Render the table, headers first, with a rule below the header row. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline flush. *)
+
+val fmt_ratio : float -> string
+(** Format a ratio the way the paper prints them: two decimals, e.g. "0.73". *)

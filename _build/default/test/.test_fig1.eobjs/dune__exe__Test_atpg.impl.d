@@ -1,0 +1,1 @@
+test/test_atpg.ml: Alcotest Array List QCheck QCheck_alcotest String Tvs_atpg Tvs_circuits Tvs_fault Tvs_logic Tvs_netlist Tvs_sim Tvs_util

@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array List Printf Tvs_circuits Tvs_netlist Tvs_scan Tvs_sim

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Gen List Printf QCheck QCheck_alcotest Tvs_atpg Tvs_circuits Tvs_core Tvs_fault Tvs_logic Tvs_netlist Tvs_scan Tvs_util

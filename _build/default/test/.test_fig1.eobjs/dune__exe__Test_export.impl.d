@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Array Filename List Sys Tvs_atpg Tvs_circuits Tvs_core Tvs_fault Tvs_netlist Tvs_scan Tvs_sim Tvs_util

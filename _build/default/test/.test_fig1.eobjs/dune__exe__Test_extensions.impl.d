@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Gen Hashtbl List Printf QCheck QCheck_alcotest String Tvs_atpg Tvs_circuits Tvs_core Tvs_fault Tvs_harness Tvs_logic Tvs_netlist Tvs_scan Tvs_sim Tvs_util

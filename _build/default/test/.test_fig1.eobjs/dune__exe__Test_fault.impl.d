@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Hashtbl Int64 List Printf QCheck QCheck_alcotest Tvs_circuits Tvs_fault Tvs_netlist Tvs_sim Tvs_util

@@ -1,0 +1,1 @@
+test/test_fig1.ml: Alcotest Array List String Tvs_circuits Tvs_core Tvs_fault Tvs_netlist Tvs_scan Tvs_sim

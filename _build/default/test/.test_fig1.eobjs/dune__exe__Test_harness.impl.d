@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array List String Tvs_core Tvs_harness Tvs_netlist Tvs_util

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array List Printf Tvs_atpg Tvs_circuits Tvs_core Tvs_fault Tvs_netlist Tvs_scan Tvs_util

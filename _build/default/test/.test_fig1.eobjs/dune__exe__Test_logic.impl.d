@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Gen List Option QCheck QCheck_alcotest String Tvs_logic

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Filename List Option Printf Sys Tvs_circuits Tvs_netlist

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Gen Int64 List Printf QCheck QCheck_alcotest Tvs_atpg Tvs_circuits Tvs_core Tvs_fault Tvs_netlist Tvs_scan Tvs_sim Tvs_util

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Gen List QCheck QCheck_alcotest Tvs_circuits Tvs_netlist Tvs_scan Tvs_sim Tvs_util

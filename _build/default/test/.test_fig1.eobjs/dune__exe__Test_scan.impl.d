@@ -1,0 +1,1 @@
+test/test_scan.ml: Alcotest Array Gen List Printf QCheck QCheck_alcotest String Tvs_logic Tvs_scan

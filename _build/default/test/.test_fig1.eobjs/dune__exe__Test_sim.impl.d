@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Int64 Printf QCheck QCheck_alcotest Tvs_circuits Tvs_logic Tvs_netlist Tvs_sim Tvs_util

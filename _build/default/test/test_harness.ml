@@ -1,0 +1,105 @@
+(* Tests for Tvs_harness: per-circuit preparation (and its memoization) and
+   the experiment runners' outputs. *)
+
+module Circuit = Tvs_netlist.Circuit
+module Baseline = Tvs_core.Baseline
+module Prep = Tvs_harness.Prep
+module Experiments = Tvs_harness.Experiments
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_prep_structure () =
+  let prep = Prep.get "s444" in
+  Alcotest.(check string) "circuit name" "s444" (Circuit.name prep.Prep.circuit);
+  Alcotest.(check bool) "collapsed smaller than full" true
+    (Array.length prep.Prep.faults < Array.length prep.Prep.all_faults);
+  Alcotest.(check bool) "testable within collapsed" true
+    (Array.length prep.Prep.testable <= Array.length prep.Prep.faults);
+  Alcotest.(check bool) "baseline nonempty" true (prep.Prep.baseline.Baseline.num_vectors > 0)
+
+let test_prep_memoized () =
+  let a = Prep.get "s444" and b = Prep.get "s444" in
+  Alcotest.(check bool) "same physical prep" true (a == b);
+  let scaled = Prep.get ~scale:0.5 "s444" in
+  Alcotest.(check bool) "scaled prep distinct" true (a != scaled);
+  Alcotest.(check string) "scaled name" "s444@0.5" (Circuit.name scaled.Prep.circuit)
+
+let test_prep_seed_streams () =
+  let prep = Prep.get "s444" in
+  let a = Tvs_util.Rng.next_int64 (Prep.engine_seed prep "x") in
+  let b = Tvs_util.Rng.next_int64 (Prep.engine_seed prep "y") in
+  let a' = Tvs_util.Rng.next_int64 (Prep.engine_seed prep "x") in
+  Alcotest.(check bool) "labels separate streams" true (a <> b);
+  Alcotest.(check int64) "same label, same stream" a a'
+
+let test_run_flow_sane () =
+  let prep = Prep.get "s444" in
+  let r = Experiments.run_flow ~label:"harness-test" prep in
+  Alcotest.(check bool) "coverage complete" true (r.Experiments.coverage >= 0.999);
+  Alcotest.(check bool) "compresses memory" true (r.Experiments.m < 1.0);
+  Alcotest.(check bool) "compresses time" true (r.Experiments.t < 1.0);
+  Alcotest.(check int) "aTV consistent" prep.Prep.baseline.Baseline.num_vectors r.Experiments.atv
+
+let test_run_flow_deterministic () =
+  let prep = Prep.get "s444" in
+  let a = Experiments.run_flow ~label:"det" prep in
+  let b = Experiments.run_flow ~label:"det" prep in
+  Alcotest.(check int) "same TV" a.Experiments.tv b.Experiments.tv;
+  Alcotest.(check (float 0.00001)) "same m" a.Experiments.m b.Experiments.m
+
+let test_table1_text () =
+  let out = Experiments.table1 () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("table1 mentions " ^ needle) true (contains ~needle out))
+    [ "correct"; "E-F/1"; "F/0"; "110"; "after final unload" ]
+
+let test_table_defaults () =
+  Alcotest.(check (float 0.0001)) "s9234 halved in tables 2-4" 0.5
+    (Experiments.table24_default_scale "s9234");
+  Alcotest.(check (float 0.0001)) "s444 full" 1.0 (Experiments.table24_default_scale "s444");
+  Alcotest.(check (float 0.0001)) "giants quartered in table 5" 0.25
+    (Experiments.table5_default_scale "s35932")
+
+let test_small_table_renders () =
+  let out = Experiments.table4 ~circuits:[ "s444" ] () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("table4 column " ^ needle) true (contains ~needle out))
+    [ "s444"; "Random"; "Hardness"; "Most-faults"; "Ave" ]
+
+let test_randtest_small_budget () =
+  (* Regression: a pattern budget below the fixed checkpoints must clamp
+     them rather than crash. *)
+  let out = Experiments.random_testability ~patterns:16 ~circuits:[ "s444" ] () in
+  Alcotest.(check bool) "renders" true (contains ~needle:"cov@16" out);
+  Alcotest.(check bool) "no oversized checkpoint" false (contains ~needle:"cov@128" out)
+
+let test_comparison_renders () =
+  let out = Experiments.comparison_study ~circuits:[ "s444" ] () in
+  Alcotest.(check bool) "static columns present" true (contains ~needle:"static m" out);
+  Alcotest.(check bool) "row present" true (contains ~needle:"s444" out)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "prep",
+        [
+          Alcotest.test_case "structure" `Quick test_prep_structure;
+          Alcotest.test_case "memoization" `Quick test_prep_memoized;
+          Alcotest.test_case "seed streams" `Quick test_prep_seed_streams;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "run_flow sanity" `Quick test_run_flow_sane;
+          Alcotest.test_case "run_flow determinism" `Quick test_run_flow_deterministic;
+          Alcotest.test_case "table 1 text" `Quick test_table1_text;
+          Alcotest.test_case "default scales" `Quick test_table_defaults;
+          Alcotest.test_case "table 4 rendering" `Quick test_small_table_renders;
+          Alcotest.test_case "comparison rendering" `Quick test_comparison_renders;
+          Alcotest.test_case "randtest small budget" `Quick test_randtest_small_budget;
+        ] );
+    ]

@@ -1,0 +1,196 @@
+(* Unit and property tests for Tvs_logic: ternary logic, the five-valued
+   D-calculus, and packed bit vectors. *)
+
+module Ternary = Tvs_logic.Ternary
+module Fivev = Tvs_logic.Fivev
+module Bitvec = Tvs_logic.Bitvec
+
+let tern = Alcotest.testable (fun fmt v -> Ternary.pp fmt v) Ternary.equal
+let fv = Alcotest.testable (fun fmt v -> Fivev.pp fmt v) Fivev.equal
+
+let all3 = [ Ternary.Zero; Ternary.One; Ternary.X ]
+let all5 = [ Fivev.Zero; Fivev.One; Fivev.D; Fivev.Dbar; Fivev.X ]
+
+let gen3 = QCheck.Gen.oneofl all3
+let gen5 = QCheck.Gen.oneofl all5
+let arb3 = QCheck.make ~print:(fun v -> String.make 1 (Ternary.to_char v)) gen3
+let arb5 = QCheck.make ~print:Fivev.to_string gen5
+
+(* --- ternary ------------------------------------------------------- *)
+
+let test_ternary_tables () =
+  let open Ternary in
+  Alcotest.check tern "0 and X" Zero (t_and Zero X);
+  Alcotest.check tern "1 and X" X (t_and One X);
+  Alcotest.check tern "1 or X" One (t_or One X);
+  Alcotest.check tern "0 or X" X (t_or Zero X);
+  Alcotest.check tern "not X" X (t_not X);
+  Alcotest.check tern "X xor 1" X (t_xor X One);
+  Alcotest.check tern "1 xor 1" Zero (t_xor One One);
+  Alcotest.check tern "0 xor 1" One (t_xor Zero One)
+
+let test_ternary_chars () =
+  List.iter
+    (fun v -> Alcotest.check tern "char roundtrip" v (Ternary.of_char (Ternary.to_char v)))
+    all3;
+  Alcotest.check tern "lowercase x" Ternary.X (Ternary.of_char 'x');
+  Alcotest.check_raises "bad char" (Invalid_argument "Ternary.of_char: '2'") (fun () ->
+      ignore (Ternary.of_char '2'))
+
+let test_ternary_merge () =
+  let open Ternary in
+  Alcotest.(check (option tern)) "X merge 1" (Some One) (merge X One);
+  Alcotest.(check (option tern)) "1 merge X" (Some One) (merge One X);
+  Alcotest.(check (option tern)) "conflict" None (merge Zero One);
+  Alcotest.(check (option tern)) "agree" (Some Zero) (merge Zero Zero)
+
+let qcheck_merge_compatible =
+  QCheck.Test.make ~name:"merge succeeds iff compatible" ~count:200 (QCheck.pair arb3 arb3)
+    (fun (a, b) -> Ternary.compatible a b = Option.is_some (Ternary.merge a b))
+
+let qcheck_and_comm =
+  QCheck.Test.make ~name:"t_and commutative" ~count:100 (QCheck.pair arb3 arb3) (fun (a, b) ->
+      Ternary.equal (Ternary.t_and a b) (Ternary.t_and b a))
+
+let qcheck_demorgan =
+  QCheck.Test.make ~name:"De Morgan holds in Kleene logic" ~count:100 (QCheck.pair arb3 arb3)
+    (fun (a, b) ->
+      Ternary.equal
+        (Ternary.t_not (Ternary.t_and a b))
+        (Ternary.t_or (Ternary.t_not a) (Ternary.t_not b)))
+
+(* --- five-valued --------------------------------------------------- *)
+
+let test_fivev_projections () =
+  Alcotest.check tern "good D" Ternary.One (Fivev.good Fivev.D);
+  Alcotest.check tern "faulty D" Ternary.Zero (Fivev.faulty Fivev.D);
+  Alcotest.check tern "good D'" Ternary.Zero (Fivev.good Fivev.Dbar);
+  Alcotest.check tern "faulty D'" Ternary.One (Fivev.faulty Fivev.Dbar);
+  Alcotest.check fv "of_pair reconstructs D" Fivev.D (Fivev.of_pair Ternary.One Ternary.Zero);
+  Alcotest.check fv "of_pair X absorbs" Fivev.X (Fivev.of_pair Ternary.X Ternary.One)
+
+let test_fivev_d_tables () =
+  let open Fivev in
+  Alcotest.check fv "D and 1" D (f_and D One);
+  Alcotest.check fv "D and 0" Zero (f_and D Zero);
+  Alcotest.check fv "D and D'" Zero (f_and D Dbar);
+  Alcotest.check fv "D or D'" One (f_or D Dbar);
+  Alcotest.check fv "D xor D" Zero (f_xor D D);
+  Alcotest.check fv "D xor 1" Dbar (f_xor D One);
+  Alcotest.check fv "not D" Dbar (f_not D);
+  Alcotest.check fv "D and X" X (f_and D X)
+
+(* The defining law of the D-calculus: every connective acts componentwise on
+   the (good, faulty) pair. *)
+let componentwise name op top =
+  QCheck.Test.make ~name ~count:200 (QCheck.pair arb5 arb5) (fun (a, b) ->
+      Fivev.equal (op a b) (Fivev.of_pair (top (Fivev.good a) (Fivev.good b)) (top (Fivev.faulty a) (Fivev.faulty b))))
+
+let qcheck_fivev_and = componentwise "f_and is componentwise t_and" Fivev.f_and Ternary.t_and
+let qcheck_fivev_or = componentwise "f_or is componentwise t_or" Fivev.f_or Ternary.t_or
+let qcheck_fivev_xor = componentwise "f_xor is componentwise t_xor" Fivev.f_xor Ternary.t_xor
+
+let test_fivev_is_error () =
+  Alcotest.(check (list bool))
+    "only D and D' are errors"
+    [ false; false; true; true; false ]
+    (List.map Fivev.is_error all5)
+
+(* --- bitvec --------------------------------------------------------- *)
+
+let test_bitvec_get_set () =
+  let v = Bitvec.create 130 in
+  Alcotest.(check int) "length" 130 (Bitvec.length v);
+  Bitvec.set v 0 true;
+  Bitvec.set v 63 true;
+  Bitvec.set v 129 true;
+  Alcotest.(check bool) "bit 0" true (Bitvec.get v 0);
+  Alcotest.(check bool) "bit 62" false (Bitvec.get v 62);
+  Alcotest.(check bool) "bit 63 (word boundary)" true (Bitvec.get v 63);
+  Alcotest.(check bool) "bit 129" true (Bitvec.get v 129);
+  Alcotest.(check int) "popcount" 3 (Bitvec.popcount v);
+  Bitvec.set v 63 false;
+  Alcotest.(check int) "popcount after clear" 2 (Bitvec.popcount v)
+
+let test_bitvec_bounds () =
+  let v = Bitvec.create 8 in
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Bitvec: index out of bounds")
+    (fun () -> ignore (Bitvec.get v 8))
+
+let test_bitvec_strings () =
+  let v = Bitvec.of_string "10110" in
+  Alcotest.(check string) "roundtrip" "10110" (Bitvec.to_string v);
+  Alcotest.(check int) "popcount" 3 (Bitvec.popcount v)
+
+let test_bitvec_xor_diff () =
+  let a = Bitvec.of_string "10110" and b = Bitvec.of_string "10011" in
+  Alcotest.(check string) "xor" "00101" (Bitvec.to_string (Bitvec.xor a b));
+  Alcotest.(check (option int)) "first diff" (Some 2) (Bitvec.first_diff a b);
+  Alcotest.(check (option int)) "no diff" None (Bitvec.first_diff a a)
+
+let test_bitvec_fill () =
+  let v = Bitvec.create 70 in
+  Bitvec.fill v true;
+  Alcotest.(check int) "all ones" 70 (Bitvec.popcount v);
+  Bitvec.fill v false;
+  Alcotest.(check int) "all zeros" 0 (Bitvec.popcount v)
+
+let test_bitvec_iteri_set () =
+  let v = Bitvec.of_string "010010001" in
+  let acc = ref [] in
+  Bitvec.iteri_set (fun i -> acc := i :: !acc) v;
+  Alcotest.(check (list int)) "set positions ascending" [ 1; 4; 8 ] (List.rev !acc)
+
+let qcheck_bitvec_roundtrip =
+  QCheck.Test.make ~name:"bool array roundtrip" ~count:200
+    QCheck.(array_of_size Gen.(int_range 0 200) bool)
+    (fun arr -> Bitvec.to_bool_array (Bitvec.of_bool_array arr) = arr)
+
+let qcheck_bitvec_popcount =
+  QCheck.Test.make ~name:"popcount equals number of trues" ~count:200
+    QCheck.(array_of_size Gen.(int_range 0 200) bool)
+    (fun arr ->
+      Bitvec.popcount (Bitvec.of_bool_array arr)
+      = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 arr)
+
+let qcheck_bitvec_xor_involution =
+  QCheck.Test.make ~name:"xor with self is zero" ~count:100
+    QCheck.(array_of_size Gen.(int_range 1 200) bool)
+    (fun arr ->
+      let v = Bitvec.of_bool_array arr in
+      Bitvec.popcount (Bitvec.xor v v) = 0)
+
+let () =
+  Alcotest.run "logic"
+    [
+      ( "ternary",
+        [
+          Alcotest.test_case "kleene tables" `Quick test_ternary_tables;
+          Alcotest.test_case "char conversions" `Quick test_ternary_chars;
+          Alcotest.test_case "merge" `Quick test_ternary_merge;
+          QCheck_alcotest.to_alcotest qcheck_merge_compatible;
+          QCheck_alcotest.to_alcotest qcheck_and_comm;
+          QCheck_alcotest.to_alcotest qcheck_demorgan;
+        ] );
+      ( "fivev",
+        [
+          Alcotest.test_case "projections" `Quick test_fivev_projections;
+          Alcotest.test_case "D tables" `Quick test_fivev_d_tables;
+          Alcotest.test_case "is_error" `Quick test_fivev_is_error;
+          QCheck_alcotest.to_alcotest qcheck_fivev_and;
+          QCheck_alcotest.to_alcotest qcheck_fivev_or;
+          QCheck_alcotest.to_alcotest qcheck_fivev_xor;
+        ] );
+      ( "bitvec",
+        [
+          Alcotest.test_case "get/set across words" `Quick test_bitvec_get_set;
+          Alcotest.test_case "bounds checking" `Quick test_bitvec_bounds;
+          Alcotest.test_case "string conversions" `Quick test_bitvec_strings;
+          Alcotest.test_case "xor and first_diff" `Quick test_bitvec_xor_diff;
+          Alcotest.test_case "fill" `Quick test_bitvec_fill;
+          Alcotest.test_case "iteri_set" `Quick test_bitvec_iteri_set;
+          QCheck_alcotest.to_alcotest qcheck_bitvec_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_bitvec_popcount;
+          QCheck_alcotest.to_alcotest qcheck_bitvec_xor_involution;
+        ] );
+    ]

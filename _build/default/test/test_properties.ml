@@ -1,0 +1,195 @@
+(* Cross-module property tests on randomized synthetic circuits: the
+   invariants that tie the layers together, checked beyond the fixed
+   benchmark circuits used elsewhere in the suite. *)
+
+module Circuit = Tvs_netlist.Circuit
+module Bench_format = Tvs_netlist.Bench_format
+module Scan_insert = Tvs_netlist.Scan_insert
+module Stats = Tvs_netlist.Stats
+module Comb = Tvs_sim.Comb
+module Parallel = Tvs_sim.Parallel
+module Fault_gen = Tvs_fault.Fault_gen
+module Fault_sim = Tvs_fault.Fault_sim
+module Cube = Tvs_atpg.Cube
+module Podem = Tvs_atpg.Podem
+module Chain = Tvs_scan.Chain
+module Xor_scheme = Tvs_scan.Xor_scheme
+module Protocol = Tvs_scan.Protocol
+module Cycle = Tvs_core.Cycle
+module Profiles = Tvs_circuits.Profiles
+module Synth = Tvs_circuits.Synth
+module Rng = Tvs_util.Rng
+
+(* A family of small random circuits, deterministic per index. *)
+let tiny_profile i =
+  let styles = [| Profiles.Balanced; Profiles.Shallow; Profiles.Deep |] in
+  {
+    Profiles.name = Printf.sprintf "prop-%d" i;
+    npi = 2 + (i mod 5);
+    npo = 1 + (i mod 4);
+    nff = 4 + (i mod 9);
+    ngates = 25 + (7 * (i mod 11));
+    style = styles.(i mod 3);
+  }
+
+let tiny_circuit i = Synth.generate (tiny_profile i)
+
+let random_stimulus rng c =
+  ( Array.init (Circuit.num_inputs c) (fun _ -> Rng.bool rng),
+    Array.init (Circuit.num_flops c) (fun _ -> Rng.bool rng) )
+
+(* 1. The .bench writer/parser round-trip preserves behaviour, not just
+   structure. *)
+let qcheck_bench_roundtrip_behaviour =
+  QCheck.Test.make ~name:"bench round-trip preserves simulation" ~count:25
+    QCheck.(pair (int_range 0 32) small_int)
+    (fun (i, seed) ->
+      let c = tiny_circuit i in
+      let c' = Bench_format.parse_string ~name:"rt" (Bench_format.to_string c) in
+      let rng = Rng.create (Int64.of_int seed) in
+      let pi, state = random_stimulus rng c in
+      (* Net ids may differ; compare by I/O behaviour. *)
+      let f1 = Comb.eval_bool c ~pi ~state in
+      let f2 = Comb.eval_bool c' ~pi ~state in
+      f1.Comb.po = f2.Comb.po && f1.Comb.capture = f2.Comb.capture)
+
+(* 2. The word-parallel engine agrees with the scalar simulator on every
+   lane, for arbitrary circuits. *)
+let qcheck_parallel_agrees_with_scalar =
+  QCheck.Test.make ~name:"parallel lanes equal scalar runs" ~count:25
+    QCheck.(pair (int_range 0 32) small_int)
+    (fun (i, seed) ->
+      let c = tiny_circuit i in
+      let sim = Parallel.create c in
+      let rng = Rng.create (Int64.of_int seed) in
+      let pi, state = random_stimulus rng c in
+      let po, capture = Parallel.run_single sim ~pi ~state in
+      let frame = Comb.eval_bool c ~pi ~state in
+      po = frame.Comb.po && capture = frame.Comb.capture)
+
+(* 3. Every PODEM cube detects its fault under arbitrary fills. *)
+let qcheck_podem_cubes_detect =
+  QCheck.Test.make ~name:"PODEM cubes detect under any fill" ~count:15
+    QCheck.(pair (int_range 0 20) small_int)
+    (fun (i, seed) ->
+      let c = tiny_circuit i in
+      let ctx = Podem.create c in
+      let sim = Parallel.create c in
+      let faults = Fault_gen.collapsed c in
+      let rng = Rng.create (Int64.of_int seed) in
+      let fault = faults.(Rng.int rng (Array.length faults)) in
+      match Podem.generate ctx fault with
+      | Podem.Untestable | Podem.Aborted -> true
+      | Podem.Detected cube ->
+          List.for_all
+            (fun fill ->
+              let v = fill cube in
+              Fault_sim.detects sim ~pi:v.Cube.pi ~state:v.Cube.scan fault)
+            [ Cube.fill_const false; Cube.fill_const true; Cube.fill_random rng ])
+
+(* 4. Fault-free machines in the Cycle tracker never get caught: running the
+   machine with an empty differentiating fault (we use the whole list and
+   only check the partition invariant and monotonicity). *)
+let qcheck_cycle_partition =
+  QCheck.Test.make ~name:"cycle partition invariant on random circuits" ~count:15
+    QCheck.(pair (int_range 0 20) small_int)
+    (fun (i, seed) ->
+      let c = tiny_circuit i in
+      let faults = Fault_gen.collapsed c in
+      let machine = Cycle.create c ~faults in
+      let rng = Rng.create (Int64.of_int seed) in
+      let total = Array.length faults in
+      let ok = ref true in
+      let prev = ref 0 in
+      for _ = 1 to 10 do
+        let s = 1 + Rng.int rng (Circuit.num_flops c) in
+        let pi = Array.init (Circuit.num_inputs c) (fun _ -> Rng.bool rng) in
+        let fresh = Array.init s (fun _ -> Rng.bool rng) in
+        ignore (Cycle.step machine ~pi ~fresh);
+        let caught = Cycle.num_caught machine in
+        if
+          caught + Cycle.num_hidden machine + Cycle.num_uncaught machine <> total
+          || caught < !prev
+        then ok := false;
+        prev := caught
+      done;
+      !ok)
+
+(* 5. NXOR observation is exactly the raw emitted tail. *)
+let qcheck_nxor_is_emitted =
+  QCheck.Test.make ~name:"NXOR stream equals Chain.emitted" ~count:200
+    QCheck.(pair (array_of_size Gen.(int_range 1 24) bool) small_nat)
+    (fun (contents, k) ->
+      let s = k mod (Array.length contents + 1) in
+      let fresh = Array.make s false in
+      Xor_scheme.observe Xor_scheme.Nxor ~contents ~fresh = Chain.emitted contents ~s)
+
+(* 6. Scan insertion: structural accounting (3 gates per flop plus the
+   shared inverter and the scan-out buffer) and behavioural equivalence of
+   one capture cycle. *)
+let qcheck_scan_insert_accounting =
+  QCheck.Test.make ~name:"scan insertion adds exactly the mux logic" ~count:20
+    (QCheck.int_range 0 32)
+    (fun i ->
+      let c = tiny_circuit i in
+      let inserted = (Scan_insert.insert c).Scan_insert.circuit in
+      let before = (Stats.compute c).Stats.num_gates in
+      let after = (Stats.compute inserted).Stats.num_gates in
+      after = before + (3 * Circuit.num_flops c) + 2)
+
+let qcheck_scan_insert_capture_equiv =
+  QCheck.Test.make ~name:"inserted netlist captures like the core" ~count:20
+    QCheck.(pair (int_range 0 32) small_int)
+    (fun (i, seed) ->
+      let c = tiny_circuit i in
+      let inserted = Scan_insert.insert c in
+      let rng = Rng.create (Int64.of_int seed) in
+      let pi, state = random_stimulus rng c in
+      let frame = Comb.eval_bool c ~pi ~state in
+      let obs = Protocol.run inserted ~init:state [ Protocol.Capture pi ] in
+      obs.Protocol.final_state = frame.Comb.capture
+      && obs.Protocol.po_samples = [ frame.Comb.po ])
+
+(* 7. Fault collapsing never invents detections: any vector detects at most
+   as many collapsed faults as full-list faults. *)
+let qcheck_collapse_subset =
+  QCheck.Test.make ~name:"collapsed detections bounded by full list" ~count:20
+    QCheck.(pair (int_range 0 32) small_int)
+    (fun (i, seed) ->
+      let c = tiny_circuit i in
+      let sim = Parallel.create c in
+      let all = Fault_gen.all c in
+      let collapsed = Fault_gen.collapse c all in
+      let rng = Rng.create (Int64.of_int seed) in
+      let pi, state = random_stimulus rng c in
+      let count faults =
+        Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0
+          (Fault_sim.detected_faults sim ~pi ~state faults)
+      in
+      count collapsed <= count all)
+
+(* 8. VXOR write-back is an involution given the applied vector. *)
+let qcheck_vxor_involution =
+  QCheck.Test.make ~name:"VXOR write-back is involutive" ~count:200
+    QCheck.(pair (array_of_size (Gen.return 12) bool) (array_of_size (Gen.return 12) bool))
+    (fun (applied, capture) ->
+      let once = Xor_scheme.writeback Xor_scheme.Vxor ~applied_scan:applied ~capture in
+      let twice = Xor_scheme.writeback Xor_scheme.Vxor ~applied_scan:applied ~capture:once in
+      twice = capture)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "cross-module",
+        [
+          QCheck_alcotest.to_alcotest qcheck_bench_roundtrip_behaviour;
+          QCheck_alcotest.to_alcotest qcheck_parallel_agrees_with_scalar;
+          QCheck_alcotest.to_alcotest qcheck_podem_cubes_detect;
+          QCheck_alcotest.to_alcotest qcheck_cycle_partition;
+          QCheck_alcotest.to_alcotest qcheck_nxor_is_emitted;
+          QCheck_alcotest.to_alcotest qcheck_scan_insert_accounting;
+          QCheck_alcotest.to_alcotest qcheck_scan_insert_capture_equiv;
+          QCheck_alcotest.to_alcotest qcheck_collapse_subset;
+          QCheck_alcotest.to_alcotest qcheck_vxor_involution;
+        ] );
+    ]

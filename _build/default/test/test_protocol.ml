@@ -1,0 +1,145 @@
+(* Validation of the project's central abstraction: the combinational-core +
+   Chain-shift model must agree, cycle by cycle, with a gate-level
+   scan-inserted netlist driven through the physical test protocol. *)
+
+module Circuit = Tvs_netlist.Circuit
+module Scan_insert = Tvs_netlist.Scan_insert
+module Validate = Tvs_netlist.Validate
+module Comb = Tvs_sim.Comb
+module Parallel = Tvs_sim.Parallel
+module Chain = Tvs_scan.Chain
+module Protocol = Tvs_scan.Protocol
+module Rng = Tvs_util.Rng
+
+let s27 = Tvs_circuits.S27.circuit ()
+let fig1 = Tvs_circuits.Fig1.circuit ()
+
+let test_insertion_structure () =
+  let inserted = Scan_insert.insert s27 in
+  let c = inserted.Scan_insert.circuit in
+  Alcotest.(check int) "two extra PIs" (Circuit.num_inputs s27 + 2) (Circuit.num_inputs c);
+  Alcotest.(check int) "one extra PO" (Circuit.num_outputs s27 + 1) (Circuit.num_outputs c);
+  Alcotest.(check int) "same flops" (Circuit.num_flops s27) (Circuit.num_flops c);
+  Alcotest.(check bool) "clean netlist" true (Validate.is_clean c);
+  Alcotest.(check int) "scan-out index" (Circuit.num_outputs s27) inserted.Scan_insert.scan_out_index
+
+let test_insertion_rejects_no_flops () =
+  let b = Circuit.Builder.create "comb-only" in
+  let a = Circuit.Builder.input b "a" in
+  let g = Circuit.Builder.gate b ~name:"g" Tvs_netlist.Gate.Not [ a ] in
+  Circuit.Builder.mark_output b g;
+  let c = Circuit.Builder.finish b in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Scan_insert.insert c);
+       false
+     with Circuit.Build_error _ -> true)
+
+let test_shift_register_behaviour () =
+  (* Pure shifting: the chain is a shift register; the emitted stream is the
+     initial contents tail-first, then the injected bits in order. *)
+  let inserted = Scan_insert.insert fig1 in
+  let init = [| true; false; true |] in
+  let injected = [ true; true; false; false; true ] in
+  let obs =
+    Protocol.run inserted ~init (List.map (fun b -> Protocol.Shift b) injected)
+  in
+  Alcotest.(check (list bool))
+    "stream = old contents tail-first, then injected bits"
+    [ true; false; true; true; true ]
+    obs.Protocol.scan_stream;
+  (* Final contents: the last three injected bits, newest at the head. *)
+  Alcotest.(check (array bool)) "final contents" [| true; false; false |] obs.Protocol.final_state
+
+let test_single_capture_matches_core () =
+  let inserted = Scan_insert.insert s27 in
+  let rng = Rng.of_string "cap" in
+  for _ = 1 to 20 do
+    let pi = Array.init (Circuit.num_inputs s27) (fun _ -> Rng.bool rng) in
+    let state = Array.init (Circuit.num_flops s27) (fun _ -> Rng.bool rng) in
+    let frame = Comb.eval_bool s27 ~pi ~state in
+    let obs = Protocol.run inserted ~init:state [ Protocol.Capture pi ] in
+    (match obs.Protocol.po_samples with
+    | [ po ] -> Alcotest.(check (array bool)) "PO agrees" frame.Comb.po po
+    | _ -> Alcotest.fail "expected one capture sample");
+    Alcotest.(check (array bool)) "capture agrees" frame.Comb.capture obs.Protocol.final_state
+  done
+
+(* The end-to-end equivalence: an arbitrary stitched schedule produces, on
+   the physical netlist, exactly the stream/PO/contents sequence that the
+   Chain + combinational-core abstraction predicts. *)
+let check_schedule circuit vectors =
+  let inserted = Scan_insert.insert circuit in
+  let chain_len = Circuit.num_flops circuit in
+  let sim = Parallel.create circuit in
+  (* Abstraction: replay with Chain.shift + capture. *)
+  let predicted_stream = ref [] in
+  let predicted_pos = ref [] in
+  let contents = ref (Array.make chain_len false) in
+  List.iter
+    (fun (pi, fresh) ->
+      predicted_stream := !predicted_stream @ Array.to_list (Chain.emitted !contents ~s:(Array.length fresh));
+      let applied, _ = Chain.shift !contents ~fresh in
+      let po, capture = Parallel.run_single sim ~pi ~state:applied in
+      predicted_pos := !predicted_pos @ [ po ];
+      contents := capture)
+    vectors;
+  (* Physical run. *)
+  let obs =
+    Protocol.run inserted ~init:(Array.make chain_len false) (Protocol.stitched_ops ~vectors)
+  in
+  Alcotest.(check (list bool)) "scan stream agrees" !predicted_stream obs.Protocol.scan_stream;
+  Alcotest.(check int) "capture count" (List.length vectors) (List.length obs.Protocol.po_samples);
+  List.iter2
+    (fun expected got -> Alcotest.(check (array bool)) "PO sample agrees" expected got)
+    !predicted_pos obs.Protocol.po_samples;
+  Alcotest.(check (array bool)) "final contents agree" !contents obs.Protocol.final_state
+
+let test_fig1_paper_schedule_physical () =
+  let vectors = List.map (fun fresh -> ([||], fresh)) Tvs_circuits.Fig1.fresh_bits in
+  check_schedule fig1 vectors
+
+let test_s27_random_schedules () =
+  let rng = Rng.of_string "proto-random" in
+  for _ = 1 to 10 do
+    let nvec = 1 + Rng.int rng 6 in
+    let vectors =
+      List.init nvec (fun i ->
+          let s = if i = 0 then 3 else 1 + Rng.int rng 3 in
+          ( Array.init (Circuit.num_inputs s27) (fun _ -> Rng.bool rng),
+            Array.init s (fun _ -> Rng.bool rng) ))
+    in
+    check_schedule s27 vectors
+  done
+
+let qcheck_protocol_equivalence =
+  QCheck.Test.make ~name:"physical and abstract application agree (fig1)" ~count:60
+    QCheck.(pair small_int (list_of_size Gen.(int_range 1 6) (int_range 0 7)))
+    (fun (first, rest) ->
+      (* Encode each vector's fresh bits in an int: first vector full load of
+         3 bits, later vectors 2 bits. *)
+      let bits3 n = [| n land 1 = 1; n land 2 = 2; n land 4 = 4 |] in
+      let bits2 n = [| n land 1 = 1; n land 2 = 2 |] in
+      let vectors = ([||], bits3 first) :: List.map (fun n -> ([||], bits2 n)) rest in
+      try
+        check_schedule fig1 vectors;
+        true
+      with _ -> false)
+
+let () =
+  Alcotest.run "protocol"
+    [
+      ( "insertion",
+        [
+          Alcotest.test_case "structure" `Quick test_insertion_structure;
+          Alcotest.test_case "rejects combinational-only" `Quick test_insertion_rejects_no_flops;
+        ] );
+      ( "physical-vs-abstract",
+        [
+          Alcotest.test_case "pure shifting" `Quick test_shift_register_behaviour;
+          Alcotest.test_case "single capture" `Quick test_single_capture_matches_core;
+          Alcotest.test_case "fig1 paper schedule" `Quick test_fig1_paper_schedule_physical;
+          Alcotest.test_case "random s27 schedules" `Quick test_s27_random_schedules;
+          QCheck_alcotest.to_alcotest qcheck_protocol_equivalence;
+        ] );
+    ]

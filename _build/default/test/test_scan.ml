@@ -1,0 +1,224 @@
+(* Unit tests for Tvs_scan: chain shift mechanics, the three observation
+   schemes (including the paper's Figures 3 and 4), and the ATE cost model. *)
+
+module Chain = Tvs_scan.Chain
+module Xor_scheme = Tvs_scan.Xor_scheme
+module Cost = Tvs_scan.Cost
+module Ternary = Tvs_logic.Ternary
+
+let bits s = Array.init (String.length s) (fun i -> s.[i] = '1')
+let show a = String.init (Array.length a) (fun i -> if a.(i) then '1' else '0')
+
+(* --- chain ----------------------------------------------------------- *)
+
+let test_shift_paper_example () =
+  (* Contents 111 (response of 110), shift 2 fresh bits -> vector 001,
+     emitting cells c then b. *)
+  let state', out = Chain.shift (bits "111") ~fresh:(bits "00") in
+  Alcotest.(check string) "new contents" "001" (show state');
+  Alcotest.(check string) "emitted tail-first" "11" (show out)
+
+let test_shift_full () =
+  let state', out = Chain.shift (bits "101") ~fresh:(bits "010") in
+  Alcotest.(check string) "full replacement" "010" (show state');
+  Alcotest.(check string) "everything out" "101" (show out)
+
+let test_shift_zero () =
+  let state', out = Chain.shift (bits "101") ~fresh:[||] in
+  Alcotest.(check string) "unchanged" "101" (show state');
+  Alcotest.(check int) "nothing out" 0 (Array.length out)
+
+let test_shift_too_long () =
+  Alcotest.check_raises "too many fresh bits"
+    (Invalid_argument "Chain.shift: more fresh bits than cells") (fun () ->
+      ignore (Chain.shift (bits "10") ~fresh:(bits "000")))
+
+let test_shift_ternary_constraints () =
+  let state = Array.map Ternary.of_bool (bits "110") in
+  let c = Chain.shift_ternary state ~s:2 in
+  Alcotest.(check string) "head free, tail pinned" "XX1"
+    (String.init 3 (fun i -> Ternary.to_char c.(i)))
+
+let test_emitted_retained () =
+  let state = bits "10110" in
+  Alcotest.(check string) "emitted" "011" (show (Chain.emitted state ~s:3));
+  Alcotest.(check string) "retained" "10" (show (Chain.retained state ~s:3))
+
+let qcheck_shift_conservation =
+  (* Every bit of the old state either stays (shifted by s) or is emitted. *)
+  QCheck.Test.make ~name:"shift conserves all bits" ~count:300
+    QCheck.(pair (array_of_size Gen.(int_range 1 40) bool) small_nat)
+    (fun (state, k) ->
+      let s = k mod (Array.length state + 1) in
+      let fresh = Array.make s false in
+      let state', out = Chain.shift state ~fresh in
+      let len = Array.length state in
+      let kept_ok = Array.for_all (fun i -> state'.(i + s) = state.(i)) (Array.init (len - s) (fun i -> i)) in
+      let out_ok = Array.for_all (fun k0 -> out.(k0) = state.(len - 1 - k0)) (Array.init s (fun i -> i)) in
+      kept_ok && out_ok)
+
+(* --- xor schemes ------------------------------------------------------ *)
+
+let test_vxor_writeback () =
+  let applied = bits "1100" and capture = bits "1010" in
+  Alcotest.(check string) "nxor passes capture" "1010"
+    (show (Xor_scheme.writeback Xor_scheme.Nxor ~applied_scan:applied ~capture));
+  Alcotest.(check string) "vxor is R xor T" "0110"
+    (show (Xor_scheme.writeback Xor_scheme.Vxor ~applied_scan:applied ~capture))
+
+(* Figure 3's algebra: under VXOR a hidden fault is erased iff
+   R_f xor T_f = R xor T. *)
+let qcheck_vxor_elimination =
+  QCheck.Test.make ~name:"VXOR elimination condition (Fig. 3)" ~count:300
+    QCheck.(quad (array_of_size (Gen.return 6) bool) (array_of_size (Gen.return 6) bool)
+              (array_of_size (Gen.return 6) bool) (array_of_size (Gen.return 6) bool))
+    (fun (t_good, r_good, t_fault, r_fault) ->
+      let wb = Xor_scheme.writeback Xor_scheme.Vxor in
+      let erased = wb ~applied_scan:t_fault ~capture:r_fault = wb ~applied_scan:t_good ~capture:r_good in
+      let condition =
+        Array.for_all (fun i -> (r_fault.(i) <> t_fault.(i)) = (r_good.(i) <> t_good.(i)))
+          (Array.init 6 (fun i -> i))
+      in
+      erased = condition)
+
+let test_hxor_taps () =
+  (* Chain of 6, three taps: cells 5, 3, 1 (tail plus two spaced by L/3). *)
+  Alcotest.(check (list int)) "tap positions" [ 5; 3; 1 ] (Xor_scheme.taps 3 ~chain_len:6)
+
+let test_hxor_figure4 () =
+  (* Figure 4: cells a..f, three taps. First scanned-out bit is
+     (b xor d xor f), the second (a xor c xor e). *)
+  let a, b, c, d, e, f = (true, false, true, true, false, false) in
+  let contents = [| a; b; c; d; e; f |] in
+  let stream = Xor_scheme.observe (Xor_scheme.Hxor 3) ~contents ~fresh:[| false; false |] in
+  Alcotest.(check bool) "bit 1 = b xor d xor f" (b <> d <> f) stream.(0);
+  Alcotest.(check bool) "bit 2 = a xor c xor e" (a <> c <> e) stream.(1)
+
+let test_nxor_observe_is_plain_tail () =
+  let contents = bits "10110" in
+  let fresh = bits "00" in
+  Alcotest.(check string) "tail stream" "01"
+    (show (Xor_scheme.observe Xor_scheme.Nxor ~contents ~fresh));
+  Alcotest.(check string) "vxor observes contents too" "01"
+    (show (Xor_scheme.observe Xor_scheme.Vxor ~contents ~fresh))
+
+let test_hxor_sweeps_whole_chain () =
+  (* With n taps, shifting L/n steps sweeps every cell past some tap: a
+     single-bit difference anywhere must show in the stream. *)
+  let len = 9 in
+  let base = Array.make len false in
+  for diff = 0 to len - 1 do
+    let faulty = Array.copy base in
+    faulty.(diff) <- true;
+    let fresh = Array.make 3 false in
+    let s_good = Xor_scheme.observe (Xor_scheme.Hxor 3) ~contents:base ~fresh in
+    let s_bad = Xor_scheme.observe (Xor_scheme.Hxor 3) ~contents:faulty ~fresh in
+    Alcotest.(check bool) (Printf.sprintf "diff at %d observed in L/n steps" diff) true
+      (s_good <> s_bad)
+  done
+
+let test_scheme_strings () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Xor_scheme.to_string s ^ " roundtrip") true
+        (match Xor_scheme.of_string (Xor_scheme.to_string s) with
+        | Some s' -> Xor_scheme.equal s s'
+        | None -> false))
+    [ Xor_scheme.Nxor; Xor_scheme.Vxor; Xor_scheme.Hxor 3 ];
+  Alcotest.(check bool) "garbage rejected" true (Xor_scheme.of_string "hxor:zero" = None)
+
+let test_hardware_cost () =
+  Alcotest.(check int) "nxor free" 0 (Xor_scheme.hardware_cost Xor_scheme.Nxor ~chain_len:100);
+  Alcotest.(check int) "vxor one per cell" 100 (Xor_scheme.hardware_cost Xor_scheme.Vxor ~chain_len:100);
+  Alcotest.(check int) "hxor n-1 gates" 2 (Xor_scheme.hardware_cost (Xor_scheme.Hxor 3) ~chain_len:100)
+
+(* --- cost model ------------------------------------------------------- *)
+
+let paper_schedule =
+  { Cost.chain_len = 3; npi = 0; npo = 0; shifts = [ 3; 2; 2; 2 ]; extra = 0; full_drain = false }
+
+let test_cost_paper () =
+  Alcotest.(check int) "time 11" 11 (Cost.time paper_schedule);
+  Alcotest.(check int) "memory 17" 17 (Cost.memory paper_schedule);
+  let r = Cost.ratios paper_schedule ~baseline_nvec:4 in
+  Alcotest.(check (float 0.001)) "t ratio" (11.0 /. 15.0) r.Cost.t;
+  Alcotest.(check (float 0.001)) "m ratio" (17.0 /. 24.0) r.Cost.m
+
+let test_cost_io_terms () =
+  let s = { paper_schedule with npi = 2; npo = 1 } in
+  (* 4 vectors x 3 I/O bits on top of the 17 scan bits. *)
+  Alcotest.(check int) "io included" 29 (Cost.memory s);
+  Alcotest.(check int) "baseline io" 36 (Cost.baseline_memory ~chain_len:3 ~npi:2 ~npo:1 ~nvec:4)
+
+let test_cost_full_drain () =
+  let s = { paper_schedule with full_drain = true } in
+  (* Final unload becomes the whole chain: 9 + 3 = 12 cycles. *)
+  Alcotest.(check int) "drain time" 12 (Cost.time s);
+  Alcotest.(check int) "drain memory" 18 (Cost.memory s)
+
+let test_cost_extra_vectors () =
+  let s = { paper_schedule with extra = 2 } in
+  (* Loads 9, extras 2x3, final unload 3 (subsumes the partial one). *)
+  Alcotest.(check int) "time with extras" (9 + 6 + 3) (Cost.time s);
+  (* Memory: in 9 + out (2+2+2 + 3 full for the last stitched response)
+     + extras 2 * 2 * 3. *)
+  Alcotest.(check int) "memory with extras" (9 + 9 + 12) (Cost.memory s);
+  Alcotest.(check int) "vector count" 6 (Cost.num_vectors s)
+
+let test_cost_degenerate () =
+  let s = { Cost.chain_len = 5; npi = 1; npo = 1; shifts = []; extra = 0; full_drain = false } in
+  Alcotest.(check int) "empty schedule time" 0 (Cost.time s);
+  Alcotest.(check int) "empty schedule memory" 0 (Cost.memory s)
+
+let qcheck_stitched_never_worse_than_full_shifts =
+  (* If every shift is the full chain, stitched time equals the traditional
+     flow's time for the same number of vectors. *)
+  QCheck.Test.make ~name:"full-size shifts reduce to the baseline" ~count:100
+    QCheck.(pair (int_range 1 40) (int_range 1 30))
+    (fun (chain_len, nvec) ->
+      let s =
+        {
+          Cost.chain_len;
+          npi = 0;
+          npo = 0;
+          shifts = List.init nvec (fun _ -> chain_len);
+          extra = 0;
+          full_drain = false;
+        }
+      in
+      Cost.time s = Cost.baseline_time ~chain_len ~nvec)
+
+let () =
+  Alcotest.run "scan"
+    [
+      ( "chain",
+        [
+          Alcotest.test_case "paper example" `Quick test_shift_paper_example;
+          Alcotest.test_case "full shift" `Quick test_shift_full;
+          Alcotest.test_case "zero shift" `Quick test_shift_zero;
+          Alcotest.test_case "overlong shift rejected" `Quick test_shift_too_long;
+          Alcotest.test_case "ternary constraints" `Quick test_shift_ternary_constraints;
+          Alcotest.test_case "emitted / retained" `Quick test_emitted_retained;
+          QCheck_alcotest.to_alcotest qcheck_shift_conservation;
+        ] );
+      ( "xor-schemes",
+        [
+          Alcotest.test_case "vxor write-back" `Quick test_vxor_writeback;
+          QCheck_alcotest.to_alcotest qcheck_vxor_elimination;
+          Alcotest.test_case "hxor tap placement" `Quick test_hxor_taps;
+          Alcotest.test_case "figure 4 example" `Quick test_hxor_figure4;
+          Alcotest.test_case "nxor/vxor tail stream" `Quick test_nxor_observe_is_plain_tail;
+          Alcotest.test_case "hxor sweeps the chain" `Quick test_hxor_sweeps_whole_chain;
+          Alcotest.test_case "scheme strings" `Quick test_scheme_strings;
+          Alcotest.test_case "hardware cost" `Quick test_hardware_cost;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "paper arithmetic" `Quick test_cost_paper;
+          Alcotest.test_case "I/O terms" `Quick test_cost_io_terms;
+          Alcotest.test_case "full drain" `Quick test_cost_full_drain;
+          Alcotest.test_case "extra vectors" `Quick test_cost_extra_vectors;
+          Alcotest.test_case "degenerate schedule" `Quick test_cost_degenerate;
+          QCheck_alcotest.to_alcotest qcheck_stitched_never_worse_than_full_shifts;
+        ] );
+    ]

@@ -1,0 +1,235 @@
+(* Unit tests for Tvs_sim: lane packing, combinational simulation, and the
+   word-parallel engine with fault injection. *)
+
+module Circuit = Tvs_netlist.Circuit
+module Gate = Tvs_netlist.Gate
+module Ternary = Tvs_logic.Ternary
+module Lanes = Tvs_sim.Lanes
+module Comb = Tvs_sim.Comb
+module Parallel = Tvs_sim.Parallel
+module Rng = Tvs_util.Rng
+
+(* --- lanes ---------------------------------------------------------- *)
+
+let test_lanes_masks () =
+  Alcotest.(check int) "width" 63 Lanes.width;
+  Alcotest.(check int) "mask 0" 0 (Lanes.mask 0);
+  Alcotest.(check int) "mask 3" 0b111 (Lanes.mask 3);
+  Alcotest.(check int) "full mask" Lanes.all_mask (Lanes.mask Lanes.width);
+  Alcotest.(check int) "lane bit" 0b100 (Lanes.lane_bit 2)
+
+let test_lanes_get_set () =
+  let w = Lanes.set 0 5 true in
+  Alcotest.(check bool) "set then get" true (Lanes.get w 5);
+  Alcotest.(check bool) "others clear" false (Lanes.get w 4);
+  Alcotest.(check int) "clear again" 0 (Lanes.set w 5 false)
+
+let test_lanes_pack () =
+  let arr = [| true; false; true; true |] in
+  let w = Lanes.of_bools arr in
+  Alcotest.(check (array bool)) "roundtrip" arr (Lanes.to_bools ~n:4 w);
+  Alcotest.(check int) "broadcast true" Lanes.all_mask (Lanes.broadcast true);
+  Alcotest.(check int) "broadcast false" 0 (Lanes.broadcast false)
+
+(* --- combinational simulation --------------------------------------- *)
+
+(* A 2:1 mux: out = (a AND NOT s) OR (b AND s). *)
+let mux_circuit () =
+  let b = Circuit.Builder.create "mux" in
+  let a = Circuit.Builder.input b "a" in
+  let bb = Circuit.Builder.input b "b" in
+  let s = Circuit.Builder.input b "s" in
+  let ns = Circuit.Builder.gate b ~name:"ns" Gate.Not [ s ] in
+  let t0 = Circuit.Builder.gate b ~name:"t0" Gate.And [ a; ns ] in
+  let t1 = Circuit.Builder.gate b ~name:"t1" Gate.And [ bb; s ] in
+  let out = Circuit.Builder.gate b ~name:"out" Gate.Or [ t0; t1 ] in
+  Circuit.Builder.mark_output b out;
+  Circuit.Builder.finish b
+
+let test_comb_mux () =
+  let c = mux_circuit () in
+  let run a b s =
+    let frame = Comb.eval_bool c ~pi:[| a; b; s |] ~state:[||] in
+    frame.Comb.po.(0)
+  in
+  Alcotest.(check bool) "select a" true (run true false false);
+  Alcotest.(check bool) "select b" true (run false true true);
+  Alcotest.(check bool) "select a=0" false (run false true false)
+
+let test_comb_ternary_x () =
+  let c = mux_circuit () in
+  (* With s = X but a = b = 1 the output is 1 either way... Kleene logic is
+     not that clever (it sees OR of two Xs), so the result is X; with s = 0
+     the b input is don't-care. *)
+  let run pi =
+    let frame = Comb.eval_ternary c ~pi ~state:[||] in
+    frame.Comb.po.(0)
+  in
+  Alcotest.(check char) "s=0 ignores b" '1'
+    (Ternary.to_char (run [| Ternary.One; Ternary.X; Ternary.Zero |]));
+  Alcotest.(check char) "a=X propagates" 'X'
+    (Ternary.to_char (run [| Ternary.X; Ternary.Zero; Ternary.Zero |]))
+
+let test_comb_const () =
+  let b = Circuit.Builder.create "const" in
+  let a = Circuit.Builder.input b "a" in
+  let k = Circuit.Builder.const b true in
+  let g = Circuit.Builder.gate b ~name:"g" Gate.And [ a; k ] in
+  Circuit.Builder.mark_output b g;
+  let c = Circuit.Builder.finish b in
+  let frame = Comb.eval_bool c ~pi:[| true |] ~state:[||] in
+  Alcotest.(check bool) "AND with const 1" true frame.Comb.po.(0)
+
+let test_comb_scan_capture () =
+  let c = Tvs_circuits.Fig1.circuit () in
+  (* First paper vector: state 110 -> capture 111. *)
+  let frame = Comb.eval_bool c ~pi:[||] ~state:[| true; true; false |] in
+  Alcotest.(check (array bool)) "capture" [| true; true; true |] frame.Comb.capture
+
+(* --- parallel engine ------------------------------------------------ *)
+
+let test_parallel_matches_comb () =
+  (* Each lane of one parallel run must equal an independent scalar run. *)
+  let c = Tvs_circuits.S27.circuit () in
+  let sim = Parallel.create c in
+  let rng = Rng.of_string "par-vs-comb" in
+  let n = 63 in
+  let stimuli =
+    Array.init n (fun _ ->
+        ( Array.init (Circuit.num_inputs c) (fun _ -> Rng.bool rng),
+          Array.init (Circuit.num_flops c) (fun _ -> Rng.bool rng) ))
+  in
+  let pack select len =
+    Array.init len (fun j ->
+        let w = ref 0 in
+        for lane = 0 to n - 1 do
+          if (select stimuli.(lane)).(j) then w := !w lor (1 lsl lane)
+        done;
+        !w)
+  in
+  let pi_words = pack fst (Circuit.num_inputs c) in
+  let state_words = pack snd (Circuit.num_flops c) in
+  let r = Parallel.run sim ~pi:pi_words ~state:state_words ~injections:[] in
+  Array.iteri
+    (fun lane (pi, state) ->
+      let frame = Comb.eval_bool c ~pi ~state in
+      Array.iteri
+        (fun j expected ->
+          Alcotest.(check bool)
+            (Printf.sprintf "lane %d po %d" lane j)
+            expected
+            (Tvs_sim.Lanes.get r.Parallel.po.(j) lane))
+        frame.Comb.po;
+      Array.iteri
+        (fun j expected ->
+          Alcotest.(check bool)
+            (Printf.sprintf "lane %d capture %d" lane j)
+            expected
+            (Tvs_sim.Lanes.get r.Parallel.capture.(j) lane))
+        frame.Comb.capture)
+    stimuli
+
+let test_parallel_stem_injection () =
+  (* fig1, vector 110, fault D/0: capture must read 010 (Table 1). *)
+  let c = Tvs_circuits.Fig1.circuit () in
+  let sim = Parallel.create c in
+  let d = Circuit.find_net c "D" in
+  let inj = { Parallel.lane = 1; stuck = false; stem = d; branch = None } in
+  let state = Array.map (fun w -> if w then Lanes.mask 2 else 0) [| true; true; false |] in
+  let r = Parallel.run sim ~pi:[||] ~state ~injections:[ inj ] in
+  let lane_bits lane = Array.map (fun w -> Lanes.get w lane) r.Parallel.capture in
+  Alcotest.(check (array bool)) "good lane" [| true; true; true |] (lane_bits 0);
+  Alcotest.(check (array bool)) "faulty lane" [| false; true; false |] (lane_bits 1)
+
+let test_parallel_branch_injection () =
+  (* fig1, vector 110, fault D-c/0 (branch into cell c): capture 110. The
+     stem D still feeds F normally, so only the scan capture differs. *)
+  let c = Tvs_circuits.Fig1.circuit () in
+  let sim = Parallel.create c in
+  let d = Circuit.find_net c "D" in
+  let cell_c = Circuit.find_net c "C" in
+  let inj = { Parallel.lane = 1; stuck = false; stem = d; branch = Some (cell_c, 0) } in
+  let state = Array.map (fun w -> if w then Lanes.mask 2 else 0) [| true; true; false |] in
+  let r = Parallel.run sim ~pi:[||] ~state ~injections:[ inj ] in
+  let lane_bits lane = Array.map (fun w -> Lanes.get w lane) r.Parallel.capture in
+  Alcotest.(check (array bool)) "faulty lane keeps F" [| true; true; false |] (lane_bits 1)
+
+let test_parallel_per_lane_stimulus () =
+  (* Different lanes may apply different states: lane 0 gets 110, lane 1 gets
+     001; captures must be 111 and 010 respectively with no faults. *)
+  let c = Tvs_circuits.Fig1.circuit () in
+  let sim = Parallel.create c in
+  let state =
+    [| Lanes.of_bools [| true; false |]; Lanes.of_bools [| true; false |]; Lanes.of_bools [| false; true |] |]
+  in
+  let r = Parallel.run sim ~pi:[||] ~state ~injections:[] in
+  let lane_bits lane = Array.map (fun w -> Lanes.get w lane) r.Parallel.capture in
+  Alcotest.(check (array bool)) "lane 0: 110 -> 111" [| true; true; true |] (lane_bits 0);
+  Alcotest.(check (array bool)) "lane 1: 001 -> 010" [| false; true; false |] (lane_bits 1)
+
+let test_parallel_dimension_checks () =
+  let c = Tvs_circuits.S27.circuit () in
+  let sim = Parallel.create c in
+  Alcotest.(check bool) "pi mismatch rejected" true
+    (try
+       ignore (Parallel.run sim ~pi:[| 0 |] ~state:(Array.make 3 0) ~injections:[]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_run_single () =
+  let c = Tvs_circuits.Fig1.circuit () in
+  let sim = Parallel.create c in
+  let _, capture = Parallel.run_single sim ~pi:[||] ~state:[| false; false; true |] in
+  (* 001 -> 010 per the paper. *)
+  Alcotest.(check (array bool)) "correct machine" [| false; true; false |] capture
+
+let qcheck_parallel_good_lane =
+  (* Property: injections never disturb lane 0 (the fault-free machine). *)
+  let c = Tvs_circuits.S27.circuit () in
+  let sim = Parallel.create c in
+  QCheck.Test.make ~name:"injections leave lane 0 untouched" ~count:100
+    QCheck.(triple small_int small_int bool)
+    (fun (seed, net_pick, stuck) ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let pi = Array.init (Circuit.num_inputs c) (fun _ -> Rng.bool rng) in
+      let state = Array.init (Circuit.num_flops c) (fun _ -> Rng.bool rng) in
+      let stem = net_pick mod Circuit.num_nets c in
+      let widen arr = Array.map (fun b -> if b then Lanes.all_mask else 0) arr in
+      let clean = Parallel.run sim ~pi:(widen pi) ~state:(widen state) ~injections:[] in
+      let injected =
+        Parallel.run sim ~pi:(widen pi) ~state:(widen state)
+          ~injections:[ { Parallel.lane = 1; stuck; stem; branch = None } ]
+      in
+      let lane0 (r : Parallel.result) =
+        ( Array.map (fun w -> Lanes.get w 0) r.Parallel.po,
+          Array.map (fun w -> Lanes.get w 0) r.Parallel.capture )
+      in
+      lane0 clean = lane0 injected)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "lanes",
+        [
+          Alcotest.test_case "masks" `Quick test_lanes_masks;
+          Alcotest.test_case "get/set" `Quick test_lanes_get_set;
+          Alcotest.test_case "packing" `Quick test_lanes_pack;
+        ] );
+      ( "comb",
+        [
+          Alcotest.test_case "mux truth table" `Quick test_comb_mux;
+          Alcotest.test_case "ternary X propagation" `Quick test_comb_ternary_x;
+          Alcotest.test_case "constants" `Quick test_comb_const;
+          Alcotest.test_case "scan capture" `Quick test_comb_scan_capture;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "63 lanes match scalar runs" `Quick test_parallel_matches_comb;
+          Alcotest.test_case "stem injection" `Quick test_parallel_stem_injection;
+          Alcotest.test_case "branch injection" `Quick test_parallel_branch_injection;
+          Alcotest.test_case "per-lane stimulus" `Quick test_parallel_per_lane_stimulus;
+          Alcotest.test_case "dimension checks" `Quick test_parallel_dimension_checks;
+          Alcotest.test_case "run_single" `Quick test_run_single;
+          QCheck_alcotest.to_alcotest qcheck_parallel_good_lane;
+        ] );
+    ]

@@ -1,0 +1,159 @@
+(* Unit tests for Tvs_util: deterministic RNG and the table renderer. *)
+
+module Rng = Tvs_util.Rng
+module Table = Tvs_util.Table
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in [0, 17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_spread () =
+  let rng = Rng.create 9L in
+  let seen = Array.make 8 0 in
+  for _ = 1 to 8_000 do
+    let v = Rng.int rng 8 in
+    seen.(v) <- seen.(v) + 1
+  done;
+  Array.iteri
+    (fun i n -> Alcotest.(check bool) (Printf.sprintf "bucket %d populated" i) true (n > 500))
+    seen
+
+let test_rng_of_string_distinct () =
+  let a = Rng.next_int64 (Rng.of_string "s444") in
+  let b = Rng.next_int64 (Rng.of_string "s526") in
+  Alcotest.(check bool) "different labels, different streams" true (a <> b)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 1L in
+  let child = Rng.split parent in
+  let c1 = Rng.next_int64 child in
+  let p1 = Rng.next_int64 parent in
+  Alcotest.(check bool) "child differs from parent" true (c1 <> p1)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 3L in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_shuffle_small () =
+  let rng = Rng.create 5L in
+  Rng.shuffle rng [||];
+  let one = [| 42 |] in
+  Rng.shuffle rng one;
+  Alcotest.(check (array int)) "singleton untouched" [| 42 |] one
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 11L in
+  for _ = 1 to 1_000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_pick () =
+  let rng = Rng.create 13L in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "picked element belongs" true (Array.mem (Rng.pick rng arr) arr)
+  done
+
+let test_table_render () =
+  let t = Table.create [ "name"; "value" ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "longer"; "22" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "contains header" true (String.length out > 0);
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | header :: rule :: _ ->
+      Alcotest.(check bool) "header mentions name" true
+        (String.length header >= 4 && String.sub header 0 4 = "name");
+      Alcotest.(check bool) "rule is dashes" true (String.for_all (fun ch -> ch = '-') rule)
+  | _ -> Alcotest.fail "expected at least two lines");
+  Alcotest.(check int) "line count" 5 (List.length lines)
+
+let test_table_padding () =
+  let t = Table.create [ "a"; "b"; "c" ] in
+  Table.add_row t [ "only-one" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "renders without error" true (String.length out > 0)
+
+let test_table_rule () =
+  let t = Table.create [ "a" ] in
+  Table.add_row t [ "1" ];
+  Table.add_rule t;
+  Table.add_row t [ "2" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  Alcotest.(check int) "header+rule+row+rule+row (+trailing)" 6 (List.length lines)
+
+let test_table_alignment () =
+  let t = Table.create ~align:[ Table.Left; Table.Center; Table.Right ] [ "l"; "c"; "r" ] in
+  Table.add_row t [ "x"; "y"; "z" ];
+  Table.add_row t [ "wide-cell"; "wide-cell"; "wide-cell" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  (match lines with
+  | _ :: _ :: row :: _ ->
+      Alcotest.(check bool) "left cell flush" true (String.length row > 0 && row.[0] = 'x');
+      Alcotest.(check bool) "right cell flush" true (row.[String.length row - 1] = 'z')
+  | _ -> Alcotest.fail "expected rows");
+  ()
+
+let test_fmt_ratio () =
+  Alcotest.(check string) "two decimals" "0.73" (Table.fmt_ratio 0.734);
+  Alcotest.(check string) "rounds" "0.74" (Table.fmt_ratio 0.736);
+  Alcotest.(check string) "one" "1.00" (Table.fmt_ratio 1.0)
+
+let qcheck_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int always lands in [0, bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let qcheck_shuffle_preserves =
+  QCheck.Test.make ~name:"Rng.shuffle preserves multiset" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let arr = Array.of_list l in
+      Rng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.sort compare l)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int spread" `Quick test_rng_int_spread;
+          Alcotest.test_case "label-derived streams differ" `Quick test_rng_of_string_distinct;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "shuffle degenerate sizes" `Quick test_rng_shuffle_small;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "pick membership" `Quick test_rng_pick;
+          QCheck_alcotest.to_alcotest qcheck_int_in_bounds;
+          QCheck_alcotest.to_alcotest qcheck_shuffle_preserves;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render basics" `Quick test_table_render;
+          Alcotest.test_case "short rows padded" `Quick test_table_padding;
+          Alcotest.test_case "horizontal rules" `Quick test_table_rule;
+          Alcotest.test_case "alignment" `Quick test_table_alignment;
+          Alcotest.test_case "ratio formatting" `Quick test_fmt_ratio;
+        ] );
+    ]
