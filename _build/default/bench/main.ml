@@ -17,13 +17,30 @@ module Prep = Tvs_harness.Prep
 let scale : float option ref = ref None
 let only : string list ref = ref []
 
+let artifacts =
+  [
+    "table1"; "table2"; "table3"; "table4"; "table5"; "ablations"; "misr"; "comparison";
+    "diagnosis"; "randtest"; "micro";
+  ]
+
+let usage_and_exit msg =
+  Printf.eprintf "error: %s\n" msg;
+  Printf.eprintf "usage: bench [--scale FLOAT] [ARTIFACT...]\n";
+  Printf.eprintf "valid artifacts: %s\n" (String.concat " " artifacts);
+  exit 2
+
 let parse_args () =
   let rec go = function
     | [] -> ()
+    | [ "--scale" ] -> usage_and_exit "--scale requires a value"
     | "--scale" :: v :: rest ->
-        scale := Some (float_of_string v);
+        (match float_of_string_opt v with
+        | Some f when f > 0.0 -> scale := Some f
+        | Some _ | None -> usage_and_exit (Printf.sprintf "invalid --scale value %S" v));
         go rest
     | arg :: rest ->
+        if not (List.mem arg artifacts) then
+          usage_and_exit (Printf.sprintf "unknown artifact %S" arg);
         only := arg :: !only;
         go rest
   in
@@ -46,7 +63,8 @@ let micro_tests () =
   let s444 = Tvs_circuits.Synth.generate_named "s444" in
   let s444_faults = Tvs_fault.Fault_gen.collapsed s444 in
   let s444_ctx = Tvs_atpg.Podem.create s444 in
-  let s444_sim = Tvs_sim.Parallel.create s444 in
+  let s444_sim = Tvs_fault.Fault_sim.create s444 in
+  let s444_sim_full = Tvs_fault.Fault_sim.create ~mode:Tvs_fault.Fault_sim.Full s444 in
   let s444_vec =
     let rng = Tvs_util.Rng.of_string "bench:vec" in
     {
@@ -92,11 +110,18 @@ let micro_tests () =
       (Staged.stage (fun () ->
            let guide = Tvs_atpg.Scoap.compute s444 in
            Array.iter (fun f -> ignore (Tvs_atpg.Scoap.fault_hardness guide f)) s444_faults));
-    (* Table 5: word-parallel fault simulation, the large-circuit workhorse. *)
+    (* Table 5: word-parallel fault simulation, the large-circuit workhorse.
+       Default = event-driven cone-restricted path; the -full variant runs
+       one complete levelized pass per chunk for comparison. *)
     Test.make ~name:"table5/parallel-faultsim"
       (Staged.stage (fun () ->
            ignore
              (Tvs_fault.Fault_sim.detected_faults s444_sim ~pi:s444_vec.Tvs_atpg.Cube.pi
+                ~state:s444_vec.Tvs_atpg.Cube.scan s444_faults)));
+    Test.make ~name:"table5/parallel-faultsim-full"
+      (Staged.stage (fun () ->
+           ignore
+             (Tvs_fault.Fault_sim.detected_faults s444_sim_full ~pi:s444_vec.Tvs_atpg.Cube.pi
                 ~state:s444_vec.Tvs_atpg.Cube.scan s444_faults)));
   ]
 
@@ -106,6 +131,7 @@ let run_micro () =
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
   Printf.printf "==== Bechamel microbenchmarks (one kernel per table) ====\n";
+  Tvs_fault.Fault_sim.reset_counters ();
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -117,6 +143,19 @@ let run_micro () =
           | Some [] | None -> Printf.printf "%-28s (no estimate)\n%!" name)
         analysis)
     tests;
+  let ctr = Tvs_fault.Fault_sim.counters in
+  let evals = ctr.Tvs_fault.Fault_sim.gate_evals
+  and skipped = ctr.Tvs_fault.Fault_sim.gates_skipped in
+  let skip_pct =
+    if evals + skipped = 0 then 0.0
+    else 100.0 *. float_of_int skipped /. float_of_int (evals + skipped)
+  in
+  Printf.printf
+    "faultsim counters: %d event runs, %d full runs, %d events fired, %d gate evals (%.1f%% \
+     skipped), %d faults dropped\n"
+    ctr.Tvs_fault.Fault_sim.event_runs ctr.Tvs_fault.Fault_sim.full_runs
+    ctr.Tvs_fault.Fault_sim.events_fired evals skip_pct
+    ctr.Tvs_fault.Fault_sim.faults_dropped;
   print_newline ()
 
 (* ------------------------------------------------------------------ *)

@@ -81,7 +81,7 @@ let faultsim_cmd =
   let run spec scale =
     let prep = prep_of ~scale spec in
     let c = prep.Prep.circuit in
-    let sim = Parallel.create c in
+    let sim = Fault_sim.create c in
     let detected = Array.make (Array.length prep.Prep.faults) false in
     Array.iter
       (fun (v : Cube.vector) ->

@@ -1,1 +1,1 @@
-lib/atpg/compactor.mli: Cube Tvs_fault Tvs_sim
+lib/atpg/compactor.mli: Cube Tvs_fault

@@ -1,1 +1,1 @@
-lib/atpg/generator.ml: Array Compactor Cube List Podem Tvs_fault Tvs_logic Tvs_netlist Tvs_sim Tvs_util
+lib/atpg/generator.ml: Array Compactor Cube List Podem Tvs_fault Tvs_logic Tvs_netlist Tvs_util

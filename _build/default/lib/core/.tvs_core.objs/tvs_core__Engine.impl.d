@@ -1,1 +1,1 @@
-lib/core/engine.ml: Array Cycle List Policy Tvs_atpg Tvs_fault Tvs_netlist Tvs_scan Tvs_sim Tvs_util
+lib/core/engine.ml: Array Cycle List Policy Tvs_atpg Tvs_fault Tvs_netlist Tvs_scan Tvs_util

@@ -13,7 +13,7 @@ type st = C of int | H of bool array | U
 type t = {
   circuit : Circuit.t;
   scheme : Xor_scheme.t;
-  sim : Parallel.t;
+  sim : Fault_sim.t;
   faults : Fault.t array;
   state : st array;
   mutable good : bool array;  (* fault-free chain contents, post write-back *)
@@ -25,7 +25,7 @@ let create ?(scheme = Xor_scheme.Nxor) circuit ~faults =
   {
     circuit;
     scheme;
-    sim = Parallel.create circuit;
+    sim = Fault_sim.create circuit;
     faults;
     state = Array.make (Array.length faults) U;
     good = Array.make (Circuit.num_flops circuit) false;
@@ -189,6 +189,9 @@ let preview t ~pi ~fresh = (classify t ~pi ~fresh).report
 let step t ~pi ~fresh =
   let { report; new_good; updates } = classify t ~pi ~fresh in
   List.iter (fun (i, st) -> t.state.(i) <- st) updates;
+  (* Caught faults leave the uncaught/hidden pools for good: no future
+     [classify] simulates them again. *)
+  Fault_sim.note_dropped (List.length report.caught_now);
   t.good <- new_good;
   t.cycles <- t.cycles + 1;
   t.last_shift <- Array.length fresh;

@@ -36,6 +36,9 @@ type cycle_log = {
   became_hidden : int;
   hidden_after : int;
   uncaught_after : int;
+  events_fired : int;
+  gates_skipped : int;
+  faults_dropped : int;
 }
 
 type result = {
@@ -109,7 +112,7 @@ let run ?config ?(fallback = [||]) ~rng ctx ~faults =
   let chain_len = Circuit.num_flops c in
   let cfg = match config with Some cfg -> cfg | None -> default_config ~chain_len in
   let machine = Cycle.create ~scheme:cfg.scheme c ~faults in
-  let sim = Tvs_sim.Parallel.create c in
+  let sim = Tvs_fault.Fault_sim.create c in
   let hardness =
     let guide = Podem.scoap ctx in
     Array.map (fun f -> Scoap.fault_hardness guide f) faults
@@ -145,6 +148,10 @@ let run ?config ?(fallback = [||]) ~rng ctx ~faults =
     List.rev (gather [] 0 0 order)
   in
   let apply_candidate s cand =
+    let ctrs = Tvs_fault.Fault_sim.counters in
+    let ev0 = ctrs.Tvs_fault.Fault_sim.events_fired in
+    let sk0 = ctrs.Tvs_fault.Fault_sim.gates_skipped in
+    let dr0 = ctrs.Tvs_fault.Fault_sim.faults_dropped in
     let report = Cycle.step machine ~pi:cand.pi ~fresh:cand.fresh in
     shifts := s :: !shifts;
     stimuli := (cand.pi, cand.fresh) :: !stimuli;
@@ -162,6 +169,9 @@ let run ?config ?(fallback = [||]) ~rng ctx ~faults =
         became_hidden;
         hidden_after = Cycle.num_hidden machine;
         uncaught_after = Cycle.num_uncaught machine;
+        events_fired = ctrs.Tvs_fault.Fault_sim.events_fired - ev0;
+        gates_skipped = ctrs.Tvs_fault.Fault_sim.gates_skipped - sk0;
+        faults_dropped = ctrs.Tvs_fault.Fault_sim.faults_dropped - dr0;
       }
       :: !log
   in
@@ -233,8 +243,11 @@ let run ?config ?(fallback = [||]) ~rng ctx ~faults =
          append any fallback vector that detects a still-missing fault. *)
       let aborted = ref gen.Generator.aborted in
       if !aborted <> [] && Array.length fallback > 0 then begin
-        let sim = Tvs_sim.Parallel.create c in
+        let sim = Tvs_fault.Fault_sim.create c in
         let missing = ref !aborted in
+        (* Accumulate appended vectors in reverse and splice once at the end:
+           list append inside the loop is quadratic in the fallback count. *)
+        let appended_rev = ref [] in
         Array.iter
           (fun (vec : Cube.vector) ->
             if !missing <> [] then begin
@@ -245,7 +258,7 @@ let run ?config ?(fallback = [||]) ~rng ctx ~faults =
               let hit = Array.exists (fun b -> b) flags in
               if hit then begin
                 incr nvec;
-                extra_stimuli := !extra_stimuli @ [ vec ];
+                appended_rev := vec :: !appended_rev;
                 let survivors = ref [] in
                 Array.iteri
                   (fun k f -> if flags.(k) then incr caught else survivors := f :: !survivors)
@@ -254,6 +267,7 @@ let run ?config ?(fallback = [||]) ~rng ctx ~faults =
               end
             end)
           fallback;
+        extra_stimuli := !extra_stimuli @ List.rev !appended_rev;
         aborted := !missing
       end;
       (!nvec, !caught, gen.Generator.redundant, !aborted)

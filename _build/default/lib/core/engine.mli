@@ -35,6 +35,10 @@ type cycle_log = {
   became_hidden : int;
   hidden_after : int;
   uncaught_after : int;
+  events_fired : int;  (** simulator net events this cycle (event path) *)
+  gates_skipped : int;
+      (** gate evaluations the event path avoided vs. full passes *)
+  faults_dropped : int;  (** faults permanently dropped (caught) this cycle *)
 }
 
 type result = {

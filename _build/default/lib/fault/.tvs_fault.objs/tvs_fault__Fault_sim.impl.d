@@ -1,1 +1,1 @@
-lib/fault/fault_sim.ml: Array Fault List Tvs_sim
+lib/fault/fault_sim.ml: Array Fault Lazy List Tvs_netlist Tvs_sim

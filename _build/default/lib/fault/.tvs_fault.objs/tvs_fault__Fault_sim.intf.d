@@ -1,1 +1,1 @@
-lib/fault/fault_sim.mli: Fault Tvs_sim
+lib/fault/fault_sim.mli: Fault Tvs_netlist Tvs_sim

@@ -1,11 +1,68 @@
 module Parallel = Tvs_sim.Parallel
+module Event = Tvs_sim.Event
 module Lanes = Tvs_sim.Lanes
+module Circuit = Tvs_netlist.Circuit
 
 type outcome = Same | Po_detected | Capture_differs of bool array
 
 type frame = { po : bool array; capture : bool array }
 
 type batch_result = { good : frame; outcomes : outcome array }
+
+type mode = Event_driven | Full
+
+type t = {
+  circuit : Circuit.t;
+  par : Parallel.t;
+  ev : Event.t Lazy.t;
+  mode : mode;
+}
+
+let create ?(mode = Event_driven) circuit =
+  { circuit; par = Parallel.create circuit; ev = lazy (Event.create circuit); mode }
+
+let of_parallel par =
+  let circuit = Parallel.circuit par in
+  { circuit; par; ev = lazy (Event.create circuit); mode = Event_driven }
+
+let circuit t = t.circuit
+let parallel t = t.par
+let mode t = t.mode
+
+type counters = {
+  mutable full_runs : int;
+  mutable event_runs : int;
+  mutable events_fired : int;
+  mutable gate_evals : int;
+  mutable gates_skipped : int;
+  mutable faults_dropped : int;
+}
+
+let counters =
+  {
+    full_runs = 0;
+    event_runs = 0;
+    events_fired = 0;
+    gate_evals = 0;
+    gates_skipped = 0;
+    faults_dropped = 0;
+  }
+
+let reset_counters () =
+  counters.full_runs <- 0;
+  counters.event_runs <- 0;
+  counters.events_fired <- 0;
+  counters.gate_evals <- 0;
+  counters.gates_skipped <- 0;
+  counters.faults_dropped <- 0
+
+let note_dropped n = counters.faults_dropped <- counters.faults_dropped + n
+
+let note_event_run ev =
+  counters.event_runs <- counters.event_runs + 1;
+  counters.events_fired <- counters.events_fired + Event.last_events ev;
+  counters.gate_evals <- counters.gate_evals + Event.last_evals ev;
+  counters.gates_skipped <- counters.gates_skipped + (Event.full_evals ev - Event.last_evals ev)
 
 let chunk_size = Lanes.width - 1 (* lane 0 is the fault-free machine *)
 
@@ -36,16 +93,65 @@ let outcomes_of_run (r : Parallel.result) ~nfaults =
         Capture_differs (Array.map (fun w -> Lanes.get w lane) r.capture)
       else Same)
 
-let run_chunk ctx ~pi_words ~state_words faults =
-  let injections =
-    List.mapi (fun i f -> Fault.to_injection f ~lane:(i + 1)) (Array.to_list faults)
-  in
-  let r = Parallel.run ctx ~pi:pi_words ~state:state_words ~injections in
-  (lane0_frame r, outcomes_of_run r ~nfaults:(Array.length faults))
+(* Chunking order: faults whose cones overlap share a chunk, so each chunk's
+   event activity stays confined to a few cones instead of spraying one cone
+   per lane across the whole circuit. Sorting by the cone representative (the
+   lowest-numbered observation point a stem reaches, O(E) to index once per
+   circuit) clusters overlapping cones at O(n log n) per batch; the secondary
+   key packs stems of the same sub-cone next to each other.
+
+   The permutation is a performance hint only — outcomes are mapped back
+   through it, so any order is correct. That makes the one-entry memo below
+   safe: drivers like [Generator.drop_detected] re-screen the same physical
+   fault array against many vectors, and re-sorting it each time would cost
+   more than the simulation itself. *)
+let compute_chunk_order c (faults : Fault.t array) =
+  let n = Array.length faults in
+  if n <= chunk_size then Array.init n (fun i -> i)
+  else begin
+    (* Composite int key: (cone_rep, stem, original index), packed so a
+       single monomorphic int sort orders and disambiguates at once. *)
+    let order = Array.init n (fun i -> i) in
+    let key =
+      Array.init n (fun i ->
+          let f = faults.(i) in
+          (Circuit.cone_rep c f.Fault.stem, f.Fault.stem, i))
+    in
+    Array.sort
+      (fun a b ->
+        let (ra, sa, ia) = key.(a) and (rb, sb, ib) = key.(b) in
+        if ra <> rb then (if ra < rb then -1 else 1)
+        else if sa <> sb then (if sa < sb then -1 else 1)
+        else if ia < ib then -1
+        else if ia > ib then 1
+        else 0)
+      order;
+    order
+  end
+
+let order_memo : (Fault.t array * int array) option ref = ref None
+
+let chunk_order c faults =
+  match !order_memo with
+  | Some (prev, order) when prev == faults -> order
+  | Some _ | None ->
+      let order = compute_chunk_order c faults in
+      order_memo := Some (faults, order);
+      order
 
 let broadcast_words arr = Array.map (fun b -> if b then Lanes.all_mask else 0) arr
 
-let run_batch ctx ~pi ~state ~faults =
+(* Full-broadcast path: one complete levelized pass per chunk. *)
+
+let run_chunk_full par ~pi_words ~state_words faults =
+  let injections =
+    List.mapi (fun i f -> Fault.to_injection f ~lane:(i + 1)) (Array.to_list faults)
+  in
+  let r = Parallel.run par ~pi:pi_words ~state:state_words ~injections in
+  counters.full_runs <- counters.full_runs + 1;
+  (lane0_frame r, outcomes_of_run r ~nfaults:(Array.length faults))
+
+let run_batch_full par ~pi ~state ~faults =
   let pi_words = broadcast_words pi in
   let state_words = broadcast_words state in
   let n = Array.length faults in
@@ -55,7 +161,7 @@ let run_batch ctx ~pi ~state ~faults =
   while !pos < n || !good = None do
     let len = min chunk_size (n - !pos) in
     let chunk = Array.sub faults !pos len in
-    let g, out = run_chunk ctx ~pi_words ~state_words chunk in
+    let g, out = run_chunk_full par ~pi_words ~state_words chunk in
     if !good = None then good := Some g;
     Array.blit out 0 outcomes !pos len;
     pos := !pos + max len 1
@@ -64,9 +170,8 @@ let run_batch ctx ~pi ~state ~faults =
   | Some good -> { good; outcomes }
   | None -> assert false
 
-let run_per_state ctx ~pi ~good_state ~faults ~states =
+let run_per_state_full par ~pi ~good_state ~faults ~states =
   let n = Array.length faults in
-  if Array.length states <> n then invalid_arg "Fault_sim.run_per_state: states length mismatch";
   let nflops = Array.length good_state in
   let pi_words = broadcast_words pi in
   let outcomes = Array.make n Same in
@@ -85,7 +190,7 @@ let run_per_state ctx ~pi ~good_state ~faults ~states =
           !w)
     in
     let chunk = Array.sub faults !pos len in
-    let g, out = run_chunk ctx ~pi_words ~state_words chunk in
+    let g, out = run_chunk_full par ~pi_words ~state_words chunk in
     if !good = None then good := Some g;
     Array.blit out 0 outcomes !pos len;
     pos := !pos + max len 1
@@ -94,10 +199,123 @@ let run_per_state ctx ~pi ~good_state ~faults ~states =
   | Some good -> { good; outcomes }
   | None -> assert false
 
-let detects ctx ~pi ~state fault =
-  let r = run_batch ctx ~pi ~state ~faults:[| fault |] in
+(* Event-driven path: the fault-free pass happens once in [set_stimulus];
+   each chunk then only re-evaluates the gates its fault cones disturb. *)
+
+let run_batch_event t ~pi ~state ~faults =
+  let ev = Lazy.force t.ev in
+  Event.set_stimulus ev ~pi ~state;
+  let good = { po = Event.good_po ev; capture = Event.good_capture ev } in
+  let n = Array.length faults in
+  let outcomes = Array.make n Same in
+  let order = chunk_order t.circuit faults in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min chunk_size (n - !pos) in
+    let injections =
+      List.init len (fun i -> Fault.to_injection faults.(order.(!pos + i)) ~lane:(i + 1))
+    in
+    let r = Event.run ev ~injections () in
+    note_event_run ev;
+    let out = outcomes_of_run r ~nfaults:len in
+    for i = 0 to len - 1 do
+      outcomes.(order.(!pos + i)) <- out.(i)
+    done;
+    pos := !pos + len
+  done;
+  { good; outcomes }
+
+let run_per_state_event t ~pi ~good_state ~faults ~states =
+  let ev = Lazy.force t.ev in
+  Event.set_stimulus ev ~pi ~state:good_state;
+  let good = { po = Event.good_po ev; capture = Event.good_capture ev } in
+  let n = Array.length faults in
+  let nflops = Array.length good_state in
+  let outcomes = Array.make n Same in
+  let order = chunk_order t.circuit faults in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min chunk_size (n - !pos) in
+    let state_words =
+      Array.init nflops (fun j ->
+          let w = ref (if good_state.(j) then 1 else 0) in
+          for i = 0 to len - 1 do
+            if states.(order.(!pos + i)).(j) then w := !w lor (1 lsl (i + 1))
+          done;
+          !w)
+    in
+    let injections =
+      List.init len (fun i -> Fault.to_injection faults.(order.(!pos + i)) ~lane:(i + 1))
+    in
+    let r = Event.run ev ~states:state_words ~injections () in
+    note_event_run ev;
+    let out = outcomes_of_run r ~nfaults:len in
+    for i = 0 to len - 1 do
+      outcomes.(order.(!pos + i)) <- out.(i)
+    done;
+    pos := !pos + len
+  done;
+  { good; outcomes }
+
+let run_batch t ~pi ~state ~faults =
+  match t.mode with
+  | Full -> run_batch_full t.par ~pi ~state ~faults
+  | Event_driven -> run_batch_event t ~pi ~state ~faults
+
+let run_per_state t ~pi ~good_state ~faults ~states =
+  if Array.length states <> Array.length faults then
+    invalid_arg "Fault_sim.run_per_state: states length mismatch";
+  match t.mode with
+  | Full -> run_per_state_full t.par ~pi ~good_state ~faults ~states
+  | Event_driven -> run_per_state_event t ~pi ~good_state ~faults ~states
+
+let detects t ~pi ~state fault =
+  let r = run_batch t ~pi ~state ~faults:[| fault |] in
   match r.outcomes.(0) with Same -> false | Po_detected | Capture_differs _ -> true
 
-let detected_faults ctx ~pi ~state faults =
-  let r = run_batch ctx ~pi ~state ~faults in
-  Array.map (function Same -> false | Po_detected | Capture_differs _ -> true) r.outcomes
+(* Detection flags don't need the per-fault faulty-capture payloads that
+   [outcomes_of_run] materializes, so the screening entry point reads the
+   lane difference masks directly. *)
+let detected_faults t ~pi ~state faults =
+  let n = Array.length faults in
+  let flags = Array.make n false in
+  let flags_of_run (r : Parallel.result) ~nfaults ~write =
+    let used = Lanes.mask (nfaults + 1) in
+    let diff = diff_mask r.po used lor diff_mask r.capture used in
+    for i = 0 to nfaults - 1 do
+      write i (Lanes.get diff (i + 1))
+    done
+  in
+  (match t.mode with
+  | Full ->
+      let pi_words = broadcast_words pi in
+      let state_words = broadcast_words state in
+      let pos = ref 0 in
+      while !pos < n do
+        let len = min chunk_size (n - !pos) in
+        let injections =
+          List.init len (fun i -> Fault.to_injection faults.(!pos + i) ~lane:(i + 1))
+        in
+        let r = Parallel.run t.par ~pi:pi_words ~state:state_words ~injections in
+        counters.full_runs <- counters.full_runs + 1;
+        let base = !pos in
+        flags_of_run r ~nfaults:len ~write:(fun i d -> flags.(base + i) <- d);
+        pos := !pos + len
+      done
+  | Event_driven ->
+      let ev = Lazy.force t.ev in
+      Event.set_stimulus ev ~pi ~state;
+      let order = chunk_order t.circuit faults in
+      let pos = ref 0 in
+      while !pos < n do
+        let len = min chunk_size (n - !pos) in
+        let injections =
+          List.init len (fun i -> Fault.to_injection faults.(order.(!pos + i)) ~lane:(i + 1))
+        in
+        let r = Event.run ev ~injections () in
+        note_event_run ev;
+        let base = !pos in
+        flags_of_run r ~nfaults:len ~write:(fun i d -> flags.(order.(base + i)) <- d);
+        pos := !pos + len
+      done);
+  flags

@@ -1,4 +1,4 @@
-(** Batch fault simulation on top of the word-parallel engine.
+(** Batch fault simulation on top of the word-parallel engines.
 
     One engine run simulates the fault-free machine in lane 0 and up to 62
     faulty machines in the remaining lanes; arbitrary fault batches are
@@ -8,7 +8,14 @@
       uncaught set against a candidate vector);
     - {!run_per_state}: each faulty machine applies its own scan state (the
       hidden-fault case, where a fault's retained response bits mutate the
-      vector it actually receives). *)
+      vector it actually receives).
+
+    Two execution paths produce bit-identical outcomes. {!Full} runs one
+    complete levelized pass per chunk ({!Tvs_sim.Parallel}).
+    {!Event_driven} (the default) evaluates the fault-free machine once per
+    stimulus and then propagates only lane events inside the chunk's fault
+    cones ({!Tvs_sim.Event}); chunks are grouped so faults with overlapping
+    cones share lanes. Work done and skipped is tallied in {!counters}. *)
 
 type outcome =
   | Same  (** response identical to the fault-free machine *)
@@ -21,11 +28,50 @@ type frame = { po : bool array; capture : bool array }
 
 type batch_result = { good : frame; outcomes : outcome array }
 
-val run_batch :
-  Tvs_sim.Parallel.t -> pi:bool array -> state:bool array -> faults:Fault.t array -> batch_result
+type mode =
+  | Event_driven  (** cone-restricted event propagation (default) *)
+  | Full  (** one full levelized pass per chunk *)
+
+type t
+(** Reusable fault-simulation context for one circuit: a {!Tvs_sim.Parallel}
+    engine plus a lazily-built {!Tvs_sim.Event} engine. Not thread-safe. *)
+
+val create : ?mode:mode -> Tvs_netlist.Circuit.t -> t
+
+val of_parallel : Tvs_sim.Parallel.t -> t
+(** Wrap an existing broadcast engine (event-driven mode). The event engine
+    is built lazily on first use. *)
+
+val circuit : t -> Tvs_netlist.Circuit.t
+
+val parallel : t -> Tvs_sim.Parallel.t
+(** The underlying broadcast engine, for callers that also need raw
+    {!Tvs_sim.Parallel.run} access on the same circuit. *)
+
+val mode : t -> mode
+
+(** Cumulative work counters across all contexts (reset with
+    {!reset_counters}; sampled by the engine per cycle and by the bench
+    harness). *)
+type counters = {
+  mutable full_runs : int;  (** complete levelized passes *)
+  mutable event_runs : int;  (** event-driven chunk runs *)
+  mutable events_fired : int;  (** net-value changes propagated *)
+  mutable gate_evals : int;  (** gates evaluated on the event path *)
+  mutable gates_skipped : int;  (** gate evaluations avoided vs. full passes *)
+  mutable faults_dropped : int;  (** faults permanently dropped once caught *)
+}
+
+val counters : counters
+val reset_counters : unit -> unit
+
+val note_dropped : int -> unit
+(** Record that [n] caught faults were dropped from further simulation. *)
+
+val run_batch : t -> pi:bool array -> state:bool array -> faults:Fault.t array -> batch_result
 
 val run_per_state :
-  Tvs_sim.Parallel.t ->
+  t ->
   pi:bool array ->
   good_state:bool array ->
   faults:Fault.t array ->
@@ -34,10 +80,9 @@ val run_per_state :
 (** [states.(i)] is the scan state fault [i]'s machine applies;
     [Array.length states] must equal [Array.length faults]. *)
 
-val detects : Tvs_sim.Parallel.t -> pi:bool array -> state:bool array -> Fault.t -> bool
+val detects : t -> pi:bool array -> state:bool array -> Fault.t -> bool
 (** Full-observability detection (all POs and the whole captured state), the
     criterion of a traditional full-shift scan test. *)
 
-val detected_faults :
-  Tvs_sim.Parallel.t -> pi:bool array -> state:bool array -> Fault.t array -> bool array
+val detected_faults : t -> pi:bool array -> state:bool array -> Fault.t array -> bool array
 (** Full-observability detection flags for a whole fault list. *)

@@ -83,12 +83,13 @@ let show_bits a = String.init (Array.length a) (fun i -> if a.(i) then '1' else 
 
 let table1 () =
   let c = Fig1.circuit () in
-  let sim = Parallel.create c in
+  let fsim = Fault_sim.create c in
+  let sim = Fault_sim.parallel fsim in
   let response fault state =
     match fault with
     | None -> snd (Parallel.run_single sim ~pi:[||] ~state)
     | Some f -> (
-        let r = Fault_sim.run_batch sim ~pi:[||] ~state ~faults:[| f |] in
+        let r = Fault_sim.run_batch fsim ~pi:[||] ~state ~faults:[| f |] in
         match r.Fault_sim.outcomes.(0) with
         | Fault_sim.Same | Fault_sim.Po_detected -> r.Fault_sim.good.Fault_sim.capture
         | Fault_sim.Capture_differs cap -> cap)
@@ -298,6 +299,7 @@ let table4 ?scale ?(circuits = default_table2_circuits) () =
 let table5 ?scale ?(circuits = default_table5_circuits) () =
   let tbl = Table.create [ "circ"; "I/O"; "scan#"; "TV"; "ex"; "m"; "t"; "cov" ] in
   let ms = ref [] and ts = ref [] in
+  Fault_sim.reset_counters ();
   List.iter
     (fun name ->
       let sc = match scale with Some s -> s | None -> table5_default_scale name in
@@ -321,7 +323,18 @@ let table5 ?scale ?(circuits = default_table5_circuits) () =
   Table.add_rule tbl;
   Table.add_row tbl
     [ "Ave"; ""; ""; ""; ""; Table.fmt_ratio (mean !ms); Table.fmt_ratio (mean !ts); "" ];
+  let ctr = Fault_sim.counters in
+  let skip_pct =
+    let total = ctr.Fault_sim.gate_evals + ctr.Fault_sim.gates_skipped in
+    if total = 0 then 0.0
+    else 100.0 *. float_of_int ctr.Fault_sim.gates_skipped /. float_of_int total
+  in
   "Table 5: large circuits (variable shift, most-faults, NXOR)\n" ^ Table.render tbl
+  ^ Printf.sprintf
+      "simulator: %d event runs, %d full runs, %d events fired, %d gate evals (%.1f%% skipped), \
+       %d faults dropped\n"
+      ctr.Fault_sim.event_runs ctr.Fault_sim.full_runs ctr.Fault_sim.events_fired
+      ctr.Fault_sim.gate_evals skip_pct ctr.Fault_sim.faults_dropped
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md §6).                                           *)
@@ -337,7 +350,7 @@ let ablations ?(scale = 1.0) ?(circuit = "s953") () =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "Ablations on %s\n" (Circuit.name c));
   (* 1. Parallel vs serial fault simulation over the baseline test set. *)
-  let sim = Parallel.create c in
+  let sim = Fault_sim.create c in
   let vectors = prep.Prep.baseline.Baseline.vectors in
   let faults = prep.Prep.faults in
   let _, par_time =
@@ -536,7 +549,7 @@ let random_testability ?(patterns = 256) ?(circuits = [ "s444"; "s953"; "s1423";
       in
       let c = Tvs_circuits.Synth.generate profile in
       let faults = Fault_gen.collapsed c in
-      let sim = Parallel.create c in
+      let sim = Fault_sim.create c in
       let lfsr = Tvs_scan.Lfsr.create ~seed:0x5eed ~width:24 () in
       let detected = Array.make (Array.length faults) false in
       let coverage_at = Hashtbl.create 4 in

@@ -1,1 +1,1 @@
-lib/netlist/circuit.ml: Array Format Gate Hashtbl List Printf Queue String
+lib/netlist/circuit.ml: Array Bytes Char Format Gate Hashtbl Lazy List Printf Queue String

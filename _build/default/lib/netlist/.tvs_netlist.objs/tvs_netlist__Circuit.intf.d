@@ -1,1 +1,1 @@
-lib/netlist/circuit.mli: Format Gate
+lib/netlist/circuit.mli: Bytes Format Gate

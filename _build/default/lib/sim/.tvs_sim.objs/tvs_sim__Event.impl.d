@@ -1,0 +1,1 @@
+lib/sim/event.ml: Array Inject Lanes List Parallel Tvs_netlist

@@ -1,0 +1,1 @@
+lib/sim/inject.ml: Array Lanes List Tvs_netlist

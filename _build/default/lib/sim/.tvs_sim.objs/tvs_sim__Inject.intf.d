@@ -1,0 +1,1 @@
+lib/sim/inject.mli: Tvs_netlist

@@ -1,1 +1,1 @@
-lib/sim/parallel.ml: Array Hashtbl Lanes List Option Tvs_netlist
+lib/sim/parallel.ml: Array Inject Lanes Tvs_netlist

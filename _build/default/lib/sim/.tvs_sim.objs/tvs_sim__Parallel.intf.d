@@ -1,1 +1,1 @@
-lib/sim/parallel.mli: Tvs_netlist
+lib/sim/parallel.mli: Inject Tvs_netlist

@@ -1,0 +1,246 @@
+module Circuit = Tvs_netlist.Circuit
+module Gate = Tvs_netlist.Gate
+
+(* Pre-extracted gate table: kind + fanin nets per net, gate-only fanout
+   sinks per net. Avoids constructor matches and tuple traffic on the hot
+   propagation path. *)
+type t = {
+  circuit : Circuit.t;
+  good : int array;  (* broadcast fault-free value per net, set by set_stimulus *)
+  values : int array;  (* working lane-packed values; equal to [good] between runs *)
+  ov : Inject.t;
+  level_of : int array;
+  depth : int;
+  is_gate : bool array;
+  kind_of : Gate.kind array;  (* valid where is_gate *)
+  ins_of : int array array;  (* valid where is_gate; [||] elsewhere *)
+  gate_sinks : int array array;  (* fanout sinks that are gate nets *)
+  flop_d : int array;  (* D net per flop, scan order *)
+  (* Per-level pending stacks, capacity = level population. *)
+  bucket : int array array;
+  bucket_len : int array;
+  scheduled : bool array;
+  touched : int array;  (* stack of nets whose value deviates from [good] *)
+  mutable touched_len : int;
+  num_gates : int;  (* length of the topo order: full-pass evaluation count *)
+  mutable good_po : bool array;
+  mutable good_capture : bool array;
+  mutable stimulus_set : bool;
+  mutable last_events : int;  (* net value changes in the last run *)
+  mutable last_evals : int;  (* gate evaluations in the last run *)
+}
+
+let create circuit =
+  let n = Circuit.num_nets circuit in
+  let depth = Circuit.depth circuit in
+  let level_of = Array.init n (fun net -> Circuit.level circuit net) in
+  let is_gate = Array.make n false in
+  let kind_of = Array.make n Gate.Buf in
+  let ins_of = Array.make n [||] in
+  for net = 0 to n - 1 do
+    match Circuit.driver circuit net with
+    | Circuit.Gate_node (kind, ins) ->
+        is_gate.(net) <- true;
+        kind_of.(net) <- kind;
+        ins_of.(net) <- ins
+    | Circuit.Primary_input | Circuit.Flip_flop _ | Circuit.Const _ -> ()
+  done;
+  let gate_sinks =
+    Array.init n (fun net ->
+        let sinks = Circuit.fanout circuit net in
+        let count = Array.fold_left (fun a (s, _) -> if is_gate.(s) then a + 1 else a) 0 sinks in
+        let out = Array.make count 0 in
+        let k = ref 0 in
+        Array.iter
+          (fun (s, _) ->
+            if is_gate.(s) then begin
+              out.(!k) <- s;
+              incr k
+            end)
+          sinks;
+        out)
+  in
+  let flop_d =
+    Array.map
+      (fun fnet ->
+        match Circuit.driver circuit fnet with
+        | Circuit.Flip_flop d -> d
+        | Circuit.Primary_input | Circuit.Gate_node _ | Circuit.Const _ ->
+            invalid_arg "Event.create: flop list corrupt")
+      (Circuit.flops circuit)
+  in
+  let level_pop = Array.make (depth + 1) 0 in
+  for net = 0 to n - 1 do
+    if is_gate.(net) then level_pop.(level_of.(net)) <- level_pop.(level_of.(net)) + 1
+  done;
+  {
+    circuit;
+    good = Array.make n 0;
+    values = Array.make n 0;
+    ov = Inject.create circuit;
+    level_of;
+    depth;
+    is_gate;
+    kind_of;
+    ins_of;
+    gate_sinks;
+    flop_d;
+    bucket = Array.map (fun cap -> Array.make (max cap 1) 0) level_pop;
+    bucket_len = Array.make (depth + 1) 0;
+    scheduled = Array.make n false;
+    touched = Array.make n 0;
+    touched_len = 0;
+    num_gates = Array.length (Circuit.topo_order circuit);
+    good_po = [||];
+    good_capture = [||];
+    stimulus_set = false;
+    last_events = 0;
+    last_evals = 0;
+  }
+
+let circuit t = t.circuit
+let last_events t = t.last_events
+let last_evals t = t.last_evals
+let full_evals t = t.num_gates
+
+(* Branch-override-free gate evaluation over lane-packed words. *)
+let eval_plain values kind (ins : int array) =
+  let n = Array.length ins in
+  let v =
+    match kind with
+    | Gate.And | Gate.Nand ->
+        let acc = ref Lanes.all_mask in
+        for p = 0 to n - 1 do
+          acc := !acc land Array.unsafe_get values (Array.unsafe_get ins p)
+        done;
+        if kind = Gate.And then !acc else lnot !acc
+    | Gate.Or | Gate.Nor ->
+        let acc = ref 0 in
+        for p = 0 to n - 1 do
+          acc := !acc lor Array.unsafe_get values (Array.unsafe_get ins p)
+        done;
+        if kind = Gate.Or then !acc else lnot !acc
+    | Gate.Xor | Gate.Xnor ->
+        let acc = ref 0 in
+        for p = 0 to n - 1 do
+          acc := !acc lxor Array.unsafe_get values (Array.unsafe_get ins p)
+        done;
+        if kind = Gate.Xor then !acc else lnot !acc
+    | Gate.Not -> lnot values.(ins.(0))
+    | Gate.Buf -> values.(ins.(0))
+  in
+  v land Lanes.all_mask
+
+(* One full fault-free pass; every later [run] against this stimulus only
+   re-evaluates what its injections actually disturb. *)
+let set_stimulus t ~pi ~state =
+  let c = t.circuit in
+  if Array.length pi <> Circuit.num_inputs c then
+    invalid_arg "Event.set_stimulus: pi length mismatch";
+  if Array.length state <> Circuit.num_flops c then
+    invalid_arg "Event.set_stimulus: state length mismatch";
+  (* Ensure no stale overrides or deviations linger from an aborted run. *)
+  Inject.clear t.ov;
+  for k = 0 to t.touched_len - 1 do
+    let net = t.touched.(k) in
+    t.values.(net) <- t.good.(net)
+  done;
+  t.touched_len <- 0;
+  Array.iteri (fun i net -> t.good.(net) <- Lanes.broadcast pi.(i)) (Circuit.inputs c);
+  Array.iteri (fun i net -> t.good.(net) <- Lanes.broadcast state.(i)) (Circuit.flops c);
+  Array.iter
+    (fun net ->
+      if t.is_gate.(net) then t.good.(net) <- eval_plain t.good t.kind_of.(net) t.ins_of.(net)
+      else
+        match Circuit.driver c net with
+        | Circuit.Const b -> t.good.(net) <- Lanes.broadcast b
+        | Circuit.Primary_input | Circuit.Flip_flop _ | Circuit.Gate_node _ -> ())
+    (Circuit.topo_order c);
+  Array.blit t.good 0 t.values 0 (Array.length t.good);
+  t.good_po <- Array.map (fun net -> t.good.(net) land 1 = 1) (Circuit.outputs c);
+  t.good_capture <- Array.map (fun d -> t.good.(d) land 1 = 1) t.flop_d;
+  t.stimulus_set <- true
+
+let good_po t = t.good_po
+let good_capture t = t.good_capture
+
+let schedule t net =
+  if not t.scheduled.(net) then begin
+    t.scheduled.(net) <- true;
+    let lvl = t.level_of.(net) in
+    let len = t.bucket_len.(lvl) in
+    t.bucket.(lvl).(len) <- net;
+    t.bucket_len.(lvl) <- len + 1
+  end
+
+(* Commit a (possibly) new value for [net]; fire an event iff it changed. *)
+let touch t net v =
+  if v <> t.values.(net) then begin
+    if t.values.(net) = t.good.(net) then begin
+      t.touched.(t.touched_len) <- net;
+      t.touched_len <- t.touched_len + 1
+    end;
+    t.values.(net) <- v;
+    t.last_events <- t.last_events + 1;
+    let sinks = t.gate_sinks.(net) in
+    for s = 0 to Array.length sinks - 1 do
+      schedule t sinks.(s)
+    done
+  end
+
+let run t ?states ~injections () =
+  if not t.stimulus_set then invalid_arg "Event.run: set_stimulus first";
+  let c = t.circuit in
+  t.last_events <- 0;
+  t.last_evals <- 0;
+  Inject.clear t.ov;
+  Inject.install t.ov injections;
+  (* Seed 1: per-lane scan states deviating from the broadcast baseline. *)
+  (match states with
+  | None -> ()
+  | Some words ->
+      if Array.length words <> Circuit.num_flops c then
+        invalid_arg "Event.run: states length mismatch";
+      Array.iteri
+        (fun i fnet -> touch t fnet (Inject.apply_stem t.ov fnet (words.(i) land Lanes.all_mask)))
+        (Circuit.flops c));
+  (* Seed 2: injection sites. Stem masks re-read the current value, so
+     multiple seeds on one net compose; branch overrides fire their sink. *)
+  List.iter
+    (fun (inj : Inject.injection) ->
+      match inj.branch with
+      | None -> touch t inj.stem (Inject.apply_stem t.ov inj.stem t.values.(inj.stem))
+      | Some (sink, _pin) -> if t.is_gate.(sink) then schedule t sink)
+    injections;
+  (* Propagate level by level: a gate's fanins are all at strictly lower
+     levels, so each pending gate is evaluated exactly once per run. *)
+  for lvl = 0 to t.depth do
+    let pending = t.bucket.(lvl) in
+    (* [touch] only schedules at higher levels, so this length is final. *)
+    let len = t.bucket_len.(lvl) in
+    for k = 0 to len - 1 do
+      let net = pending.(k) in
+      t.scheduled.(net) <- false;
+      t.last_evals <- t.last_evals + 1;
+      let v =
+        if Inject.sink_flagged t.ov net then
+          Inject.eval_gate t.ov ~values:t.values net t.kind_of.(net) t.ins_of.(net)
+        else eval_plain t.values t.kind_of.(net) t.ins_of.(net)
+      in
+      touch t net (Inject.apply_stem t.ov net v)
+    done;
+    t.bucket_len.(lvl) <- 0
+  done;
+  let po = Array.map (fun net -> t.values.(net)) (Circuit.outputs c) in
+  let flops = Circuit.flops c in
+  let capture =
+    Array.init (Array.length flops) (fun i ->
+        Inject.fetch t.ov ~values:t.values ~sink:flops.(i) ~pin:0 t.flop_d.(i))
+  in
+  (* Roll the working values back to the baseline for the next run. *)
+  for k = 0 to t.touched_len - 1 do
+    let net = t.touched.(k) in
+    t.values.(net) <- t.good.(net)
+  done;
+  t.touched_len <- 0;
+  { Parallel.po; capture }

@@ -1,0 +1,53 @@
+(** Event-driven, cone-restricted counterpart of {!Parallel}.
+
+    The fault-free (broadcast) evaluation of a stimulus is done once, by
+    {!set_stimulus}; each subsequent {!run} seeds lane events only at its
+    injection sites (and at scan-state words that deviate from the broadcast
+    baseline) and re-evaluates only the gates those events actually reach —
+    i.e. work is proportional to the disturbed part of the fault cones, not
+    to circuit size. Results are bit-exact with {!Parallel.run} on the same
+    stimulus and injections.
+
+    The win comes from amortizing: one [set_stimulus] serves every fault
+    chunk of a batch, so per-chunk cost collapses from O(gates) to O(cone
+    activity). Not thread-safe. *)
+
+type t
+
+val create : Tvs_netlist.Circuit.t -> t
+val circuit : t -> Tvs_netlist.Circuit.t
+
+val set_stimulus : t -> pi:bool array -> state:bool array -> unit
+(** Evaluate the fault-free machine once for a single-machine stimulus and
+    cache it as the baseline for subsequent {!run} calls. One bool per
+    primary input / flip-flop.
+
+    Raises [Invalid_argument] on dimension mismatches. *)
+
+val good_po : t -> bool array
+(** Fault-free primary-output response of the current stimulus. Fresh arrays
+    per {!set_stimulus}; callers may retain them. *)
+
+val good_capture : t -> bool array
+(** Fault-free captured next state of the current stimulus. *)
+
+val run :
+  t -> ?states:int array -> injections:Inject.injection list -> unit -> Parallel.result
+(** [run t ~injections ()] simulates the installed faults against the
+    baseline stimulus (every lane sees the {!set_stimulus} vector).
+    [?states] optionally supplies lane-packed per-flop scan words replacing
+    the baseline state — used when hidden faults evolve divergent states;
+    lane 0 must then carry the baseline (good) state.
+
+    Raises [Invalid_argument] if no stimulus is set or on dimension / lane
+    range errors. *)
+
+val last_events : t -> int
+(** Net-value changes fired by the last {!run}. *)
+
+val last_evals : t -> int
+(** Gate evaluations performed by the last {!run}. *)
+
+val full_evals : t -> int
+(** Gate evaluations a full broadcast pass would perform (topo-order
+    length) — the denominator for skip ratios. *)

@@ -1,0 +1,131 @@
+module Circuit = Tvs_netlist.Circuit
+module Gate = Tvs_netlist.Gate
+
+type injection = {
+  lane : int;
+  stuck : bool;
+  stem : Circuit.net;
+  branch : (Circuit.net * int) option;
+}
+
+(* Branch overrides live in a CSR-style flat table: slot = pin_base.(sink) +
+   pin, one slot per consumer pin in the circuit. Keeps install/clear at a
+   handful of array writes per injection — no hashing — which matters because
+   both simulators reinstall the override set once per chunk. *)
+type t = {
+  stem_set : int array;  (* per-net force-to-1 lane masks *)
+  stem_clear : int array;  (* per-net force-to-0 lane masks *)
+  sink_flagged : bool array;  (* sinks with at least one branch override *)
+  pin_base : int array;  (* first slot per sink net *)
+  branch_set : int array;  (* per-slot force-to-1 lane masks *)
+  branch_clear : int array;  (* per-slot force-to-0 lane masks *)
+  mutable touched_stems : Circuit.net list;
+  mutable touched_sinks : Circuit.net list;
+  mutable touched_slots : int list;
+}
+
+let create circuit =
+  let n = Circuit.num_nets circuit in
+  let pin_base = Array.make (n + 1) 0 in
+  for net = 0 to n - 1 do
+    let pins =
+      match Circuit.driver circuit net with
+      | Circuit.Gate_node (_, ins) -> Array.length ins
+      | Circuit.Flip_flop _ -> 1  (* consumes its D net at pin 0 *)
+      | Circuit.Primary_input | Circuit.Const _ -> 0
+    in
+    pin_base.(net + 1) <- pin_base.(net) + pins
+  done;
+  let slots = pin_base.(n) in
+  {
+    stem_set = Array.make n 0;
+    stem_clear = Array.make n 0;
+    sink_flagged = Array.make n false;
+    pin_base;
+    branch_set = Array.make (max slots 1) 0;
+    branch_clear = Array.make (max slots 1) 0;
+    touched_stems = [];
+    touched_sinks = [];
+    touched_slots = [];
+  }
+
+(* Undo only what the last install touched: time proportional to the
+   injection count, independent of circuit size. *)
+let clear t =
+  List.iter
+    (fun n ->
+      t.stem_set.(n) <- 0;
+      t.stem_clear.(n) <- 0)
+    t.touched_stems;
+  List.iter (fun n -> t.sink_flagged.(n) <- false) t.touched_sinks;
+  List.iter
+    (fun slot ->
+      t.branch_set.(slot) <- 0;
+      t.branch_clear.(slot) <- 0)
+    t.touched_slots;
+  t.touched_stems <- [];
+  t.touched_sinks <- [];
+  t.touched_slots <- []
+
+let install t injections =
+  List.iter
+    (fun inj ->
+      if inj.lane < 0 || inj.lane >= Lanes.width then invalid_arg "Parallel.run: lane out of range";
+      let bit = Lanes.lane_bit inj.lane in
+      match inj.branch with
+      | None ->
+          if t.stem_set.(inj.stem) = 0 && t.stem_clear.(inj.stem) = 0 then
+            t.touched_stems <- inj.stem :: t.touched_stems;
+          if inj.stuck then t.stem_set.(inj.stem) <- t.stem_set.(inj.stem) lor bit
+          else t.stem_clear.(inj.stem) <- t.stem_clear.(inj.stem) lor bit
+      | Some (sink, pin) ->
+          let slot = t.pin_base.(sink) + pin in
+          if slot >= t.pin_base.(sink + 1) then
+            invalid_arg "Parallel.run: branch pin out of range";
+          if not t.sink_flagged.(sink) then begin
+            t.sink_flagged.(sink) <- true;
+            t.touched_sinks <- sink :: t.touched_sinks
+          end;
+          if t.branch_set.(slot) = 0 && t.branch_clear.(slot) = 0 then
+            t.touched_slots <- slot :: t.touched_slots;
+          if inj.stuck then t.branch_set.(slot) <- t.branch_set.(slot) lor bit
+          else t.branch_clear.(slot) <- t.branch_clear.(slot) lor bit)
+    injections
+
+let apply_stem t net v = v land lnot t.stem_clear.(net) lor t.stem_set.(net)
+
+let stem_overridden t net = t.stem_set.(net) lor t.stem_clear.(net) <> 0
+
+let sink_flagged t sink = t.sink_flagged.(sink)
+
+(* Value of [src] as seen by pin [pin] of consumer [sink]. *)
+let fetch t ~values ~sink ~pin src =
+  let v : int = values.(src) in
+  if t.sink_flagged.(sink) then begin
+    let slot = t.pin_base.(sink) + pin in
+    v land lnot t.branch_clear.(slot) lor t.branch_set.(slot)
+  end
+  else v
+
+let eval_gate t ~values sink kind (ins : int array) =
+  let n = Array.length ins in
+  let fetch_pin pin = fetch t ~values ~sink ~pin ins.(pin) in
+  let fold op seed =
+    let acc = ref seed in
+    for pin = 0 to n - 1 do
+      acc := op !acc (fetch_pin pin)
+    done;
+    !acc
+  in
+  let v =
+    match kind with
+    | Gate.And -> fold ( land ) Lanes.all_mask
+    | Gate.Nand -> lnot (fold ( land ) Lanes.all_mask)
+    | Gate.Or -> fold ( lor ) 0
+    | Gate.Nor -> lnot (fold ( lor ) 0)
+    | Gate.Xor -> fold ( lxor ) 0
+    | Gate.Xnor -> lnot (fold ( lxor ) 0)
+    | Gate.Not -> lnot (fetch_pin 0)
+    | Gate.Buf -> fetch_pin 0
+  in
+  v land Lanes.all_mask

@@ -1,0 +1,47 @@
+(** Per-lane stuck-at override machinery shared by the packed simulators
+    ({!Parallel}, full broadcast, and {!Event}, cone-restricted).
+
+    An override set maps stem faults to per-net force-to-0/1 lane masks and
+    fanout-branch faults to per-(sink, pin) masks. The structure is reusable:
+    {!clear} undoes exactly what the previous {!install} touched, in time
+    proportional to the injection count, keeping array and hash-table
+    capacity across batch chunks. *)
+
+type injection = {
+  lane : int;  (** lane carrying the faulty machine *)
+  stuck : bool;  (** stuck-at value *)
+  stem : Tvs_netlist.Circuit.net;  (** the faulted net *)
+  branch : (Tvs_netlist.Circuit.net * int) option;
+      (** [None] = stem fault; [Some (sink, pin)] = fanout-branch fault
+          visible only to that consumer pin. *)
+}
+
+type t
+
+val create : Tvs_netlist.Circuit.t -> t
+(** All overrides initially empty. The circuit fixes the branch-slot layout
+    (one slot per consumer pin). *)
+
+val clear : t -> unit
+val install : t -> injection list -> unit
+(** Raises [Invalid_argument] on a lane outside [0, Lanes.width) or a branch
+    pin outside the sink's fanin range. *)
+
+val apply_stem : t -> Tvs_netlist.Circuit.net -> int -> int
+(** Apply the net's stem force masks to a lane-packed value. *)
+
+val stem_overridden : t -> Tvs_netlist.Circuit.net -> bool
+
+val sink_flagged : t -> Tvs_netlist.Circuit.net -> bool
+(** Whether the sink has at least one branch override installed — the guard
+    for taking the slower per-pin {!fetch} path when evaluating its gate. *)
+
+val fetch : t -> values:int array -> sink:Tvs_netlist.Circuit.net -> pin:int -> Tvs_netlist.Circuit.net -> int
+(** Value of a source net as seen by one consumer pin (branch overrides
+    applied). *)
+
+val eval_gate :
+  t -> values:int array -> Tvs_netlist.Circuit.net -> Tvs_netlist.Gate.kind -> int array -> int
+(** Evaluate one gate over lane-packed fanin values, honouring branch
+    overrides on the gate's pins. The stem masks of the output net are NOT
+    applied — callers compose with {!apply_stem}. *)

@@ -1,7 +1,6 @@
 module Circuit = Tvs_netlist.Circuit
-module Gate = Tvs_netlist.Gate
 
-type injection = {
+type injection = Inject.injection = {
   lane : int;
   stuck : bool;
   stem : Circuit.net;
@@ -13,123 +12,42 @@ type result = { po : int array; capture : int array }
 type t = {
   circuit : Circuit.t;
   values : int array;  (* lane-packed value per net *)
-  stem_set : int array;  (* per-net force-to-1 lane masks *)
-  stem_clear : int array;  (* per-net force-to-0 lane masks *)
-  sink_flagged : bool array;  (* sinks with at least one branch override *)
-  branch_over : (int * int, int * int) Hashtbl.t;  (* (sink, pin) -> (set, clear) *)
-  mutable touched_stems : Circuit.net list;
-  mutable touched_sinks : Circuit.net list;
+  ov : Inject.t;
 }
 
 let create circuit =
   let n = Circuit.num_nets circuit in
-  {
-    circuit;
-    values = Array.make n 0;
-    stem_set = Array.make n 0;
-    stem_clear = Array.make n 0;
-    sink_flagged = Array.make n false;
-    branch_over = Hashtbl.create 16;
-    touched_stems = [];
-    touched_sinks = [];
-  }
+  { circuit; values = Array.make n 0; ov = Inject.create circuit }
 
 let circuit t = t.circuit
-
-let clear_overrides t =
-  List.iter
-    (fun n ->
-      t.stem_set.(n) <- 0;
-      t.stem_clear.(n) <- 0)
-    t.touched_stems;
-  List.iter (fun n -> t.sink_flagged.(n) <- false) t.touched_sinks;
-  Hashtbl.reset t.branch_over;
-  t.touched_stems <- [];
-  t.touched_sinks <- []
-
-let install_overrides t injections =
-  List.iter
-    (fun inj ->
-      if inj.lane < 0 || inj.lane >= Lanes.width then invalid_arg "Parallel.run: lane out of range";
-      let bit = Lanes.lane_bit inj.lane in
-      match inj.branch with
-      | None ->
-          if t.stem_set.(inj.stem) = 0 && t.stem_clear.(inj.stem) = 0 then
-            t.touched_stems <- inj.stem :: t.touched_stems;
-          if inj.stuck then t.stem_set.(inj.stem) <- t.stem_set.(inj.stem) lor bit
-          else t.stem_clear.(inj.stem) <- t.stem_clear.(inj.stem) lor bit
-      | Some (sink, pin) ->
-          if not t.sink_flagged.(sink) then begin
-            t.sink_flagged.(sink) <- true;
-            t.touched_sinks <- sink :: t.touched_sinks
-          end;
-          let set0, clear0 =
-            Option.value ~default:(0, 0) (Hashtbl.find_opt t.branch_over (sink, pin))
-          in
-          let entry = if inj.stuck then (set0 lor bit, clear0) else (set0, clear0 lor bit) in
-          Hashtbl.replace t.branch_over (sink, pin) entry)
-    injections
-
-let apply_stem t net v = v land lnot t.stem_clear.(net) lor t.stem_set.(net)
-
-(* Value of [src] as seen by pin [pin] of consumer [sink]. *)
-let fetch t ~sink ~pin src =
-  let v = t.values.(src) in
-  if t.sink_flagged.(sink) then
-    match Hashtbl.find_opt t.branch_over (sink, pin) with
-    | Some (set, clear) -> v land lnot clear lor set
-    | None -> v
-  else v
-
-let eval_gate t sink kind (ins : int array) =
-  let n = Array.length ins in
-  let fetch_pin pin = fetch t ~sink ~pin ins.(pin) in
-  let fold op seed =
-    let acc = ref seed in
-    for pin = 0 to n - 1 do
-      acc := op !acc (fetch_pin pin)
-    done;
-    !acc
-  in
-  let v =
-    match kind with
-    | Gate.And -> fold ( land ) Lanes.all_mask
-    | Gate.Nand -> lnot (fold ( land ) Lanes.all_mask)
-    | Gate.Or -> fold ( lor ) 0
-    | Gate.Nor -> lnot (fold ( lor ) 0)
-    | Gate.Xor -> fold ( lxor ) 0
-    | Gate.Xnor -> lnot (fold ( lxor ) 0)
-    | Gate.Not -> lnot (fetch_pin 0)
-    | Gate.Buf -> fetch_pin 0
-  in
-  v land Lanes.all_mask
 
 let run t ~pi ~state ~injections =
   let c = t.circuit in
   if Array.length pi <> Circuit.num_inputs c then invalid_arg "Parallel.run: pi length mismatch";
   if Array.length state <> Circuit.num_flops c then invalid_arg "Parallel.run: state length mismatch";
-  clear_overrides t;
-  install_overrides t injections;
-  Array.iteri (fun i net -> t.values.(net) <- apply_stem t net (pi.(i) land Lanes.all_mask)) (Circuit.inputs c);
+  Inject.clear t.ov;
+  Inject.install t.ov injections;
+  let apply_stem net v = Inject.apply_stem t.ov net v in
+  Array.iteri (fun i net -> t.values.(net) <- apply_stem net (pi.(i) land Lanes.all_mask)) (Circuit.inputs c);
   Array.iteri
-    (fun i net -> t.values.(net) <- apply_stem t net (state.(i) land Lanes.all_mask))
+    (fun i net -> t.values.(net) <- apply_stem net (state.(i) land Lanes.all_mask))
     (Circuit.flops c);
   Array.iter
     (fun net ->
       let v =
         match Circuit.driver c net with
-        | Circuit.Gate_node (kind, ins) -> eval_gate t net kind ins
+        | Circuit.Gate_node (kind, ins) -> Inject.eval_gate t.ov ~values:t.values net kind ins
         | Circuit.Const b -> Lanes.broadcast b
         | Circuit.Primary_input | Circuit.Flip_flop _ -> t.values.(net)
       in
-      t.values.(net) <- apply_stem t net v)
+      t.values.(net) <- apply_stem net v)
     (Circuit.topo_order c);
   let po = Array.map (fun net -> t.values.(net)) (Circuit.outputs c) in
   let capture =
     Array.map
       (fun fnet ->
         match Circuit.driver c fnet with
-        | Circuit.Flip_flop d -> fetch t ~sink:fnet ~pin:0 d
+        | Circuit.Flip_flop d -> Inject.fetch t.ov ~values:t.values ~sink:fnet ~pin:0 d
         | Circuit.Primary_input | Circuit.Gate_node _ | Circuit.Const _ ->
             invalid_arg "Parallel.run: flop list corrupt")
       (Circuit.flops c)

@@ -10,7 +10,7 @@
     This engine is the project's substitute for the HOPE parallel fault
     simulator. *)
 
-type injection = {
+type injection = Inject.injection = {
   lane : int;  (** lane carrying the faulty machine, [1 <= lane < Lanes.width] in typical use *)
   stuck : bool;  (** stuck-at value *)
   stem : Tvs_netlist.Circuit.net;  (** the faulted net *)

@@ -1,0 +1,1 @@
+test/test_event_sim.ml: Alcotest Array Int64 Printf QCheck QCheck_alcotest Tvs_circuits Tvs_fault Tvs_netlist Tvs_util

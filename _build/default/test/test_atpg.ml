@@ -112,7 +112,7 @@ let test_scoap_hardness_orders () =
 
 let verify_cube_detects circuit fault cube =
   (* Any fill of a PODEM cube must detect the fault under full observability. *)
-  let sim = Parallel.create circuit in
+  let sim = Fault_sim.create circuit in
   List.for_all
     (fun fill ->
       let v = fill cube in
@@ -142,7 +142,7 @@ let test_podem_redundant () =
 
 let test_podem_all_s27 () =
   let ctx = Podem.create s27 in
-  let sim = Parallel.create s27 in
+  let sim = Fault_sim.create s27 in
   let ok = ref 0 and untestable = ref 0 in
   Array.iter
     (fun fault ->
@@ -178,7 +178,7 @@ let test_podem_constrained_detection () =
   (* Constrained cubes must still detect their fault when the constraint is
      part of the applied state. *)
   let ctx = Podem.create s27 in
-  let sim = Parallel.create s27 in
+  let sim = Fault_sim.create s27 in
   let constraints = [| Ternary.One; Ternary.X; Ternary.Zero |] in
   Array.iter
     (fun fault ->
@@ -223,7 +223,7 @@ let test_generator_s27_coverage () =
   Alcotest.(check bool) "fewer vectors than faults" true
     (Generator.num_vectors gen < Array.length faults);
   (* Re-simulate the final set: every non-redundant fault detected. *)
-  let sim = Parallel.create s27 in
+  let sim = Fault_sim.create s27 in
   let detected = Array.make (Array.length faults) false in
   Array.iter
     (fun (v : Cube.vector) ->

@@ -1,0 +1,200 @@
+(* Equivalence of the event-driven cone-restricted fault-simulation path with
+   the full levelized broadcast path, plus unit tests for the fanout-cone
+   index the event path's chunk grouping relies on. *)
+
+module Circuit = Tvs_netlist.Circuit
+module Gate = Tvs_netlist.Gate
+module Fault_gen = Tvs_fault.Fault_gen
+module Fault_sim = Tvs_fault.Fault_sim
+module Profiles = Tvs_circuits.Profiles
+module Synth = Tvs_circuits.Synth
+module Rng = Tvs_util.Rng
+
+(* Same deterministic family as test_properties.ml. *)
+let tiny_profile i =
+  let styles = [| Profiles.Balanced; Profiles.Shallow; Profiles.Deep |] in
+  {
+    Profiles.name = Printf.sprintf "ev-%d" i;
+    npi = 2 + (i mod 5);
+    npo = 1 + (i mod 4);
+    nff = 4 + (i mod 9);
+    ngates = 25 + (7 * (i mod 11));
+    style = styles.(i mod 3);
+  }
+
+let tiny_circuit i = Synth.generate (tiny_profile i)
+
+let random_stimulus rng c =
+  ( Array.init (Circuit.num_inputs c) (fun _ -> Rng.bool rng),
+    Array.init (Circuit.num_flops c) (fun _ -> Rng.bool rng) )
+
+(* A random fault subset biased to include branch faults when present. *)
+let random_faults rng c =
+  let all = Fault_gen.all c in
+  let n = Array.length all in
+  let len = 1 + Rng.int rng (min n 150) in
+  Array.init len (fun _ -> all.(Rng.int rng n))
+
+let outcome_equal a b =
+  match (a, b) with
+  | Fault_sim.Same, Fault_sim.Same -> true
+  | Fault_sim.Po_detected, Fault_sim.Po_detected -> true
+  | Fault_sim.Capture_differs x, Fault_sim.Capture_differs y -> x = y
+  | _ -> false
+
+let frame_equal (a : Fault_sim.frame) (b : Fault_sim.frame) =
+  a.Fault_sim.po = b.Fault_sim.po && a.Fault_sim.capture = b.Fault_sim.capture
+
+let batch_equal (a : Fault_sim.batch_result) (b : Fault_sim.batch_result) =
+  frame_equal a.Fault_sim.good b.Fault_sim.good
+  && Array.length a.Fault_sim.outcomes = Array.length b.Fault_sim.outcomes
+  && Array.for_all2 outcome_equal a.Fault_sim.outcomes b.Fault_sim.outcomes
+
+(* 1. run_batch: event-driven outcomes (including Capture_differs payloads)
+   are bit-exact with the full path on arbitrary circuits and fault mixes. *)
+let qcheck_run_batch_equivalence =
+  QCheck.Test.make ~name:"event run_batch equals full path" ~count:50
+    QCheck.(pair (int_range 0 32) small_int)
+    (fun (i, seed) ->
+      let c = tiny_circuit i in
+      let ev = Fault_sim.create c in
+      let full = Fault_sim.create ~mode:Fault_sim.Full c in
+      let rng = Rng.create (Int64.of_int seed) in
+      let faults = random_faults rng c in
+      let pi, state = random_stimulus rng c in
+      let a = Fault_sim.run_batch ev ~pi ~state ~faults in
+      let b = Fault_sim.run_batch full ~pi ~state ~faults in
+      batch_equal a b)
+
+(* 2. run_per_state: per-lane divergent scan states seed correctly. *)
+let qcheck_run_per_state_equivalence =
+  QCheck.Test.make ~name:"event run_per_state equals full path" ~count:50
+    QCheck.(pair (int_range 0 32) small_int)
+    (fun (i, seed) ->
+      let c = tiny_circuit i in
+      let ev = Fault_sim.create c in
+      let full = Fault_sim.create ~mode:Fault_sim.Full c in
+      let rng = Rng.create (Int64.of_int seed) in
+      let faults = random_faults rng c in
+      let pi, good_state = random_stimulus rng c in
+      let nflops = Circuit.num_flops c in
+      (* Divergent states: each fault's machine mutates a few bits of the
+         good state; some keep it unchanged (the convergent case). *)
+      let states =
+        Array.map
+          (fun _ ->
+            let st = Array.copy good_state in
+            for _ = 1 to Rng.int rng 3 do
+              let j = Rng.int rng nflops in
+              st.(j) <- not st.(j)
+            done;
+            st)
+          faults
+      in
+      let a = Fault_sim.run_per_state ev ~pi ~good_state ~faults ~states in
+      let b = Fault_sim.run_per_state full ~pi ~good_state ~faults ~states in
+      batch_equal a b)
+
+(* 3. detects / detected_faults ride the same paths. *)
+let qcheck_detected_equivalence =
+  QCheck.Test.make ~name:"event detected_faults equals full path" ~count:50
+    QCheck.(pair (int_range 0 32) small_int)
+    (fun (i, seed) ->
+      let c = tiny_circuit i in
+      let ev = Fault_sim.create c in
+      let full = Fault_sim.create ~mode:Fault_sim.Full c in
+      let rng = Rng.create (Int64.of_int seed) in
+      let faults = random_faults rng c in
+      let pi, state = random_stimulus rng c in
+      Fault_sim.detected_faults ev ~pi ~state faults
+      = Fault_sim.detected_faults full ~pi ~state faults)
+
+(* 4. A reused event context stays exact across many stimuli (the engine's
+   access pattern: same context, fresh stimulus and fault subset per
+   cycle). *)
+let qcheck_reused_context_stays_exact =
+  QCheck.Test.make ~name:"reused event context stays exact" ~count:15
+    QCheck.(pair (int_range 0 20) small_int)
+    (fun (i, seed) ->
+      let c = tiny_circuit i in
+      let ev = Fault_sim.create c in
+      let full = Fault_sim.create ~mode:Fault_sim.Full c in
+      let rng = Rng.create (Int64.of_int seed) in
+      let ok = ref true in
+      for _ = 1 to 8 do
+        let faults = random_faults rng c in
+        let pi, state = random_stimulus rng c in
+        let a = Fault_sim.run_batch ev ~pi ~state ~faults in
+        let b = Fault_sim.run_batch full ~pi ~state ~faults in
+        if not (batch_equal a b) then ok := false
+      done;
+      !ok)
+
+(* --- cone index -------------------------------------------------------- *)
+
+(* c = (a AND b); d = NOT c; flop f captures d; PO = c. *)
+let cone_fixture () =
+  let b = Circuit.Builder.create "cones" in
+  let a = Circuit.Builder.input b "a" in
+  let bb = Circuit.Builder.input b "b" in
+  let c = Circuit.Builder.gate b ~name:"c" Gate.And [ a; bb ] in
+  let d = Circuit.Builder.gate b ~name:"d" Gate.Not [ c ] in
+  let q = Circuit.Builder.flop b ~name:"q" d in
+  Circuit.Builder.mark_output b c;
+  (Circuit.Builder.finish b, a, bb, c, d, q)
+
+let test_cone_membership () =
+  let circ, a, bb, c, d, q = cone_fixture () in
+  Alcotest.(check bool) "a reaches c" true (Circuit.in_cone circ ~stem:a c);
+  Alcotest.(check bool) "a reaches d" true (Circuit.in_cone circ ~stem:a d);
+  Alcotest.(check bool) "a contains itself" true (Circuit.in_cone circ ~stem:a a);
+  Alcotest.(check bool) "a does not reach b" false (Circuit.in_cone circ ~stem:a bb);
+  (* Propagation stops at the flip-flop D pin: Q is sequential, not in the
+     combinational cone. *)
+  Alcotest.(check bool) "cone stops at flop" false (Circuit.in_cone circ ~stem:a q);
+  Alcotest.(check bool) "d does not reach c" false (Circuit.in_cone circ ~stem:d c);
+  Alcotest.(check int) "cone size of a" 3 (Circuit.cone_size circ a);
+  Alcotest.(check int) "cone size of d" 1 (Circuit.cone_size circ d)
+
+let test_cone_q_restarts () =
+  (* The Q net is a source of the combinational core: its cone restarts. *)
+  let circ, _, _, _, _, q = cone_fixture () in
+  Alcotest.(check bool) "q contains itself" true (Circuit.in_cone circ ~stem:q q);
+  Alcotest.(check int) "q cone is just q (no consumers)" 1 (Circuit.cone_size circ q)
+
+(* Cone transitivity on random circuits: stem_b in cone(a) implies
+   cone(b) subset of cone(a) — the property chunk grouping relies on. *)
+let qcheck_cone_transitive =
+  QCheck.Test.make ~name:"cone membership is transitive" ~count:20
+    QCheck.(pair (int_range 0 20) small_int)
+    (fun (i, seed) ->
+      let c = tiny_circuit i in
+      let n = Circuit.num_nets c in
+      let rng = Rng.create (Int64.of_int seed) in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let a = Rng.int rng n and b = Rng.int rng n in
+        if Circuit.in_cone c ~stem:a b then
+          for x = 0 to n - 1 do
+            if Circuit.in_cone c ~stem:b x && not (Circuit.in_cone c ~stem:a x) then ok := false
+          done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "event-sim"
+    [
+      ( "equivalence",
+        [
+          QCheck_alcotest.to_alcotest qcheck_run_batch_equivalence;
+          QCheck_alcotest.to_alcotest qcheck_run_per_state_equivalence;
+          QCheck_alcotest.to_alcotest qcheck_detected_equivalence;
+          QCheck_alcotest.to_alcotest qcheck_reused_context_stays_exact;
+        ] );
+      ( "cones",
+        [
+          Alcotest.test_case "membership and sizes" `Quick test_cone_membership;
+          Alcotest.test_case "flop Q restarts the cone" `Quick test_cone_q_restarts;
+          QCheck_alcotest.to_alcotest qcheck_cone_transitive;
+        ] );
+    ]

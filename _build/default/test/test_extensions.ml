@@ -188,7 +188,7 @@ let test_static_preserves_coverage () =
   let r = Static_stitch.reorder c ~rng ~cubes:baseline.Baseline.cubes in
   ignore r;
   (* Rebuild the applied vectors by replaying the same construction. *)
-  let sim = Parallel.create c in
+  let sim = Fault_sim.create c in
   let detected = Array.make (Array.length faults) false in
   (* Replay: reorder is deterministic for a fixed rng seed, so run it again
      and recompute applied vectors by simulation of the same schedule. *)
@@ -268,7 +268,7 @@ let test_compactor_merge_shrinks () =
 
 let test_compactor_reverse_order () =
   let c, faults, baseline = prep_s27 () in
-  let sim = Parallel.create c in
+  let sim = Fault_sim.create c in
   (* Duplicate the test set: reverse-order compaction must discard at least
      the redundant copies. *)
   let doubled = Array.append baseline.Baseline.vectors baseline.Baseline.vectors in
@@ -290,7 +290,7 @@ let test_compactor_reverse_order () =
 
 let test_compactor_empty () =
   let c, faults, _ = prep_s27 () in
-  let sim = Parallel.create c in
+  let sim = Fault_sim.create c in
   let kept = Compactor.reverse_order sim ~faults ~vectors:[||] in
   Alcotest.(check int) "empty in, empty out" 0 (Array.length kept)
 
@@ -370,7 +370,7 @@ let test_broadcast_full_coverage_via_fallback () =
   in
   (* The fallback set covers everything it can; broadcast must not lose it. *)
   let reachable =
-    let sim = Parallel.create c in
+    let sim = Fault_sim.create c in
     let detected = Array.make (Array.length faults) false in
     Array.iter
       (fun (v : Cube.vector) ->

@@ -88,7 +88,7 @@ let test_collapse_detection_equivalent () =
   let c = Tvs_circuits.S27.circuit () in
   let all = Fault_gen.all c in
   let collapsed = Fault_gen.collapsed c in
-  let sim = Parallel.create c in
+  let sim = Fault_sim.create c in
   let rng = Rng.of_string "collapse-detect" in
   for _ = 1 to 40 do
     let pi = Array.init (Circuit.num_inputs c) (fun _ -> Rng.bool rng) in
@@ -106,7 +106,7 @@ let test_collapse_detection_equivalent () =
 (* --- fault simulation ------------------------------------------------ *)
 
 let test_outcomes_fig1 () =
-  let sim = Parallel.create fig1 in
+  let sim = Fault_sim.create fig1 in
   let v110 = [| true; true; false |] in
   let fault name = Tvs_circuits.Fig1.paper_fault fig1 name in
   let faults = [| fault "D/0"; fault "E-F/1"; fault "F/0" |] in
@@ -128,7 +128,7 @@ let test_po_detection () =
   (* s27 has a primary output; some fault must be Po_detected under some
      vector. *)
   let c = Tvs_circuits.S27.circuit () in
-  let sim = Parallel.create c in
+  let sim = Fault_sim.create c in
   let faults = Fault_gen.collapsed c in
   let rng = Rng.of_string "po-detect" in
   let found = ref false in
@@ -149,7 +149,7 @@ let test_po_detection () =
 let test_big_batch_chunks () =
   (* More faults than lanes: chunking must cover everything exactly once. *)
   let c = Tvs_circuits.Synth.generate_named "s444" in
-  let sim = Parallel.create c in
+  let sim = Fault_sim.create c in
   let faults = Fault_gen.all c in
   Alcotest.(check bool) "more than one chunk" true (Array.length faults > 62);
   let pi = Array.make (Circuit.num_inputs c) true in
@@ -167,7 +167,7 @@ let test_run_per_state () =
   (* Hidden-fault scenario from Table 1 cycle 2: F/0's machine applies 000
      while the good machine applies 001; the faulty response must be 000
      against the good 010. *)
-  let sim = Parallel.create fig1 in
+  let sim = Fault_sim.create fig1 in
   let f0 = Tvs_circuits.Fig1.paper_fault fig1 "F/0" in
   let r =
     Fault_sim.run_per_state sim ~pi:[||]
@@ -182,7 +182,7 @@ let test_run_per_state () =
   | Fault_sim.Same | Fault_sim.Po_detected -> Alcotest.fail "F/0 must differ")
 
 let test_per_state_length_check () =
-  let sim = Parallel.create fig1 in
+  let sim = Fault_sim.create fig1 in
   let f0 = Tvs_circuits.Fig1.paper_fault fig1 "F/0" in
   Alcotest.(check bool) "length mismatch rejected" true
     (try
@@ -194,7 +194,7 @@ let qcheck_same_means_same =
   (* Property: an outcome of Same implies serial simulation agrees there is
      no detection. *)
   let c = Tvs_circuits.S27.circuit () in
-  let sim = Parallel.create c in
+  let sim = Fault_sim.create c in
   let faults = Fault_gen.collapsed c in
   QCheck.Test.make ~name:"batch outcomes agree with serial detection" ~count:50 QCheck.small_int
     (fun seed ->

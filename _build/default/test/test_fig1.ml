@@ -18,10 +18,10 @@ let show a = String.init (Array.length a) (fun i -> if a.(i) then '1' else '0')
 
 (* Response of the (possibly faulty) machine to a given scan state. *)
 let response fault state =
-  let sim = Parallel.create c in
+  let sim = Fault_sim.create c in
   match fault with
   | None ->
-      let _, capture = Parallel.run_single sim ~pi:[||] ~state in
+      let _, capture = Parallel.run_single (Fault_sim.parallel sim) ~pi:[||] ~state in
       capture
   | Some f -> (
       let r = Fault_sim.run_batch sim ~pi:[||] ~state ~faults:[| f |] in

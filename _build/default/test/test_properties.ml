@@ -74,7 +74,7 @@ let qcheck_podem_cubes_detect =
     (fun (i, seed) ->
       let c = tiny_circuit i in
       let ctx = Podem.create c in
-      let sim = Parallel.create c in
+      let sim = Fault_sim.create c in
       let faults = Fault_gen.collapsed c in
       let rng = Rng.create (Int64.of_int seed) in
       let fault = faults.(Rng.int rng (Array.length faults)) in
@@ -157,7 +157,7 @@ let qcheck_collapse_subset =
     QCheck.(pair (int_range 0 32) small_int)
     (fun (i, seed) ->
       let c = tiny_circuit i in
-      let sim = Parallel.create c in
+      let sim = Fault_sim.create c in
       let all = Fault_gen.all c in
       let collapsed = Fault_gen.collapse c all in
       let rng = Rng.create (Int64.of_int seed) in

@@ -188,6 +188,41 @@ let qcheck_stitched_never_worse_than_full_shifts =
       in
       Cost.time s = Cost.baseline_time ~chain_len ~nvec)
 
+let qcheck_full_shifts_memory_is_baseline =
+  (* Same degeneracy for the memory model, including the I/O terms: with
+     full-size shifts and no extras, every stored bit of the stitched
+     schedule has a baseline counterpart. *)
+  QCheck.Test.make ~name:"full-size shifts reproduce baseline memory" ~count:100
+    QCheck.(quad (int_range 1 40) (int_range 1 30) (int_range 0 16) (int_range 0 16))
+    (fun (chain_len, nvec, npi, npo) ->
+      let s =
+        {
+          Cost.chain_len;
+          npi;
+          npo;
+          shifts = List.init nvec (fun _ -> chain_len);
+          extra = 0;
+          full_drain = false;
+        }
+      in
+      Cost.memory s = Cost.baseline_memory ~chain_len ~npi ~npo ~nvec)
+
+let test_cost_extra_suppresses_final_unload () =
+  (* With extra > 0 the first extra full load doubles as the drain of the
+     stitched phase, so the schedule's own final unload must contribute
+     nothing — regardless of the full_drain flag or the last shift size. *)
+  let base full_drain =
+    { Cost.chain_len = 3; npi = 1; npo = 1; shifts = [ 3; 2 ]; extra = 2; full_drain }
+  in
+  (* time = scan-in (5) + final unload (0) + extras (2*3 loads + 3 drain). *)
+  Alcotest.(check int) "time with extras" 14 (Cost.time (base false));
+  (* memory = scan-in (5) + scan-out (2 + 3) + io (4*2) + extra bits (12). *)
+  Alcotest.(check int) "memory with extras" 30 (Cost.memory (base false));
+  Alcotest.(check int) "full_drain moot under extras (time)" (Cost.time (base false))
+    (Cost.time (base true));
+  Alcotest.(check int) "full_drain moot under extras (memory)" (Cost.memory (base false))
+    (Cost.memory (base true))
+
 let () =
   Alcotest.run "scan"
     [
@@ -219,6 +254,9 @@ let () =
           Alcotest.test_case "full drain" `Quick test_cost_full_drain;
           Alcotest.test_case "extra vectors" `Quick test_cost_extra_vectors;
           Alcotest.test_case "degenerate schedule" `Quick test_cost_degenerate;
+          Alcotest.test_case "extras suppress final unload" `Quick
+            test_cost_extra_suppresses_final_unload;
           QCheck_alcotest.to_alcotest qcheck_stitched_never_worse_than_full_shifts;
+          QCheck_alcotest.to_alcotest qcheck_full_shifts_memory_is_baseline;
         ] );
     ]

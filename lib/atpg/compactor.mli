@@ -17,7 +17,7 @@ val merge_cubes : Cube.t list -> Cube.t list
     preserved. *)
 
 val reverse_order :
-  Tvs_sim.Parallel.t ->
+  Tvs_fault.Fault_sim.t ->
   faults:Tvs_fault.Fault.t array ->
   vectors:Cube.vector array ->
   Cube.vector array

@@ -2,7 +2,6 @@ module Circuit = Tvs_netlist.Circuit
 module Ternary = Tvs_logic.Ternary
 module Fault = Tvs_fault.Fault
 module Fault_sim = Tvs_fault.Fault_sim
-module Parallel = Tvs_sim.Parallel
 module Rng = Tvs_util.Rng
 
 type t = {
@@ -72,7 +71,7 @@ let drop_detected sim faults detected (vec : Cube.vector) =
 
 let generate ?(options = default_options) ~rng ctx faults =
   let c = Podem.circuit ctx in
-  let sim = Parallel.create c in
+  let sim = Fault_sim.create c in
   let n = Array.length faults in
   let detected = Array.make n false in
   let cubes = ref [] in

@@ -27,7 +27,7 @@ let run c ~rng ~partitions ~faults ~fallback ?(max_parallel = 512) ?(giveup = 10
   let chain_len = Circuit.num_flops c in
   let seg = max 1 (chain_len / partitions) in
   let npi = Circuit.num_inputs c and npo = Circuit.num_outputs c in
-  let sim = Parallel.create c in
+  let sim = Fault_sim.create c in
   let n_faults = Array.length faults in
   let detected = Array.make n_faults false in
   let drop vec_pi vec_scan =

@@ -84,7 +84,7 @@ let fig1 = Tvs_circuits.Fig1.circuit ()
 let s27 = Tvs_circuits.S27.circuit ()
 
 let test_sat_atpg_fig1 () =
-  let sim = Parallel.create fig1 in
+  let sim = Fault_sim.create fig1 in
   List.iter
     (fun name ->
       let fault = Tvs_circuits.Fig1.paper_fault fig1 name in
@@ -101,7 +101,7 @@ let test_sat_atpg_fig1 () =
 
 let agree_on circuit =
   let ctx = Podem.create circuit in
-  let sim = Parallel.create circuit in
+  let sim = Fault_sim.create circuit in
   Array.iter
     (fun fault ->
       let name = Fault.name circuit fault in
@@ -128,7 +128,7 @@ let test_cross_validation_synth () =
   (* A slice of a synthetic circuit's faults, both engines, full agreement. *)
   let c = Tvs_circuits.Synth.generate_named "s444" in
   let ctx = Podem.create c in
-  let sim = Parallel.create c in
+  let sim = Fault_sim.create c in
   let faults = Fault_gen.collapsed c in
   Array.iteri
     (fun i fault ->
