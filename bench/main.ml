@@ -16,6 +16,7 @@ module Prep = Tvs_harness.Prep
 
 let scale : float option ref = ref None
 let only : string list ref = ref []
+let jobs : int option ref = ref None
 
 let artifacts =
   [
@@ -25,7 +26,7 @@ let artifacts =
 
 let usage_and_exit msg =
   Printf.eprintf "error: %s\n" msg;
-  Printf.eprintf "usage: bench [--scale FLOAT] [ARTIFACT...]\n";
+  Printf.eprintf "usage: bench [--scale FLOAT] [--jobs N] [ARTIFACT...]\n";
   Printf.eprintf "valid artifacts: %s\n" (String.concat " " artifacts);
   exit 2
 
@@ -37,6 +38,13 @@ let parse_args () =
         (match float_of_string_opt v with
         | Some f when f > 0.0 -> scale := Some f
         | Some _ | None -> usage_and_exit (Printf.sprintf "invalid --scale value %S" v));
+        go rest
+    | [ "--jobs" ] -> usage_and_exit "--jobs requires a value"
+    | "--jobs" :: v :: rest ->
+        (match Option.map Tvs_harness.Cli.check_jobs (int_of_string_opt v) with
+        | Some (Ok j) -> jobs := Some j
+        | Some (Error msg) -> usage_and_exit msg
+        | None -> usage_and_exit (Printf.sprintf "invalid --jobs value %S" v));
         go rest
     | arg :: rest ->
         if not (List.mem arg artifacts) then
@@ -162,13 +170,16 @@ let run_micro () =
 
 let () =
   parse_args ();
+  (* --jobs (or TVS_JOBS, handled inside Pool) sets the process-wide default
+     fan-out; every table regenerates identically for any value. *)
+  Option.iter Tvs_util.Pool.set_default_jobs !jobs;
   let t0 = Unix.gettimeofday () in
   if wants "table1" then section "Table 1 / Figure 1" (Experiments.table1 ());
   if wants "table2" then section "Table 2" (Experiments.table2 ?scale:!scale ());
   if wants "table3" then section "Table 3" (Experiments.table3 ?scale:!scale ());
   if wants "table4" then section "Table 4" (Experiments.table4 ?scale:!scale ());
   if wants "table5" then section "Table 5" (Experiments.table5 ?scale:!scale ());
-  if wants "ablations" then section "Ablations" (Experiments.ablations ());
+  if wants "ablations" then section "Ablations" (Experiments.ablations ?jobs:!jobs ());
   if wants "misr" then section "MISR aliasing / diagnosis study" (Experiments.misr_study ());
   if wants "comparison" then
     section "Prior-art comparison" (Experiments.comparison_study ());

@@ -24,26 +24,55 @@ module Prep = Tvs_harness.Prep
 
 open Cmdliner
 
+let msg_of_string_error r = Result.map_error (fun m -> `Msg m) r
+
 (* A circuit argument: a known profile name ("s444"), "s27", "fig1", or a
-   path to a .bench file. *)
-let load_circuit ?(scale = 1.0) spec =
-  match spec with
-  | "fig1" -> Tvs_circuits.Fig1.circuit ()
-  | "s27" -> Tvs_circuits.S27.circuit ()
-  | name when List.exists (fun p -> p.Tvs_circuits.Profiles.name = name) Tvs_circuits.Profiles.all
-    ->
-      Tvs_circuits.Synth.generate (Tvs_circuits.Profiles.scale (Tvs_circuits.Profiles.find name) scale)
-  | path when Sys.file_exists path -> Bench_format.parse_file path
-  | spec -> failwith (Printf.sprintf "unknown circuit %S (not a profile, not a file)" spec)
+   path to a .bench file. Unknown specs are rejected at parse time by
+   cmdliner (usage error, non-zero exit). *)
+let circuit_conv =
+  Arg.conv ~docv:"CIRCUIT"
+    ((fun s -> msg_of_string_error (Tvs_harness.Cli.check_spec s)), Format.pp_print_string)
+
+(* The spec was validated by [circuit_conv]; only a malformed .bench file can
+   still fail here. *)
+let load_circuit ?scale spec =
+  match Tvs_harness.Cli.load_circuit ?scale spec with
+  | Ok c -> c
+  | Error msg ->
+      prerr_endline ("tvs: " ^ msg);
+      exit Cmd.Exit.cli_error
 
 let circuit_arg =
   let doc = "Circuit: a benchmark profile name (s444 ... s38584), s27, fig1, or a .bench file." in
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+  Arg.(required & pos 0 (some circuit_conv) None & info [] ~docv:"CIRCUIT" ~doc)
 
 let scale_arg =
   let doc = "Linear scale factor applied to profile circuits." in
   Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"F" ~doc)
 
+(* Fan-out width of the fault-simulation domain pool. The flag (or the
+   TVS_JOBS environment variable) sets the process-wide default that every
+   Fault_sim context created without an explicit [jobs] picks up; results
+   are bit-identical for every value. *)
+let jobs_arg =
+  let doc =
+    "Number of domains for fault simulation (default: available cores). Results are identical \
+     for every value; only wall-clock time changes."
+  in
+  let jobs_conv =
+    Arg.conv ~docv:"N"
+      ( (fun s ->
+          match int_of_string_opt s with
+          | None -> Error (`Msg (Printf.sprintf "invalid job count %S" s))
+          | Some j -> msg_of_string_error (Tvs_harness.Cli.check_jobs j)),
+        Format.pp_print_int )
+  in
+  Arg.(
+    value
+    & opt (some jobs_conv) None
+    & info [ "jobs"; "j" ] ~env:(Cmd.Env.info "TVS_JOBS") ~docv:"N" ~doc)
+
+let set_jobs = Option.iter Tvs_util.Pool.set_default_jobs
 let prep_of ?scale spec = Prep.of_circuit (load_circuit ?scale spec)
 
 let stats_cmd =
@@ -61,7 +90,8 @@ let stats_cmd =
     Term.(const run $ circuit_arg $ scale_arg)
 
 let atpg_cmd =
-  let run spec scale =
+  let run spec scale jobs =
+    set_jobs jobs;
     let prep = prep_of ~scale spec in
     let b = prep.Prep.baseline in
     Printf.printf "circuit        : %s\n" (Circuit.name prep.Prep.circuit);
@@ -75,10 +105,11 @@ let atpg_cmd =
     Printf.printf "tester memory  : %d bits\n" b.Baseline.memory
   in
   Cmd.v (Cmd.info "atpg" ~doc:"Traditional full-shift test generation (the aTV baseline)")
-    Term.(const run $ circuit_arg $ scale_arg)
+    Term.(const run $ circuit_arg $ scale_arg $ jobs_arg)
 
 let faultsim_cmd =
-  let run spec scale =
+  let run spec scale jobs =
+    set_jobs jobs;
     let prep = prep_of ~scale spec in
     let c = prep.Prep.circuit in
     let sim = Fault_sim.create c in
@@ -95,7 +126,7 @@ let faultsim_cmd =
       (100.0 *. float_of_int hits /. float_of_int (Array.length prep.Prep.faults))
   in
   Cmd.v (Cmd.info "faultsim" ~doc:"Fault-simulate the baseline test set")
-    Term.(const run $ circuit_arg $ scale_arg)
+    Term.(const run $ circuit_arg $ scale_arg $ jobs_arg)
 
 let scheme_arg =
   let doc = "Observation scheme: nxor, vxor or hxor:<taps>." in
@@ -127,10 +158,11 @@ let shift_arg =
   Arg.(value & opt (some int) None & info [ "shift" ] ~docv:"S" ~doc)
 
 let stitch_cmd =
-  let run spec scale scheme selection shift =
+  let run spec scale scheme selection shift jobs =
+    set_jobs jobs;
     let prep = prep_of ~scale spec in
     let shift_policy = Option.map (fun s -> Policy.Fixed s) shift in
-    let r = Experiments.run_flow ~scheme ?shift:shift_policy ~selection ~label:"cli" prep in
+    let r = Experiments.run_flow ~scheme ?shift:shift_policy ~selection ?jobs ~label:"cli" prep in
     Printf.printf "circuit     : %s\n" (Circuit.name prep.Prep.circuit);
     Printf.printf "scheme      : %s\n" (Xor_scheme.to_string scheme);
     Printf.printf "selection   : %s\n" (Policy.describe_selection selection);
@@ -143,18 +175,27 @@ let stitch_cmd =
     Printf.printf "coverage    : %.4f\n" r.Experiments.coverage
   in
   Cmd.v (Cmd.info "stitch" ~doc:"Run the stitched compression flow")
-    Term.(const run $ circuit_arg $ scale_arg $ scheme_arg $ selection_arg $ shift_arg)
+    Term.(const run $ circuit_arg $ scale_arg $ scheme_arg $ selection_arg $ shift_arg $ jobs_arg)
 
 let table_cmd =
   let which =
     let doc = "Table number (1-5)." in
-    Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc)
+    let table_conv =
+      Arg.conv ~docv:"N"
+        ( (fun s ->
+            match int_of_string_opt s with
+            | None -> Error (`Msg (Printf.sprintf "invalid table number %S" s))
+            | Some n -> msg_of_string_error (Tvs_harness.Cli.check_table n)),
+          Format.pp_print_int )
+    in
+    Arg.(required & pos 0 (some table_conv) None & info [] ~docv:"N" ~doc)
   in
   let circuits_arg =
     let doc = "Restrict to these circuits (comma-separated)." in
     Arg.(value & opt (some string) None & info [ "circuits" ] ~docv:"LIST" ~doc)
   in
-  let run n scale circuits =
+  let run n scale circuits jobs =
+    set_jobs jobs;
     let circuits = Option.map (String.split_on_char ',') circuits in
     (* scale < 0 means "per-circuit defaults". *)
     let scale = if scale < 0.0 then None else Some scale in
@@ -164,8 +205,7 @@ let table_cmd =
       | 2 -> Experiments.table2 ?scale ?circuits ()
       | 3 -> Experiments.table3 ?scale ?circuits ()
       | 4 -> Experiments.table4 ?scale ?circuits ()
-      | 5 -> Experiments.table5 ?scale ?circuits ()
-      | n -> failwith (Printf.sprintf "no table %d in the paper" n)
+      | _ -> Experiments.table5 ?scale ?circuits ()
     in
     print_string text
   in
@@ -174,62 +214,76 @@ let table_cmd =
     Arg.(value & opt float (-1.0) & info [ "scale" ] ~docv:"F" ~doc)
   in
   Cmd.v (Cmd.info "table" ~doc:"Regenerate a paper table")
-    Term.(const run $ which $ scale_arg $ circuits_arg)
+    Term.(const run $ which $ scale_arg $ circuits_arg $ jobs_arg)
 
 let ablation_cmd =
   let circuit_arg =
     let doc = "Profile circuit for the ablations." in
     Arg.(value & opt string "s953" & info [ "circuit" ] ~docv:"NAME" ~doc)
   in
-  let run scale circuit = print_string (Experiments.ablations ~scale ~circuit ()) in
+  let run scale circuit jobs =
+    set_jobs jobs;
+    print_string (Experiments.ablations ~scale ~circuit ?jobs ())
+  in
   Cmd.v (Cmd.info "ablation" ~doc:"Run the design-choice ablations")
-    Term.(const run $ scale_arg $ circuit_arg)
+    Term.(const run $ scale_arg $ circuit_arg $ jobs_arg)
 
 let misr_cmd =
   let circuit_arg =
     let doc = "Profile circuit for the study." in
     Arg.(value & opt string "s953" & info [ "circuit" ] ~docv:"NAME" ~doc)
   in
-  let run scale circuit = print_string (Experiments.misr_study ~scale ~circuit ()) in
+  let run scale circuit jobs =
+    set_jobs jobs;
+    print_string (Experiments.misr_study ~scale ~circuit ())
+  in
   Cmd.v (Cmd.info "misr" ~doc:"MISR aliasing and diagnosis-resolution study")
-    Term.(const run $ scale_arg $ circuit_arg)
+    Term.(const run $ scale_arg $ circuit_arg $ jobs_arg)
 
 let comparison_cmd =
   let circuits_arg =
     let doc = "Circuits (comma-separated)." in
     Arg.(value & opt (some string) None & info [ "circuits" ] ~docv:"LIST" ~doc)
   in
-  let run scale circuits =
+  let run scale circuits jobs =
+    set_jobs jobs;
     let circuits = Option.map (String.split_on_char ',') circuits in
     print_string (Experiments.comparison_study ~scale ?circuits ())
   in
   Cmd.v (Cmd.info "comparison" ~doc:"Static reordering vs stitched generation")
-    Term.(const run $ scale_arg $ circuits_arg)
+    Term.(const run $ scale_arg $ circuits_arg $ jobs_arg)
 
 let diagnosis_cmd =
   let circuit_arg =
     let doc = "Profile circuit for the study." in
     Arg.(value & opt string "s444" & info [ "circuit" ] ~docv:"NAME" ~doc)
   in
-  let run scale circuit = print_string (Experiments.diagnosis_study ~scale ~circuit ()) in
+  let run scale circuit jobs =
+    set_jobs jobs;
+    print_string (Experiments.diagnosis_study ~scale ~circuit ())
+  in
   Cmd.v (Cmd.info "diagnosis" ~doc:"Fault-dictionary diagnosis resolution study")
-    Term.(const run $ scale_arg $ circuit_arg)
+    Term.(const run $ scale_arg $ circuit_arg $ jobs_arg)
 
 let randtest_cmd =
   let patterns_arg =
     let doc = "Number of LFSR patterns." in
     Arg.(value & opt int 256 & info [ "patterns" ] ~docv:"N" ~doc)
   in
-  let run patterns = print_string (Experiments.random_testability ~patterns ()) in
+  let run patterns jobs =
+    set_jobs jobs;
+    print_string (Experiments.random_testability ~patterns ())
+  in
   Cmd.v (Cmd.info "randtest" ~doc:"LFSR random-pattern testability sweep")
-    Term.(const run $ patterns_arg)
+    Term.(const run $ patterns_arg $ jobs_arg)
 
 let export_cmd =
   let out_arg =
     let doc = "Output file for the tester program." in
     Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc)
   in
-  let run spec scale scheme selection shift out =
+  let run spec scale scheme selection shift jobs out =
+    set_jobs jobs;
     let prep = prep_of ~scale spec in
     let c = prep.Prep.circuit in
     let chain_len = Circuit.num_flops c in
@@ -241,6 +295,7 @@ let export_cmd =
         selection;
         shift =
           (match shift with Some s -> Policy.Fixed s | None -> base.Tvs_core.Engine.shift);
+        jobs;
       }
     in
     let r =
@@ -268,7 +323,9 @@ let export_cmd =
       (Tvs_scan.Tester_format.num_captures program)
   in
   Cmd.v (Cmd.info "export" ~doc:"Run the stitched flow and write an ATE program file")
-    Term.(const run $ circuit_arg $ scale_arg $ scheme_arg $ selection_arg $ shift_arg $ out_arg)
+    Term.(
+      const run $ circuit_arg $ scale_arg $ scheme_arg $ selection_arg $ shift_arg $ jobs_arg
+      $ out_arg)
 
 let fig1_cmd =
   let run () = print_string (Experiments.table1 ()) in

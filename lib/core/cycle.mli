@@ -18,9 +18,15 @@ type status =
 type t
 
 val create :
-  ?scheme:Tvs_scan.Xor_scheme.t -> Tvs_netlist.Circuit.t -> faults:Tvs_fault.Fault.t array -> t
+  ?scheme:Tvs_scan.Xor_scheme.t ->
+  ?jobs:int ->
+  Tvs_netlist.Circuit.t ->
+  faults:Tvs_fault.Fault.t array ->
+  t
 (** Fresh machine: every fault uncaught, chain contents all-zero (the first
-    vector is fully shifted so the initial contents never matter). *)
+    vector is fully shifted so the initial contents never matter). [jobs] is
+    the fault-simulation fan-out width (see {!Tvs_fault.Fault_sim.create});
+    results are identical for every value. *)
 
 val circuit : t -> Tvs_netlist.Circuit.t
 val scheme : t -> Tvs_scan.Xor_scheme.t

@@ -16,6 +16,7 @@ type config = {
   max_cycles : int;
   stagnation_limit : int;
   max_targets_per_cycle : int;
+  jobs : int option;
 }
 
 let default_config ~chain_len =
@@ -27,6 +28,7 @@ let default_config ~chain_len =
     max_cycles = 4000;
     stagnation_limit = 25;
     max_targets_per_cycle = 25;
+    jobs = None;
   }
 
 type cycle_log = {
@@ -111,8 +113,8 @@ let run ?config ?(fallback = [||]) ~rng ctx ~faults =
   let c = Podem.circuit ctx in
   let chain_len = Circuit.num_flops c in
   let cfg = match config with Some cfg -> cfg | None -> default_config ~chain_len in
-  let machine = Cycle.create ~scheme:cfg.scheme c ~faults in
-  let sim = Tvs_fault.Fault_sim.create c in
+  let machine = Cycle.create ~scheme:cfg.scheme ?jobs:cfg.jobs c ~faults in
+  let sim = Tvs_fault.Fault_sim.create ?jobs:cfg.jobs c in
   let hardness =
     let guide = Podem.scoap ctx in
     Array.map (fun f -> Scoap.fault_hardness guide f) faults
@@ -243,7 +245,7 @@ let run ?config ?(fallback = [||]) ~rng ctx ~faults =
          append any fallback vector that detects a still-missing fault. *)
       let aborted = ref gen.Generator.aborted in
       if !aborted <> [] && Array.length fallback > 0 then begin
-        let sim = Tvs_fault.Fault_sim.create c in
+        let sim = Tvs_fault.Fault_sim.create ?jobs:cfg.jobs c in
         let missing = ref !aborted in
         (* Accumulate appended vectors in reverse and splice once at the end:
            list append inside the loop is quadratic in the fallback count. *)

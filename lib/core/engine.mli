@@ -22,6 +22,10 @@ type config = {
           (newly hidden faults do not count: they can churn between hidden
           and uncaught without ever being observed) *)
   max_targets_per_cycle : int;  (** PODEM attempts before declaring the cycle stuck *)
+  jobs : int option;
+      (** fault-simulation fan-out width; [None] defers to
+          {!Tvs_util.Pool.default_jobs}. Results are bit-identical for every
+          value — the knob trades wall-clock for cores only. *)
 }
 
 val default_config : chain_len:int -> config

@@ -2,6 +2,7 @@ module Parallel = Tvs_sim.Parallel
 module Event = Tvs_sim.Event
 module Lanes = Tvs_sim.Lanes
 module Circuit = Tvs_netlist.Circuit
+module Pool = Tvs_util.Pool
 
 type outcome = Same | Po_detected | Capture_differs of bool array
 
@@ -11,23 +12,43 @@ type batch_result = { good : frame; outcomes : outcome array }
 
 type mode = Event_driven | Full
 
+(* Per-slot engine contexts for pool fan-out. The engines are documented not
+   thread-safe, so each pool slot — one fixed domain — owns a private pair;
+   slot 0 aliases the submitter's own contexts. Built on the first fan-out
+   and reused for the context's lifetime. *)
+type slot = { s_par : Parallel.t; s_ev : Event.t Lazy.t }
+
+type fanout = { pool : Pool.t; slots : slot array }
+
 type t = {
   circuit : Circuit.t;
   par : Parallel.t;
   ev : Event.t Lazy.t;
   mode : mode;
+  jobs : int;
+  mutable fanout : fanout option;
 }
 
-let create ?(mode = Event_driven) circuit =
-  { circuit; par = Parallel.create circuit; ev = lazy (Event.create circuit); mode }
+let create ?(mode = Event_driven) ?jobs circuit =
+  let jobs = max 1 (match jobs with Some j -> j | None -> Pool.default_jobs ()) in
+  {
+    circuit;
+    par = Parallel.create circuit;
+    ev = lazy (Event.create circuit);
+    mode;
+    jobs;
+    fanout = None;
+  }
 
-let of_parallel par =
+let of_parallel ?jobs par =
   let circuit = Parallel.circuit par in
-  { circuit; par; ev = lazy (Event.create circuit); mode = Event_driven }
+  let jobs = max 1 (match jobs with Some j -> j | None -> Pool.default_jobs ()) in
+  { circuit; par; ev = lazy (Event.create circuit); mode = Event_driven; jobs; fanout = None }
 
 let circuit t = t.circuit
 let parallel t = t.par
 let mode t = t.mode
+let jobs t = t.jobs
 
 type counters = {
   mutable full_runs : int;
@@ -58,13 +79,9 @@ let reset_counters () =
 
 let note_dropped n = counters.faults_dropped <- counters.faults_dropped + n
 
-let note_event_run ev =
-  counters.event_runs <- counters.event_runs + 1;
-  counters.events_fired <- counters.events_fired + Event.last_events ev;
-  counters.gate_evals <- counters.gate_evals + Event.last_evals ev;
-  counters.gates_skipped <- counters.gates_skipped + (Event.full_evals ev - Event.last_evals ev)
-
 let chunk_size = Lanes.width - 1 (* lane 0 is the fault-free machine *)
+
+let num_chunks n = (n + chunk_size - 1) / chunk_size
 
 (* Per-lane difference masks against lane 0 for one array of result words. *)
 let diff_mask words used_mask =
@@ -141,6 +158,72 @@ let chunk_order c faults =
 
 let broadcast_words arr = Array.map (fun b -> if b then Lanes.all_mask else 0) arr
 
+(* --- pool fan-out ----------------------------------------------------- *)
+
+let fanout_ctx t =
+  match t.fanout with
+  | Some fo -> fo
+  | None ->
+      let pool = Pool.shared ~jobs:t.jobs in
+      let slots =
+        Array.init (Pool.jobs pool) (fun i ->
+            if i = 0 then { s_par = t.par; s_ev = t.ev }
+            else { s_par = Parallel.create t.circuit; s_ev = lazy (Event.create t.circuit) })
+      in
+      let fo = { pool; slots } in
+      t.fanout <- Some fo;
+      fo
+
+(* Run [nchunks] independent full-broadcast chunks, across the pool when both
+   the context and the workload are wide enough. Results (and the merged
+   counters) are indexed by chunk, so every jobs value — including the inline
+   jobs=1 path — produces identical output. *)
+let run_full_chunks t ~nchunks f =
+  let out =
+    if t.jobs = 1 || nchunks <= 1 then Array.init nchunks (fun ci -> f t.par ci)
+    else begin
+      let fo = fanout_ctx t in
+      Pool.parallel_map_chunks fo.pool ~n:nchunks (fun ~slot ci -> f fo.slots.(slot).s_par ci)
+    end
+  in
+  counters.full_runs <- counters.full_runs + nchunks;
+  out
+
+(* Event-driven counterpart. [t.ev] must already hold the stimulus; worker
+   slots inherit it by baseline adoption (O(nets) blits, no gate work) on
+   their first chunk of each submission. Each chunk's event/eval tallies ride
+   back with its result and are folded into [counters] in chunk order —
+   per-chunk work is deterministic, so the totals are too. *)
+let run_event_chunks t ~nchunks f =
+  let ev0 = Lazy.force t.ev in
+  let tally ev r = (r, Event.last_events ev, Event.last_evals ev, Event.full_evals ev) in
+  let out =
+    if t.jobs = 1 || nchunks <= 1 then
+      Array.init nchunks (fun ci -> tally ev0 (f ev0 ci))
+    else begin
+      let fo = fanout_ctx t in
+      (* Fresh per submission: a slot's baseline is only valid for this
+         stimulus. Each cell is touched by exactly one domain. *)
+      let adopted = Array.make (Array.length fo.slots) false in
+      adopted.(0) <- true;
+      Pool.parallel_map_chunks fo.pool ~n:nchunks (fun ~slot ci ->
+          let ev = Lazy.force fo.slots.(slot).s_ev in
+          if not adopted.(slot) then begin
+            Event.adopt_baseline ev ~from:ev0;
+            adopted.(slot) <- true
+          end;
+          tally ev (f ev ci))
+    end
+  in
+  Array.map
+    (fun (r, fired, evals, full) ->
+      counters.event_runs <- counters.event_runs + 1;
+      counters.events_fired <- counters.events_fired + fired;
+      counters.gate_evals <- counters.gate_evals + evals;
+      counters.gates_skipped <- counters.gates_skipped + (full - evals);
+      r)
+    out
+
 (* Full-broadcast path: one complete levelized pass per chunk. *)
 
 let run_chunk_full par ~pi_words ~state_words faults =
@@ -148,125 +231,121 @@ let run_chunk_full par ~pi_words ~state_words faults =
     List.mapi (fun i f -> Fault.to_injection f ~lane:(i + 1)) (Array.to_list faults)
   in
   let r = Parallel.run par ~pi:pi_words ~state:state_words ~injections in
-  counters.full_runs <- counters.full_runs + 1;
   (lane0_frame r, outcomes_of_run r ~nfaults:(Array.length faults))
 
-let run_batch_full par ~pi ~state ~faults =
+let run_batch_full t ~pi ~state ~faults =
   let pi_words = broadcast_words pi in
   let state_words = broadcast_words state in
   let n = Array.length faults in
+  (* At least one (possibly empty) chunk: the good frame comes from lane 0. *)
+  let nchunks = max 1 (num_chunks n) in
+  let chunk_out =
+    run_full_chunks t ~nchunks (fun par ci ->
+        let pos = ci * chunk_size in
+        let len = min chunk_size (n - pos) in
+        run_chunk_full par ~pi_words ~state_words (Array.sub faults pos len))
+  in
   let outcomes = Array.make n Same in
-  let good = ref None in
-  let pos = ref 0 in
-  while !pos < n || !good = None do
-    let len = min chunk_size (n - !pos) in
-    let chunk = Array.sub faults !pos len in
-    let g, out = run_chunk_full par ~pi_words ~state_words chunk in
-    if !good = None then good := Some g;
-    Array.blit out 0 outcomes !pos len;
-    pos := !pos + max len 1
-  done;
-  match !good with
-  | Some good -> { good; outcomes }
-  | None -> assert false
+  Array.iteri
+    (fun ci (_, out) -> Array.blit out 0 outcomes (ci * chunk_size) (Array.length out))
+    chunk_out;
+  { good = fst chunk_out.(0); outcomes }
 
-let run_per_state_full par ~pi ~good_state ~faults ~states =
+let run_per_state_full t ~pi ~good_state ~faults ~states =
   let n = Array.length faults in
   let nflops = Array.length good_state in
   let pi_words = broadcast_words pi in
+  let nchunks = max 1 (num_chunks n) in
+  let chunk_out =
+    run_full_chunks t ~nchunks (fun par ci ->
+        let pos = ci * chunk_size in
+        let len = min chunk_size (n - pos) in
+        (* Pack lane 0 from the fault-free state and lanes 1..len from each
+           fault's private state. *)
+        let state_words =
+          Array.init nflops (fun j ->
+              let w = ref (if good_state.(j) then 1 else 0) in
+              for i = 0 to len - 1 do
+                if states.(pos + i).(j) then w := !w lor (1 lsl (i + 1))
+              done;
+              !w)
+        in
+        run_chunk_full par ~pi_words ~state_words (Array.sub faults pos len))
+  in
   let outcomes = Array.make n Same in
-  let good = ref None in
-  let pos = ref 0 in
-  while !pos < n || !good = None do
-    let len = min chunk_size (n - !pos) in
-    (* Pack lane 0 from the fault-free state and lanes 1..len from each
-       fault's private state. *)
-    let state_words =
-      Array.init nflops (fun j ->
-          let w = ref (if good_state.(j) then 1 else 0) in
-          for i = 0 to len - 1 do
-            if states.(!pos + i).(j) then w := !w lor (1 lsl (i + 1))
-          done;
-          !w)
-    in
-    let chunk = Array.sub faults !pos len in
-    let g, out = run_chunk_full par ~pi_words ~state_words chunk in
-    if !good = None then good := Some g;
-    Array.blit out 0 outcomes !pos len;
-    pos := !pos + max len 1
-  done;
-  match !good with
-  | Some good -> { good; outcomes }
-  | None -> assert false
+  Array.iteri
+    (fun ci (_, out) -> Array.blit out 0 outcomes (ci * chunk_size) (Array.length out))
+    chunk_out;
+  { good = fst chunk_out.(0); outcomes }
 
 (* Event-driven path: the fault-free pass happens once in [set_stimulus];
    each chunk then only re-evaluates the gates its fault cones disturb. *)
 
 let run_batch_event t ~pi ~state ~faults =
-  let ev = Lazy.force t.ev in
-  Event.set_stimulus ev ~pi ~state;
-  let good = { po = Event.good_po ev; capture = Event.good_capture ev } in
+  let ev0 = Lazy.force t.ev in
+  Event.set_stimulus ev0 ~pi ~state;
+  let good = { po = Event.good_po ev0; capture = Event.good_capture ev0 } in
   let n = Array.length faults in
-  let outcomes = Array.make n Same in
   let order = chunk_order t.circuit faults in
-  let pos = ref 0 in
-  while !pos < n do
-    let len = min chunk_size (n - !pos) in
-    let injections =
-      List.init len (fun i -> Fault.to_injection faults.(order.(!pos + i)) ~lane:(i + 1))
-    in
-    let r = Event.run ev ~injections () in
-    note_event_run ev;
-    let out = outcomes_of_run r ~nfaults:len in
-    for i = 0 to len - 1 do
-      outcomes.(order.(!pos + i)) <- out.(i)
-    done;
-    pos := !pos + len
-  done;
+  let chunk_out =
+    run_event_chunks t ~nchunks:(num_chunks n) (fun ev ci ->
+        let pos = ci * chunk_size in
+        let len = min chunk_size (n - pos) in
+        let injections =
+          List.init len (fun i -> Fault.to_injection faults.(order.(pos + i)) ~lane:(i + 1))
+        in
+        outcomes_of_run (Event.run ev ~injections ()) ~nfaults:len)
+  in
+  let outcomes = Array.make n Same in
+  Array.iteri
+    (fun ci out ->
+      let pos = ci * chunk_size in
+      Array.iteri (fun i o -> outcomes.(order.(pos + i)) <- o) out)
+    chunk_out;
   { good; outcomes }
 
 let run_per_state_event t ~pi ~good_state ~faults ~states =
-  let ev = Lazy.force t.ev in
-  Event.set_stimulus ev ~pi ~state:good_state;
-  let good = { po = Event.good_po ev; capture = Event.good_capture ev } in
+  let ev0 = Lazy.force t.ev in
+  Event.set_stimulus ev0 ~pi ~state:good_state;
+  let good = { po = Event.good_po ev0; capture = Event.good_capture ev0 } in
   let n = Array.length faults in
   let nflops = Array.length good_state in
-  let outcomes = Array.make n Same in
   let order = chunk_order t.circuit faults in
-  let pos = ref 0 in
-  while !pos < n do
-    let len = min chunk_size (n - !pos) in
-    let state_words =
-      Array.init nflops (fun j ->
-          let w = ref (if good_state.(j) then 1 else 0) in
-          for i = 0 to len - 1 do
-            if states.(order.(!pos + i)).(j) then w := !w lor (1 lsl (i + 1))
-          done;
-          !w)
-    in
-    let injections =
-      List.init len (fun i -> Fault.to_injection faults.(order.(!pos + i)) ~lane:(i + 1))
-    in
-    let r = Event.run ev ~states:state_words ~injections () in
-    note_event_run ev;
-    let out = outcomes_of_run r ~nfaults:len in
-    for i = 0 to len - 1 do
-      outcomes.(order.(!pos + i)) <- out.(i)
-    done;
-    pos := !pos + len
-  done;
+  let chunk_out =
+    run_event_chunks t ~nchunks:(num_chunks n) (fun ev ci ->
+        let pos = ci * chunk_size in
+        let len = min chunk_size (n - pos) in
+        let state_words =
+          Array.init nflops (fun j ->
+              let w = ref (if good_state.(j) then 1 else 0) in
+              for i = 0 to len - 1 do
+                if states.(order.(pos + i)).(j) then w := !w lor (1 lsl (i + 1))
+              done;
+              !w)
+        in
+        let injections =
+          List.init len (fun i -> Fault.to_injection faults.(order.(pos + i)) ~lane:(i + 1))
+        in
+        outcomes_of_run (Event.run ev ~states:state_words ~injections ()) ~nfaults:len)
+  in
+  let outcomes = Array.make n Same in
+  Array.iteri
+    (fun ci out ->
+      let pos = ci * chunk_size in
+      Array.iteri (fun i o -> outcomes.(order.(pos + i)) <- o) out)
+    chunk_out;
   { good; outcomes }
 
 let run_batch t ~pi ~state ~faults =
   match t.mode with
-  | Full -> run_batch_full t.par ~pi ~state ~faults
+  | Full -> run_batch_full t ~pi ~state ~faults
   | Event_driven -> run_batch_event t ~pi ~state ~faults
 
 let run_per_state t ~pi ~good_state ~faults ~states =
   if Array.length states <> Array.length faults then
     invalid_arg "Fault_sim.run_per_state: states length mismatch";
   match t.mode with
-  | Full -> run_per_state_full t.par ~pi ~good_state ~faults ~states
+  | Full -> run_per_state_full t ~pi ~good_state ~faults ~states
   | Event_driven -> run_per_state_event t ~pi ~good_state ~faults ~states
 
 let detects t ~pi ~state fault =
@@ -278,44 +357,45 @@ let detects t ~pi ~state fault =
    lane difference masks directly. *)
 let detected_faults t ~pi ~state faults =
   let n = Array.length faults in
-  let flags = Array.make n false in
-  let flags_of_run (r : Parallel.result) ~nfaults ~write =
+  let flags_of_run (r : Parallel.result) ~nfaults =
     let used = Lanes.mask (nfaults + 1) in
     let diff = diff_mask r.po used lor diff_mask r.capture used in
-    for i = 0 to nfaults - 1 do
-      write i (Lanes.get diff (i + 1))
-    done
+    Array.init nfaults (fun i -> Lanes.get diff (i + 1))
   in
+  let flags = Array.make n false in
   (match t.mode with
   | Full ->
       let pi_words = broadcast_words pi in
       let state_words = broadcast_words state in
-      let pos = ref 0 in
-      while !pos < n do
-        let len = min chunk_size (n - !pos) in
-        let injections =
-          List.init len (fun i -> Fault.to_injection faults.(!pos + i) ~lane:(i + 1))
-        in
-        let r = Parallel.run t.par ~pi:pi_words ~state:state_words ~injections in
-        counters.full_runs <- counters.full_runs + 1;
-        let base = !pos in
-        flags_of_run r ~nfaults:len ~write:(fun i d -> flags.(base + i) <- d);
-        pos := !pos + len
-      done
+      let chunk_out =
+        run_full_chunks t ~nchunks:(num_chunks n) (fun par ci ->
+            let pos = ci * chunk_size in
+            let len = min chunk_size (n - pos) in
+            let injections =
+              List.init len (fun i -> Fault.to_injection faults.(pos + i) ~lane:(i + 1))
+            in
+            let r = Parallel.run par ~pi:pi_words ~state:state_words ~injections in
+            flags_of_run r ~nfaults:len)
+      in
+      Array.iteri
+        (fun ci out -> Array.blit out 0 flags (ci * chunk_size) (Array.length out))
+        chunk_out
   | Event_driven ->
-      let ev = Lazy.force t.ev in
-      Event.set_stimulus ev ~pi ~state;
+      let ev0 = Lazy.force t.ev in
+      Event.set_stimulus ev0 ~pi ~state;
       let order = chunk_order t.circuit faults in
-      let pos = ref 0 in
-      while !pos < n do
-        let len = min chunk_size (n - !pos) in
-        let injections =
-          List.init len (fun i -> Fault.to_injection faults.(order.(!pos + i)) ~lane:(i + 1))
-        in
-        let r = Event.run ev ~injections () in
-        note_event_run ev;
-        let base = !pos in
-        flags_of_run r ~nfaults:len ~write:(fun i d -> flags.(order.(base + i)) <- d);
-        pos := !pos + len
-      done);
+      let chunk_out =
+        run_event_chunks t ~nchunks:(num_chunks n) (fun ev ci ->
+            let pos = ci * chunk_size in
+            let len = min chunk_size (n - pos) in
+            let injections =
+              List.init len (fun i -> Fault.to_injection faults.(order.(pos + i)) ~lane:(i + 1))
+            in
+            flags_of_run (Event.run ev ~injections ()) ~nfaults:len)
+      in
+      Array.iteri
+        (fun ci out ->
+          let pos = ci * chunk_size in
+          Array.iteri (fun i d -> flags.(order.(pos + i)) <- d) out)
+        chunk_out);
   flags

@@ -15,7 +15,15 @@
     {!Event_driven} (the default) evaluates the fault-free machine once per
     stimulus and then propagates only lane events inside the chunk's fault
     cones ({!Tvs_sim.Event}); chunks are grouped so faults with overlapping
-    cones share lanes. Work done and skipped is tallied in {!counters}. *)
+    cones share lanes. Work done and skipped is tallied in {!counters}.
+
+    Chunks are independent, so on both paths they fan out across a
+    {!Tvs_util.Pool} domain pool when [jobs > 1]: each pool slot owns a
+    private engine context (the engines are not thread-safe), and results and
+    counter tallies are merged in chunk order, making outcomes and counters
+    bit-identical for every [jobs] value — including [jobs = 1], which never
+    touches the pool. Entry points must be called from one domain at a time
+    (the submitter). *)
 
 type outcome =
   | Same  (** response identical to the fault-free machine *)
@@ -34,11 +42,15 @@ type mode =
 
 type t
 (** Reusable fault-simulation context for one circuit: a {!Tvs_sim.Parallel}
-    engine plus a lazily-built {!Tvs_sim.Event} engine. Not thread-safe. *)
+    engine plus a lazily-built {!Tvs_sim.Event} engine (and, when [jobs > 1],
+    per-domain copies of both). Not thread-safe. *)
 
-val create : ?mode:mode -> Tvs_netlist.Circuit.t -> t
+val create : ?mode:mode -> ?jobs:int -> Tvs_netlist.Circuit.t -> t
+(** [jobs] is the fan-out width (clamped to at least 1); defaults to
+    {!Tvs_util.Pool.default_jobs}. Batches too small to chunk always run
+    inline on the caller's domain. *)
 
-val of_parallel : Tvs_sim.Parallel.t -> t
+val of_parallel : ?jobs:int -> Tvs_sim.Parallel.t -> t
 (** Wrap an existing broadcast engine (event-driven mode). The event engine
     is built lazily on first use. *)
 
@@ -49,6 +61,9 @@ val parallel : t -> Tvs_sim.Parallel.t
     {!Tvs_sim.Parallel.run} access on the same circuit. *)
 
 val mode : t -> mode
+
+val jobs : t -> int
+(** Fan-out width this context was created with. *)
 
 (** Cumulative work counters across all contexts (reset with
     {!reset_counters}; sampled by the engine per cycle and by the bench

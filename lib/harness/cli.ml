@@ -1,0 +1,40 @@
+(* Validation shared between the CLI drivers (bin/ and bench/) and the test
+   suite. Keeping it here — rather than inline in bin/main.ml — lets the
+   bad-input paths be unit-tested without spawning the executable. *)
+
+module Profiles = Tvs_circuits.Profiles
+
+let profile_names = List.map (fun p -> p.Profiles.name) Profiles.all
+
+let check_spec spec =
+  match spec with
+  | "fig1" | "s27" -> Ok spec
+  | name when List.mem name profile_names -> Ok spec
+  | path when Sys.file_exists path -> Ok spec
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown circuit %S: not a profile (%s), not s27 or fig1, and no such file" spec
+           (String.concat ", " profile_names))
+
+let load_circuit ?(scale = 1.0) spec =
+  match check_spec spec with
+  | Error _ as e -> e
+  | Ok _ -> (
+      match spec with
+      | "fig1" -> Ok (Tvs_circuits.Fig1.circuit ())
+      | "s27" -> Ok (Tvs_circuits.S27.circuit ())
+      | name when List.mem name profile_names ->
+          Ok (Tvs_circuits.Synth.generate (Profiles.scale (Profiles.find name) scale))
+      | path -> (
+          try Ok (Tvs_netlist.Bench_format.parse_file path)
+          with Failure msg | Sys_error msg ->
+            Error (Printf.sprintf "cannot load %S: %s" path msg)))
+
+let check_table n =
+  if n >= 1 && n <= 5 then Ok n
+  else Error (Printf.sprintf "no table %d in the paper (tables are numbered 1-5)" n)
+
+let check_jobs j =
+  if j >= 1 then Ok j
+  else Error (Printf.sprintf "--jobs must be at least 1 (got %d)" j)

@@ -1,0 +1,20 @@
+(** Argument validation shared by the [tvs] CLI, the bench driver and the
+    test suite. Every checker returns [Error msg] instead of raising, so the
+    drivers can surface bad input through their usual error channel
+    (cmdliner's [`Msg], the bench usage message) with a non-zero exit, and
+    the tests can cover the rejection paths directly. *)
+
+val check_spec : string -> (string, string) result
+(** A circuit spec is a benchmark profile name, ["s27"], ["fig1"], or a path
+    to an existing [.bench] file. *)
+
+val load_circuit :
+  ?scale:float -> string -> (Tvs_netlist.Circuit.t, string) result
+(** Validate [spec] and build the circuit. [scale] (default 1.0) applies to
+    profile circuits only. *)
+
+val check_table : int -> (int, string) result
+(** The paper has tables 1-5. *)
+
+val check_jobs : int -> (int, string) result
+(** Fan-out width for the fault-simulation domain pool: at least 1. *)

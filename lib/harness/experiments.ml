@@ -28,7 +28,7 @@ type run_summary = {
   peak_hidden : int;
 }
 
-let run_flow ?scheme ?shift ?selection ~label (prep : Prep.t) =
+let run_flow ?scheme ?shift ?selection ?jobs ~label (prep : Prep.t) =
   let chain_len = Circuit.num_flops prep.circuit in
   let base = Engine.default_config ~chain_len in
   let config =
@@ -37,6 +37,7 @@ let run_flow ?scheme ?shift ?selection ~label (prep : Prep.t) =
       scheme = Option.value ~default:base.Engine.scheme scheme;
       shift = Option.value ~default:base.Engine.shift shift;
       selection = Option.value ~default:base.Engine.selection selection;
+      jobs = (match jobs with Some _ -> jobs | None -> base.Engine.jobs);
     }
   in
   let rng = Prep.engine_seed prep label in
@@ -339,12 +340,11 @@ let table5 ?scale ?(circuits = default_table5_circuits) () =
 (* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md §6).                                           *)
 
-let time_it f =
-  let t0 = Sys.time () in
-  let v = f () in
-  (v, Sys.time () -. t0)
+(* Wall clock, not [Sys.time]: CPU time sums across domains and would
+   silently report a domain-pool run as slower than it is. *)
+let time_it = Tvs_util.Clock.time_it
 
-let ablations ?(scale = 1.0) ?(circuit = "s953") () =
+let ablations ?(scale = 1.0) ?(circuit = "s953") ?jobs () =
   let prep = Prep.get ~scale circuit in
   let c = prep.Prep.circuit in
   let buf = Buffer.create 1024 in
@@ -375,6 +375,32 @@ let ablations ?(scale = 1.0) ?(circuit = "s953") () =
        par_time ser_time
        (if par_time > 0.0 then ser_time /. par_time else nan)
        (Array.length vectors) (Array.length faults));
+  (* 1b. Domain-pool scaling: the same word-parallel screening fanned out
+     over 1/2/4/N domains. Results are bit-identical at every width; only
+     the wall clock moves. *)
+  let jobs_sweep =
+    List.sort_uniq compare
+      [ 1; 2; 4; (match jobs with Some j -> max 1 j | None -> Tvs_util.Pool.default_jobs ()) ]
+  in
+  let screen_time j =
+    let sim = Fault_sim.create ~jobs:j c in
+    snd
+      (time_it (fun () ->
+           Array.iter
+             (fun (v : Cube.vector) ->
+               ignore (Fault_sim.detected_faults sim ~pi:v.Cube.pi ~state:v.Cube.scan faults))
+             vectors))
+  in
+  let scaling = List.map (fun j -> (j, screen_time j)) jobs_sweep in
+  let base_time = List.assoc 1 scaling in
+  Buffer.add_string buf "  domain-pool scaling (wall clock):";
+  List.iter
+    (fun (j, tm) ->
+      Buffer.add_string buf
+        (Printf.sprintf " jobs=%d %.3fs (%.2fx)" j tm
+           (if tm > 0.0 then base_time /. tm else nan)))
+    scaling;
+  Buffer.add_char buf '\n';
   (* 2. SCOAP-guided vs naive PODEM backtrace. *)
   let gen_with ~guided ~dropping label =
     let options =

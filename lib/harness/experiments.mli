@@ -21,11 +21,14 @@ val run_flow :
   ?scheme:Tvs_scan.Xor_scheme.t ->
   ?shift:Tvs_core.Policy.shift_policy ->
   ?selection:Tvs_core.Policy.selection ->
+  ?jobs:int ->
   label:string ->
   Prep.t ->
   run_summary
 (** One stitched run on a prepared circuit, defaults: NXOR, variable shift,
-    most-faults selection. Exposed for the examples and the CLI. *)
+    most-faults selection. [jobs] sets the fault-simulation fan-out width
+    (default {!Tvs_util.Pool.default_jobs}); the summary is bit-identical
+    for every value. Exposed for the examples and the CLI. *)
 
 val table1 : unit -> string
 (** The Section 3 worked example: the fault behaviour table regenerated from
@@ -45,10 +48,11 @@ val table5 : ?scale:float -> ?circuits:string list -> unit -> string
 (** Large circuits under the best scheme (variable shift + most-faults +
     NXOR), with I/O and scan-length columns. *)
 
-val ablations : ?scale:float -> ?circuit:string -> unit -> string
+val ablations : ?scale:float -> ?circuit:string -> ?jobs:int -> unit -> string
 (** The DESIGN.md §6 design-choice ablations: parallel vs serial fault
-    simulation, SCOAP-guided vs naive backtrace, fault dropping on/off,
-    collapsing on/off. *)
+    simulation, domain-pool scaling at 1/2/4/[jobs] domains (wall clock;
+    [jobs] defaults to {!Tvs_util.Pool.default_jobs}), SCOAP-guided vs naive
+    backtrace, fault dropping on/off, collapsing on/off. *)
 
 val misr_study : ?scale:float -> ?circuit:string -> unit -> string
 (** Quantifies the paper's "no MISR, no aliasing" motivation: compacts every

@@ -29,7 +29,10 @@ let name t = t.name
 let num_nets t = Array.length t.drivers
 let driver t n = t.drivers.(n)
 let net_name t n = t.net_names.(n)
-let find_net t s = Hashtbl.find t.by_name s
+let find_net t s =
+  match Hashtbl.find_opt t.by_name s with
+  | Some n -> n
+  | None -> failwith (Printf.sprintf "Circuit.find_net: no net %S in circuit %S" s t.name)
 let find_net_opt t s = Hashtbl.find_opt t.by_name s
 let inputs t = t.inputs
 let outputs t = t.outputs

@@ -28,7 +28,8 @@ val driver : t -> net -> driver
 val net_name : t -> net -> string
 
 val find_net : t -> string -> net
-(** Raises [Not_found]. *)
+(** Raises [Failure] with the net and circuit names when no such net exists;
+    use {!find_net_opt} when absence is expected. *)
 
 val find_net_opt : t -> string -> net option
 

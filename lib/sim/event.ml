@@ -161,6 +161,25 @@ let set_stimulus t ~pi ~state =
   t.good_capture <- Array.map (fun d -> t.good.(d) land 1 = 1) t.flop_d;
   t.stimulus_set <- true
 
+(* Same contract as [set_stimulus], but the fault-free pass is inherited
+   from a sibling context by blitting its baseline — O(nets) copies instead
+   of gate evaluations. This is what lets a domain pool evaluate the
+   fault-free machine once and fan chunks out to per-domain contexts. *)
+let adopt_baseline t ~from =
+  if not from.stimulus_set then invalid_arg "Event.adopt_baseline: source has no stimulus";
+  if t.circuit != from.circuit then invalid_arg "Event.adopt_baseline: circuit mismatch";
+  Inject.clear t.ov;
+  for k = 0 to t.touched_len - 1 do
+    let net = t.touched.(k) in
+    t.values.(net) <- t.good.(net)
+  done;
+  t.touched_len <- 0;
+  Array.blit from.good 0 t.good 0 (Array.length t.good);
+  Array.blit t.good 0 t.values 0 (Array.length t.good);
+  t.good_po <- Array.copy from.good_po;
+  t.good_capture <- Array.copy from.good_capture;
+  t.stimulus_set <- true
+
 let good_po t = t.good_po
 let good_capture t = t.good_capture
 

@@ -24,6 +24,14 @@ val set_stimulus : t -> pi:bool array -> state:bool array -> unit
 
     Raises [Invalid_argument] on dimension mismatches. *)
 
+val adopt_baseline : t -> from:t -> unit
+(** [adopt_baseline t ~from] installs [from]'s current baseline (its last
+    {!set_stimulus}) into [t] by copying the cached fault-free net values —
+    O(nets) blits, no gate evaluations. Both contexts must wrap the same
+    circuit, and [from] must have a stimulus set. After the call, {!run} on
+    [t] behaves exactly as on [from]; [from] is not modified and may keep
+    running concurrently in another domain (its baseline is only read). *)
+
 val good_po : t -> bool array
 (** Fault-free primary-output response of the current stimulus. Fresh arrays
     per {!set_stimulus}; callers may retain them. *)

@@ -1,0 +1,14 @@
+(** Wall-clock timing.
+
+    [Sys.time] reports summed CPU seconds across every running domain, which
+    silently inflates measurements the moment work fans out over a domain
+    pool; all run-time and speedup numbers in the harness use this wall clock
+    instead. *)
+
+val now : unit -> float
+(** Seconds since the epoch, sub-microsecond resolution
+    ([Unix.gettimeofday]). *)
+
+val time_it : (unit -> 'a) -> 'a * float
+(** [time_it f] runs [f ()] and returns its result with the elapsed
+    wall-clock seconds. *)

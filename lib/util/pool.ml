@@ -1,0 +1,168 @@
+(* A fixed-size domain pool. Domains are spawned once and reused across
+   submissions: between jobs they park on a condition variable, so an idle
+   pool costs nothing but memory. Work is distributed by an atomic chunk
+   counter (workers race to claim the next index); results land in a slot
+   array indexed by chunk, which makes the output order — and therefore
+   everything merged from it — independent of scheduling. *)
+
+type t = {
+  jobs : int;  (* total parallelism, submitter included *)
+  mutex : Mutex.t;
+  work : Condition.t;  (* workers park here between submissions *)
+  finished : Condition.t;  (* submitter parks here while workers drain *)
+  mutable task : (int -> unit) option;  (* current job body, given the slot *)
+  mutable epoch : int;  (* submission counter; wakes workers when bumped *)
+  mutable busy_workers : int;  (* workers still inside the current job *)
+  mutable submitting : bool;  (* re-entrance guard *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+let hardware_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let override = ref None
+
+let set_default_jobs j =
+  if j < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
+  override := Some j
+
+let default_jobs () =
+  match !override with
+  | Some j -> j
+  | None -> (
+      match Sys.getenv_opt "TVS_JOBS" with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some j when j >= 1 -> j
+          | Some _ | None -> hardware_jobs ())
+      | None -> hardware_jobs ())
+
+(* Worker body for slot [slot] (1 .. jobs-1). Parks until the epoch moves,
+   runs the published task, reports completion, repeats. The task closure is
+   responsible for catching its own exceptions ([parallel_map_chunks] funnels
+   them into an atomic for the submitter to re-raise), so a worker can only
+   die through [stop]. *)
+let rec worker_loop t ~slot ~seen_epoch =
+  Mutex.lock t.mutex;
+  while (not t.stop) && t.epoch = seen_epoch do
+    Condition.wait t.work t.mutex
+  done;
+  if t.stop then Mutex.unlock t.mutex
+  else begin
+    let epoch = t.epoch in
+    let task = match t.task with Some f -> f | None -> assert false in
+    Mutex.unlock t.mutex;
+    (try task slot with _ -> () (* belt and braces; see above *));
+    Mutex.lock t.mutex;
+    t.busy_workers <- t.busy_workers - 1;
+    if t.busy_workers = 0 then Condition.signal t.finished;
+    Mutex.unlock t.mutex;
+    worker_loop t ~slot ~seen_epoch:epoch
+  end
+
+let create ?jobs () =
+  let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      task = None;
+      epoch = 0;
+      busy_workers = 0;
+      submitting = false;
+      stop = false;
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t ~slot:(i + 1) ~seen_epoch:0));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let sequential_map n f = Array.init n (fun i -> f ~slot:0 i)
+
+let parallel_map_chunks t ~n f =
+  if n < 0 then invalid_arg "Pool.parallel_map_chunks: negative chunk count";
+  if n = 0 then [||]
+  else begin
+    let solo =
+      t.jobs = 1 || n = 1 || t.stop
+      ||
+      (* Re-entrant submission (from a task body, or a nested call) would
+         deadlock on [finished]; degrade to the submitter's own slot. *)
+      (Mutex.lock t.mutex;
+       let busy = t.submitting in
+       if not busy then t.submitting <- true;
+       Mutex.unlock t.mutex;
+       busy)
+    in
+    if solo then sequential_map n f
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let error = Atomic.make None in
+      let task slot =
+        let rec claim () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (* After a failure the queue drains without running [f]: the
+               submitter re-raises, so surplus results would be discarded. *)
+            (match Atomic.get error with
+            | Some _ -> ()
+            | None -> (
+                try results.(i) <- Some (f ~slot i)
+                with e ->
+                  let bt = Printexc.get_raw_backtrace () in
+                  ignore (Atomic.compare_and_set error None (Some (e, bt)))));
+            claim ()
+          end
+        in
+        claim ()
+      in
+      Mutex.lock t.mutex;
+      t.task <- Some task;
+      t.busy_workers <- List.length t.domains;
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.work;
+      Mutex.unlock t.mutex;
+      (* The submitter is slot 0 of the crew, not a bystander. *)
+      task 0;
+      Mutex.lock t.mutex;
+      while t.busy_workers > 0 do
+        Condition.wait t.finished t.mutex
+      done;
+      t.task <- None;
+      t.submitting <- false;
+      Mutex.unlock t.mutex;
+      match Atomic.get error with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None ->
+          Array.map (function Some v -> v | None -> assert false) results
+    end
+  end
+
+(* Shared pools, one per size: contexts that fan out (fault simulators) are
+   created freely and often, so each creating its own domains would thrash.
+   Pools persist for the life of the process; parked domains are cheap. *)
+let registry : (int, t) Hashtbl.t = Hashtbl.create 4
+
+let shared ~jobs =
+  let jobs = max 1 jobs in
+  match Hashtbl.find_opt registry jobs with
+  | Some p -> p
+  | None ->
+      let p = create ~jobs () in
+      Hashtbl.add registry jobs p;
+      p

@@ -1,0 +1,55 @@
+(** Fixed-size domain pool for deterministic chunked fan-out.
+
+    Domains are spawned once per pool and reused: between submissions they
+    park on a condition variable. A submission hands the pool a number of
+    independent chunks; workers (plus the submitting domain itself, as slot
+    0) claim chunk indices from an atomic counter and write results into a
+    per-chunk slot array, so the returned array — and anything merged from it
+    in index order — is identical for every pool size and scheduling.
+
+    Pools are submitter-side only: one submission runs at a time, and a
+    re-entrant submission (from inside a task) degrades safely to the
+    caller's own slot instead of deadlocking. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs] is the total
+    parallelism including the submitter; clamped to at least 1, so [jobs:1]
+    spawns nothing and every submission runs inline). Default:
+    {!default_jobs}. *)
+
+val shared : jobs:int -> t
+(** The process-wide pool of the given size, created on first use and reused
+    forever after. Fault-simulation contexts are created freely in hot paths;
+    sharing keeps domain spawns a one-time cost. *)
+
+val jobs : t -> int
+(** Total parallelism of the pool, submitter included. *)
+
+val parallel_map_chunks : t -> n:int -> (slot:int -> int -> 'a) -> 'a array
+(** [parallel_map_chunks t ~n f] computes [|f ~slot 0; ...; f ~slot (n-1)|].
+    [slot] identifies the executing lane ([0] = the submitting domain,
+    [1 .. jobs-1] = a fixed worker domain) — callers key per-domain scratch
+    contexts off it; a given slot never runs two chunks concurrently, and a
+    slot maps to the same domain across submissions. Chunks must be
+    independent: [f] must not touch another slot's context or submit to the
+    same pool.
+
+    If any [f] raises, remaining chunks are drained without running and the
+    first exception is re-raised in the submitter with its backtrace.
+    Runs inline on the submitter when [jobs = 1] or [n <= 1]. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Subsequent submissions run inline on
+    the submitter. Only needed by tests; shared pools live with the
+    process. *)
+
+val default_jobs : unit -> int
+(** The jobs knob's default: {!set_default_jobs} if called, else the
+    [TVS_JOBS] environment variable (ignored unless a positive integer), else
+    [Domain.recommended_domain_count () - 1] clamped to at least 1. *)
+
+val set_default_jobs : int -> unit
+(** Process-wide override of {!default_jobs} (the [--jobs] CLI flag).
+    Raises [Invalid_argument] if the value is < 1. *)

@@ -130,6 +130,72 @@ let qcheck_reused_context_stays_exact =
       done;
       !ok)
 
+(* --- domain-pool fan-out ------------------------------------------------ *)
+
+(* 5. The tentpole determinism property: fanning chunks across a 4-lane
+   domain pool returns exactly what the sequential path returns — caught
+   sets, outcomes and Capture_differs payloads — on both execution paths. *)
+let qcheck_jobs_equivalence =
+  QCheck.Test.make ~name:"jobs=1 equals jobs=4 on both paths" ~count:30
+    QCheck.(pair (int_range 0 32) small_int)
+    (fun (i, seed) ->
+      let c = tiny_circuit i in
+      let rng = Rng.create (Int64.of_int seed) in
+      let faults = random_faults rng c in
+      let pi, state = random_stimulus rng c in
+      List.for_all
+        (fun mode ->
+          let s1 = Fault_sim.create ~mode ~jobs:1 c in
+          let s4 = Fault_sim.create ~mode ~jobs:4 c in
+          Fault_sim.detected_faults s1 ~pi ~state faults
+          = Fault_sim.detected_faults s4 ~pi ~state faults
+          && batch_equal
+               (Fault_sim.run_batch s1 ~pi ~state ~faults)
+               (Fault_sim.run_batch s4 ~pi ~state ~faults))
+        [ Fault_sim.Event_driven; Fault_sim.Full ])
+
+(* 6. Regression: the per-cycle work counters are merged in chunk order by
+   the submitter, so a multi-domain run must tally exactly what the
+   sequential run tallies. s444's 763 collapsed faults span 13 chunks —
+   enough for real fan-out. *)
+let counters_snapshot () =
+  let c = Fault_sim.counters in
+  ( c.Fault_sim.full_runs,
+    c.Fault_sim.event_runs,
+    c.Fault_sim.events_fired,
+    c.Fault_sim.gate_evals,
+    c.Fault_sim.gates_skipped,
+    c.Fault_sim.faults_dropped )
+
+let test_counters_merge_across_jobs () =
+  let c = Synth.generate_named "s444" in
+  let faults = Fault_gen.collapsed c in
+  let rng = Rng.create 99L in
+  let stimuli = Array.init 4 (fun _ -> random_stimulus rng c) in
+  let tally mode jobs =
+    let sim = Fault_sim.create ~mode ~jobs c in
+    Fault_sim.reset_counters ();
+    let flags =
+      Array.map (fun (pi, state) -> Fault_sim.detected_faults sim ~pi ~state faults) stimuli
+    in
+    (flags, counters_snapshot ())
+  in
+  List.iter
+    (fun mode ->
+      let flags1, ctr1 = tally mode 1 in
+      List.iter
+        (fun jobs ->
+          let flagsj, ctrj = tally mode jobs in
+          Alcotest.(check bool)
+            (Printf.sprintf "caught flags identical at jobs=%d" jobs)
+            true (flags1 = flagsj);
+          Alcotest.(check bool)
+            (Printf.sprintf "counters identical at jobs=%d" jobs)
+            true (ctr1 = ctrj))
+        [ 2; 4 ])
+    [ Fault_sim.Event_driven; Fault_sim.Full ];
+  Fault_sim.reset_counters ()
+
 (* --- cone index -------------------------------------------------------- *)
 
 (* c = (a AND b); d = NOT c; flop f captures d; PO = c. *)
@@ -190,6 +256,12 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_run_per_state_equivalence;
           QCheck_alcotest.to_alcotest qcheck_detected_equivalence;
           QCheck_alcotest.to_alcotest qcheck_reused_context_stays_exact;
+        ] );
+      ( "parallel",
+        [
+          QCheck_alcotest.to_alcotest qcheck_jobs_equivalence;
+          Alcotest.test_case "counters merge identically across jobs" `Quick
+            test_counters_merge_across_jobs;
         ] );
       ( "cones",
         [

@@ -83,6 +83,51 @@ let test_comparison_renders () =
   Alcotest.(check bool) "static columns present" true (contains ~needle:"static m" out);
   Alcotest.(check bool) "row present" true (contains ~needle:"s444" out)
 
+(* --- CLI validation ----------------------------------------------------- *)
+
+module Cli = Tvs_harness.Cli
+
+let test_cli_accepts_known_specs () =
+  List.iter
+    (fun spec ->
+      match Cli.check_spec spec with
+      | Ok s -> Alcotest.(check string) ("spec " ^ spec) spec s
+      | Error msg -> Alcotest.fail (Printf.sprintf "%s rejected: %s" spec msg))
+    [ "s27"; "fig1"; "s444"; "s38584" ]
+
+let test_cli_rejects_bad_spec () =
+  (* The bug this guards: unknown circuit specs used to die in [failwith],
+     bypassing the drivers' error reporting. *)
+  match Cli.check_spec "no-such-circuit" with
+  | Ok _ -> Alcotest.fail "bad spec accepted"
+  | Error msg ->
+      Alcotest.(check bool) "names the spec" true (contains ~needle:"no-such-circuit" msg);
+      Alcotest.(check bool) "lists the profiles" true (contains ~needle:"s444" msg);
+      (match Cli.load_circuit "no-such-circuit" with
+      | Ok _ -> Alcotest.fail "bad spec loaded"
+      | Error _ -> ())
+
+let test_cli_loads_circuit () =
+  match Cli.load_circuit ~scale:0.5 "s444" with
+  | Error msg -> Alcotest.fail msg
+  | Ok c ->
+      Alcotest.(check bool) "non-empty" true (Tvs_netlist.Circuit.num_nets c > 0)
+
+let test_cli_table_and_jobs_bounds () =
+  List.iter
+    (fun n -> Alcotest.(check bool) (Printf.sprintf "table %d ok" n) true (Cli.check_table n = Ok n))
+    [ 1; 3; 5 ];
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "table %d rejected" n)
+        true
+        (Result.is_error (Cli.check_table n)))
+    [ 0; 6; -2 ];
+  Alcotest.(check bool) "jobs 1 ok" true (Cli.check_jobs 1 = Ok 1);
+  Alcotest.(check bool) "jobs 8 ok" true (Cli.check_jobs 8 = Ok 8);
+  Alcotest.(check bool) "jobs 0 rejected" true (Result.is_error (Cli.check_jobs 0))
+
 let () =
   Alcotest.run "harness"
     [
@@ -101,5 +146,12 @@ let () =
           Alcotest.test_case "table 4 rendering" `Quick test_small_table_renders;
           Alcotest.test_case "comparison rendering" `Quick test_comparison_renders;
           Alcotest.test_case "randtest small budget" `Quick test_randtest_small_budget;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "accepts known specs" `Quick test_cli_accepts_known_specs;
+          Alcotest.test_case "rejects bad spec" `Quick test_cli_rejects_bad_spec;
+          Alcotest.test_case "loads a profile" `Quick test_cli_loads_circuit;
+          Alcotest.test_case "table and jobs bounds" `Quick test_cli_table_and_jobs_bounds;
         ] );
     ]

@@ -1,7 +1,10 @@
-(* Unit tests for Tvs_util: deterministic RNG and the table renderer. *)
+(* Unit tests for Tvs_util: deterministic RNG, the table renderer, the wall
+   clock and the domain pool. *)
 
 module Rng = Tvs_util.Rng
 module Table = Tvs_util.Table
+module Pool = Tvs_util.Pool
+module Clock = Tvs_util.Clock
 
 let test_rng_deterministic () =
   let a = Rng.create 42L and b = Rng.create 42L in
@@ -114,6 +117,91 @@ let test_fmt_ratio () =
   Alcotest.(check string) "rounds" "0.74" (Table.fmt_ratio 0.736);
   Alcotest.(check string) "one" "1.00" (Table.fmt_ratio 1.0)
 
+(* ------------------------------------------------------------------ *)
+(* Domain pool. *)
+
+exception Boom of int
+
+let test_pool_jobs1_degenerate () =
+  let p = Pool.create ~jobs:1 () in
+  Alcotest.(check int) "jobs clamped" 1 (Pool.jobs p);
+  let out = Pool.parallel_map_chunks p ~n:10 (fun ~slot i -> (slot, i * i)) in
+  Array.iteri
+    (fun i (slot, sq) ->
+      Alcotest.(check int) "inline slot is the submitter" 0 slot;
+      Alcotest.(check int) "value" (i * i) sq)
+    out;
+  Pool.shutdown p
+
+let test_pool_ordering_deterministic () =
+  (* The result array is keyed by chunk index, so a 4-lane pool must return
+     exactly what the sequential path returns, submission after submission. *)
+  let p1 = Pool.create ~jobs:1 () and p4 = Pool.create ~jobs:4 () in
+  let work ~slot:_ i = (i * 7919) mod 104729 in
+  for n = 1 to 40 do
+    let a = Pool.parallel_map_chunks p1 ~n work in
+    let b = Pool.parallel_map_chunks p4 ~n work in
+    Alcotest.(check (array int)) (Printf.sprintf "n=%d identical" n) a b
+  done;
+  Pool.shutdown p1;
+  Pool.shutdown p4
+
+let test_pool_slot_bounds () =
+  let p = Pool.create ~jobs:3 () in
+  let slots = Pool.parallel_map_chunks p ~n:64 (fun ~slot _ -> slot) in
+  Array.iter
+    (fun s -> Alcotest.(check bool) "slot in [0, jobs)" true (s >= 0 && s < Pool.jobs p))
+    slots;
+  Pool.shutdown p
+
+let test_pool_exception_propagation () =
+  let p = Pool.create ~jobs:4 () in
+  (match Pool.parallel_map_chunks p ~n:32 (fun ~slot:_ i -> if i = 17 then raise (Boom i) else i) with
+  | _ -> Alcotest.fail "expected Boom to reach the submitter"
+  | exception Boom 17 -> ());
+  (* The pool survives a failed submission. *)
+  let out = Pool.parallel_map_chunks p ~n:8 (fun ~slot:_ i -> i + 1) in
+  Alcotest.(check (array int)) "usable after exception" [| 1; 2; 3; 4; 5; 6; 7; 8 |] out;
+  Pool.shutdown p
+
+let test_pool_reuse_across_submissions () =
+  let p = Pool.create ~jobs:4 () in
+  for round = 1 to 50 do
+    let out = Pool.parallel_map_chunks p ~n:round (fun ~slot:_ i -> (round * 1000) + i) in
+    Alcotest.(check (array int))
+      (Printf.sprintf "round %d" round)
+      (Array.init round (fun i -> (round * 1000) + i))
+      out
+  done;
+  Pool.shutdown p
+
+let test_pool_shutdown_inline () =
+  let p = Pool.create ~jobs:4 () in
+  Pool.shutdown p;
+  let out = Pool.parallel_map_chunks p ~n:5 (fun ~slot i -> (slot, i)) in
+  Array.iteri
+    (fun i (slot, v) ->
+      Alcotest.(check int) "inline after shutdown" 0 slot;
+      Alcotest.(check int) "index" i v)
+    out
+
+let test_pool_default_jobs_override () =
+  let saved = Pool.default_jobs () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_default_jobs saved)
+    (fun () ->
+      Pool.set_default_jobs 3;
+      Alcotest.(check int) "override visible" 3 (Pool.default_jobs ());
+      Alcotest.check_raises "zero rejected"
+        (Invalid_argument "Pool.set_default_jobs: jobs must be >= 1") (fun () ->
+          Pool.set_default_jobs 0))
+
+let test_clock_time_it () =
+  let v, dt = Clock.time_it (fun () -> 42) in
+  Alcotest.(check int) "value passed through" 42 v;
+  Alcotest.(check bool) "non-negative duration" true (dt >= 0.0);
+  Alcotest.(check bool) "monotonic now" true (Clock.now () <= Clock.now ())
+
 let qcheck_int_in_bounds =
   QCheck.Test.make ~name:"Rng.int always lands in [0, bound)" ~count:500
     QCheck.(pair small_int (int_range 1 1000))
@@ -156,4 +244,16 @@ let () =
           Alcotest.test_case "alignment" `Quick test_table_alignment;
           Alcotest.test_case "ratio formatting" `Quick test_fmt_ratio;
         ] );
+      ( "pool",
+        [
+          Alcotest.test_case "jobs=1 degenerates to inline" `Quick test_pool_jobs1_degenerate;
+          Alcotest.test_case "chunk order deterministic" `Quick test_pool_ordering_deterministic;
+          Alcotest.test_case "slots within bounds" `Quick test_pool_slot_bounds;
+          Alcotest.test_case "exceptions reach the submitter" `Quick
+            test_pool_exception_propagation;
+          Alcotest.test_case "reuse across submissions" `Quick test_pool_reuse_across_submissions;
+          Alcotest.test_case "inline after shutdown" `Quick test_pool_shutdown_inline;
+          Alcotest.test_case "default-jobs override" `Quick test_pool_default_jobs_override;
+        ] );
+      ("clock", [ Alcotest.test_case "time_it wall clock" `Quick test_clock_time_it ]);
     ]
