@@ -5,6 +5,7 @@
      dune exec bench/main.exe -- table2       # one artifact
      dune exec bench/main.exe -- --scale 0.5 table5
      dune exec bench/main.exe -- micro        # Bechamel suite only
+     dune exec bench/main.exe -- --out bench.json table5   # + JSON report
 
    Table circuits default to full profile scale except the four Table 5
    giants (0.25 linear scale); see DESIGN.md §5 and EXPERIMENTS.md. *)
@@ -13,10 +14,12 @@ open Bechamel
 
 module Experiments = Tvs_harness.Experiments
 module Prep = Tvs_harness.Prep
+module Report = Tvs_obs.Report
 
 let scale : float option ref = ref None
 let only : string list ref = ref []
 let jobs : int option ref = ref None
+let out : string option ref = ref None
 
 let artifacts =
   [
@@ -26,7 +29,7 @@ let artifacts =
 
 let usage_and_exit msg =
   Printf.eprintf "error: %s\n" msg;
-  Printf.eprintf "usage: bench [--scale FLOAT] [--jobs N] [ARTIFACT...]\n";
+  Printf.eprintf "usage: bench [--scale FLOAT] [--jobs N] [--out FILE] [ARTIFACT...]\n";
   Printf.eprintf "valid artifacts: %s\n" (String.concat " " artifacts);
   exit 2
 
@@ -46,18 +49,35 @@ let parse_args () =
         | Some (Error msg) -> usage_and_exit msg
         | None -> usage_and_exit (Printf.sprintf "invalid --jobs value %S" v));
         go rest
+    | [ "--out" ] -> usage_and_exit "--out requires a value"
+    | "--out" :: v :: rest ->
+        (match Tvs_harness.Cli.check_out_file ~flag:"--out" v with
+        | Ok path -> out := Some path
+        | Error msg -> usage_and_exit msg);
+        go rest
     | arg :: rest ->
         if not (List.mem arg artifacts) then
           usage_and_exit (Printf.sprintf "unknown artifact %S" arg);
-        only := arg :: !only;
+        (* Dedupe: `bench table5 table5` regenerates the table once. *)
+        if not (List.mem arg !only) then only := arg :: !only;
         go rest
   in
   go (List.tl (Array.to_list Sys.argv))
 
 let wants what = !only = [] || List.mem what !only
 
-let section title body =
-  Printf.printf "==== %s ====\n%s\n%!" title body
+(* Artifact runs accumulated for the --out report, in execution order. *)
+let runs : Report.run list ref = ref []
+
+(* [body] produces the artifact's printed text plus any Bechamel estimates;
+   the header carries the artifact's own wall time so a slow table is
+   attributable at a glance. *)
+let section title artifact body =
+  let (text, benchmarks), secs = Tvs_util.Clock.time_it body in
+  Printf.printf "==== %s (%.1fs) ====\n%s\n%!" title secs text;
+  runs := { Report.artifact; circuit = None; wall_ns = secs *. 1e9; benchmarks } :: !runs
+
+let table title artifact body = section title artifact (fun () -> (body (), []))
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: one per table, timing the kernel that the
@@ -138,7 +158,8 @@ let run_micro () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
-  Printf.printf "==== Bechamel microbenchmarks (one kernel per table) ====\n";
+  let buf = Buffer.create 1024 in
+  let benches = ref [] in
   Tvs_fault.Fault_sim.reset_counters ();
   List.iter
     (fun test ->
@@ -147,26 +168,41 @@ let run_micro () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some (est :: _) -> Printf.printf "%-28s %12.0f ns/run\n%!" name est
-          | Some [] | None -> Printf.printf "%-28s (no estimate)\n%!" name)
+          | Some (est :: _) ->
+              benches := { Report.name; ns_per_run = est } :: !benches;
+              Buffer.add_string buf (Printf.sprintf "%-28s %12.0f ns/run\n" name est)
+          | Some [] | None -> Buffer.add_string buf (Printf.sprintf "%-28s (no estimate)\n" name))
         analysis)
     tests;
-  let ctr = Tvs_fault.Fault_sim.counters in
+  let ctr = Tvs_fault.Fault_sim.counters () in
   let evals = ctr.Tvs_fault.Fault_sim.gate_evals
   and skipped = ctr.Tvs_fault.Fault_sim.gates_skipped in
   let skip_pct =
     if evals + skipped = 0 then 0.0
     else 100.0 *. float_of_int skipped /. float_of_int (evals + skipped)
   in
-  Printf.printf
-    "faultsim counters: %d event runs, %d full runs, %d events fired, %d gate evals (%.1f%% \
-     skipped), %d faults dropped\n"
-    ctr.Tvs_fault.Fault_sim.event_runs ctr.Tvs_fault.Fault_sim.full_runs
-    ctr.Tvs_fault.Fault_sim.events_fired evals skip_pct
-    ctr.Tvs_fault.Fault_sim.faults_dropped;
-  print_newline ()
+  Buffer.add_string buf
+    (Printf.sprintf
+       "faultsim counters: %d event runs, %d full runs, %d events fired, %d gate evals (%.1f%% \
+        skipped), %d faults dropped\n"
+       ctr.Tvs_fault.Fault_sim.event_runs ctr.Tvs_fault.Fault_sim.full_runs
+       ctr.Tvs_fault.Fault_sim.events_fired evals skip_pct
+       ctr.Tvs_fault.Fault_sim.faults_dropped);
+  (Buffer.contents buf, List.rev !benches)
 
 (* ------------------------------------------------------------------ *)
+
+let write_report file =
+  let jobs = match !jobs with Some j -> j | None -> Tvs_util.Pool.default_jobs () in
+  let report =
+    Report.make ?scale:!scale ?git_rev:(Report.git_rev ()) ~jobs ~runs:(List.rev !runs)
+      ~metrics:(Tvs_obs.Metrics.snapshot ()) ()
+  in
+  let oc = open_out file in
+  output_string oc (Report.to_json report);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "bench report written to %s\n%!" file
 
 let () =
   parse_args ();
@@ -174,17 +210,22 @@ let () =
      fan-out; every table regenerates identically for any value. *)
   Option.iter Tvs_util.Pool.set_default_jobs !jobs;
   let t0 = Unix.gettimeofday () in
-  if wants "table1" then section "Table 1 / Figure 1" (Experiments.table1 ());
-  if wants "table2" then section "Table 2" (Experiments.table2 ?scale:!scale ());
-  if wants "table3" then section "Table 3" (Experiments.table3 ?scale:!scale ());
-  if wants "table4" then section "Table 4" (Experiments.table4 ?scale:!scale ());
-  if wants "table5" then section "Table 5" (Experiments.table5 ?scale:!scale ());
-  if wants "ablations" then section "Ablations" (Experiments.ablations ?jobs:!jobs ());
-  if wants "misr" then section "MISR aliasing / diagnosis study" (Experiments.misr_study ());
+  if wants "table1" then table "Table 1 / Figure 1" "table1" Experiments.table1;
+  if wants "table2" then table "Table 2" "table2" (fun () -> Experiments.table2 ?scale:!scale ());
+  if wants "table3" then table "Table 3" "table3" (fun () -> Experiments.table3 ?scale:!scale ());
+  if wants "table4" then table "Table 4" "table4" (fun () -> Experiments.table4 ?scale:!scale ());
+  if wants "table5" then table "Table 5" "table5" (fun () -> Experiments.table5 ?scale:!scale ());
+  if wants "ablations" then
+    table "Ablations" "ablations" (fun () -> Experiments.ablations ?jobs:!jobs ());
+  if wants "misr" then
+    table "MISR aliasing / diagnosis study" "misr" (fun () -> Experiments.misr_study ());
   if wants "comparison" then
-    section "Prior-art comparison" (Experiments.comparison_study ());
-  if wants "diagnosis" then section "Diagnosis resolution" (Experiments.diagnosis_study ());
+    table "Prior-art comparison" "comparison" (fun () -> Experiments.comparison_study ());
+  if wants "diagnosis" then
+    table "Diagnosis resolution" "diagnosis" (fun () -> Experiments.diagnosis_study ());
   if wants "randtest" then
-    section "Random-pattern testability" (Experiments.random_testability ());
-  if wants "micro" then run_micro ();
+    table "Random-pattern testability" "randtest" (fun () -> Experiments.random_testability ());
+  if wants "micro" then
+    section "Bechamel microbenchmarks (one kernel per table)" "micro" run_micro;
+  Option.iter write_report !out;
   Printf.printf "total wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

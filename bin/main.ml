@@ -75,8 +75,42 @@ let jobs_arg =
 let set_jobs = Option.iter Tvs_util.Pool.set_default_jobs
 let prep_of ?scale spec = Prep.of_circuit (load_circuit ?scale spec)
 
+(* Observability flags, shared by every subcommand. Both channels bypass
+   stdout — the metrics table goes to stderr and the trace to its own file —
+   so the printed tables stay byte-identical whether or not the flags are
+   given (CI diffs on exactly that). *)
+let metrics_arg =
+  let doc = "Print the merged metrics registry to standard error at exit." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Record span traces and write them to $(docv) at exit as Chrome trace-event JSON (load via \
+     chrome://tracing or https://ui.perfetto.dev)."
+  in
+  let trace_conv =
+    Arg.conv ~docv:"FILE"
+      ((fun s -> msg_of_string_error (Tvs_harness.Cli.check_trace_file s)), Format.pp_print_string)
+  in
+  Arg.(value & opt (some trace_conv) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let setup_obs metrics trace =
+  if metrics then begin
+    Tvs_obs.Instrument.install_pool_probe ();
+    at_exit (fun () -> prerr_string (Tvs_obs.Metrics.render ~all:true ()))
+  end;
+  match trace with
+  | None -> ()
+  | Some file ->
+      Tvs_obs.Trace.start ();
+      at_exit (fun () ->
+          Tvs_obs.Trace.write file;
+          Printf.eprintf "tvs: trace written to %s\n" file)
+
+let obs_term = Term.(const setup_obs $ metrics_arg $ trace_arg)
+
 let stats_cmd =
-  let run spec scale =
+  let run () spec scale =
     let c = load_circuit ~scale spec in
     Format.printf "%a@." Stats.pp (Stats.compute c);
     let issues = Tvs_netlist.Validate.check c in
@@ -87,10 +121,10 @@ let stats_cmd =
     end
   in
   Cmd.v (Cmd.info "stats" ~doc:"Structural statistics and validation of a circuit")
-    Term.(const run $ circuit_arg $ scale_arg)
+    Term.(const run $ obs_term $ circuit_arg $ scale_arg)
 
 let atpg_cmd =
-  let run spec scale jobs =
+  let run () spec scale jobs =
     set_jobs jobs;
     let prep = prep_of ~scale spec in
     let b = prep.Prep.baseline in
@@ -105,10 +139,10 @@ let atpg_cmd =
     Printf.printf "tester memory  : %d bits\n" b.Baseline.memory
   in
   Cmd.v (Cmd.info "atpg" ~doc:"Traditional full-shift test generation (the aTV baseline)")
-    Term.(const run $ circuit_arg $ scale_arg $ jobs_arg)
+    Term.(const run $ obs_term $ circuit_arg $ scale_arg $ jobs_arg)
 
 let faultsim_cmd =
-  let run spec scale jobs =
+  let run () spec scale jobs =
     set_jobs jobs;
     let prep = prep_of ~scale spec in
     let c = prep.Prep.circuit in
@@ -126,7 +160,7 @@ let faultsim_cmd =
       (100.0 *. float_of_int hits /. float_of_int (Array.length prep.Prep.faults))
   in
   Cmd.v (Cmd.info "faultsim" ~doc:"Fault-simulate the baseline test set")
-    Term.(const run $ circuit_arg $ scale_arg $ jobs_arg)
+    Term.(const run $ obs_term $ circuit_arg $ scale_arg $ jobs_arg)
 
 let scheme_arg =
   let doc = "Observation scheme: nxor, vxor or hxor:<taps>." in
@@ -158,7 +192,7 @@ let shift_arg =
   Arg.(value & opt (some int) None & info [ "shift" ] ~docv:"S" ~doc)
 
 let stitch_cmd =
-  let run spec scale scheme selection shift jobs =
+  let run () spec scale scheme selection shift jobs =
     set_jobs jobs;
     let prep = prep_of ~scale spec in
     let shift_policy = Option.map (fun s -> Policy.Fixed s) shift in
@@ -175,7 +209,9 @@ let stitch_cmd =
     Printf.printf "coverage    : %.4f\n" r.Experiments.coverage
   in
   Cmd.v (Cmd.info "stitch" ~doc:"Run the stitched compression flow")
-    Term.(const run $ circuit_arg $ scale_arg $ scheme_arg $ selection_arg $ shift_arg $ jobs_arg)
+    Term.(
+      const run $ obs_term $ circuit_arg $ scale_arg $ scheme_arg $ selection_arg $ shift_arg
+      $ jobs_arg)
 
 let table_cmd =
   let which =
@@ -194,7 +230,7 @@ let table_cmd =
     let doc = "Restrict to these circuits (comma-separated)." in
     Arg.(value & opt (some string) None & info [ "circuits" ] ~docv:"LIST" ~doc)
   in
-  let run n scale circuits jobs =
+  let run () n scale circuits jobs =
     set_jobs jobs;
     let circuits = Option.map (String.split_on_char ',') circuits in
     (* scale < 0 means "per-circuit defaults". *)
@@ -214,75 +250,75 @@ let table_cmd =
     Arg.(value & opt float (-1.0) & info [ "scale" ] ~docv:"F" ~doc)
   in
   Cmd.v (Cmd.info "table" ~doc:"Regenerate a paper table")
-    Term.(const run $ which $ scale_arg $ circuits_arg $ jobs_arg)
+    Term.(const run $ obs_term $ which $ scale_arg $ circuits_arg $ jobs_arg)
 
 let ablation_cmd =
   let circuit_arg =
     let doc = "Profile circuit for the ablations." in
     Arg.(value & opt string "s953" & info [ "circuit" ] ~docv:"NAME" ~doc)
   in
-  let run scale circuit jobs =
+  let run () scale circuit jobs =
     set_jobs jobs;
     print_string (Experiments.ablations ~scale ~circuit ?jobs ())
   in
   Cmd.v (Cmd.info "ablation" ~doc:"Run the design-choice ablations")
-    Term.(const run $ scale_arg $ circuit_arg $ jobs_arg)
+    Term.(const run $ obs_term $ scale_arg $ circuit_arg $ jobs_arg)
 
 let misr_cmd =
   let circuit_arg =
     let doc = "Profile circuit for the study." in
     Arg.(value & opt string "s953" & info [ "circuit" ] ~docv:"NAME" ~doc)
   in
-  let run scale circuit jobs =
+  let run () scale circuit jobs =
     set_jobs jobs;
     print_string (Experiments.misr_study ~scale ~circuit ())
   in
   Cmd.v (Cmd.info "misr" ~doc:"MISR aliasing and diagnosis-resolution study")
-    Term.(const run $ scale_arg $ circuit_arg $ jobs_arg)
+    Term.(const run $ obs_term $ scale_arg $ circuit_arg $ jobs_arg)
 
 let comparison_cmd =
   let circuits_arg =
     let doc = "Circuits (comma-separated)." in
     Arg.(value & opt (some string) None & info [ "circuits" ] ~docv:"LIST" ~doc)
   in
-  let run scale circuits jobs =
+  let run () scale circuits jobs =
     set_jobs jobs;
     let circuits = Option.map (String.split_on_char ',') circuits in
     print_string (Experiments.comparison_study ~scale ?circuits ())
   in
   Cmd.v (Cmd.info "comparison" ~doc:"Static reordering vs stitched generation")
-    Term.(const run $ scale_arg $ circuits_arg $ jobs_arg)
+    Term.(const run $ obs_term $ scale_arg $ circuits_arg $ jobs_arg)
 
 let diagnosis_cmd =
   let circuit_arg =
     let doc = "Profile circuit for the study." in
     Arg.(value & opt string "s444" & info [ "circuit" ] ~docv:"NAME" ~doc)
   in
-  let run scale circuit jobs =
+  let run () scale circuit jobs =
     set_jobs jobs;
     print_string (Experiments.diagnosis_study ~scale ~circuit ())
   in
   Cmd.v (Cmd.info "diagnosis" ~doc:"Fault-dictionary diagnosis resolution study")
-    Term.(const run $ scale_arg $ circuit_arg $ jobs_arg)
+    Term.(const run $ obs_term $ scale_arg $ circuit_arg $ jobs_arg)
 
 let randtest_cmd =
   let patterns_arg =
     let doc = "Number of LFSR patterns." in
     Arg.(value & opt int 256 & info [ "patterns" ] ~docv:"N" ~doc)
   in
-  let run patterns jobs =
+  let run () patterns jobs =
     set_jobs jobs;
     print_string (Experiments.random_testability ~patterns ())
   in
   Cmd.v (Cmd.info "randtest" ~doc:"LFSR random-pattern testability sweep")
-    Term.(const run $ patterns_arg $ jobs_arg)
+    Term.(const run $ obs_term $ patterns_arg $ jobs_arg)
 
 let export_cmd =
   let out_arg =
     let doc = "Output file for the tester program." in
     Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc)
   in
-  let run spec scale scheme selection shift jobs out =
+  let run () spec scale scheme selection shift jobs out =
     set_jobs jobs;
     let prep = prep_of ~scale spec in
     let c = prep.Prep.circuit in
@@ -324,13 +360,13 @@ let export_cmd =
   in
   Cmd.v (Cmd.info "export" ~doc:"Run the stitched flow and write an ATE program file")
     Term.(
-      const run $ circuit_arg $ scale_arg $ scheme_arg $ selection_arg $ shift_arg $ jobs_arg
-      $ out_arg)
+      const run $ obs_term $ circuit_arg $ scale_arg $ scheme_arg $ selection_arg $ shift_arg
+      $ jobs_arg $ out_arg)
 
 let fig1_cmd =
   let run () = print_string (Experiments.table1 ()) in
   Cmd.v (Cmd.info "fig1" ~doc:"Print the Section 3 worked example (Table 1)")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term)
 
 let () =
   let info =

@@ -5,6 +5,20 @@ module Fault_sim = Tvs_fault.Fault_sim
 module Parallel = Tvs_sim.Parallel
 module Chain = Tvs_scan.Chain
 module Xor_scheme = Tvs_scan.Xor_scheme
+module Metrics = Tvs_obs.Metrics
+
+(* Stitching-cycle metrics, all recorded on the submitting domain in [step]:
+   deterministic for every jobs value. [cycle.shift_bits_saved] is the
+   paper's virtual-compression claim in counter form — chain_len minus the
+   fresh bits actually shifted, per cycle. *)
+let m_steps = Metrics.counter "cycle.steps"
+let m_caught = Metrics.counter "cycle.caught"
+let m_became_hidden = Metrics.counter "cycle.became_hidden"
+let m_reverted = Metrics.counter "cycle.reverted"
+let m_shift_bits = Metrics.counter "cycle.shift_bits"
+let m_shift_bits_saved = Metrics.counter "cycle.shift_bits_saved"
+let g_peak_hidden = Metrics.gauge "cycle.peak_hidden"
+let h_hidden_after = Metrics.histogram "cycle.hidden_after"
 
 type status = Caught of int | Hidden | Uncaught
 
@@ -195,6 +209,16 @@ let step t ~pi ~fresh =
   t.good <- new_good;
   t.cycles <- t.cycles + 1;
   t.last_shift <- Array.length fresh;
+  let chain_len = Circuit.num_flops t.circuit in
+  Metrics.incr m_steps;
+  Metrics.add m_caught (List.length report.caught_now);
+  Metrics.add m_became_hidden (List.length report.newly_hidden);
+  Metrics.add m_reverted (List.length report.reverted);
+  Metrics.add m_shift_bits (Array.length fresh);
+  Metrics.add m_shift_bits_saved (chain_len - Array.length fresh);
+  let hidden = num_hidden t in
+  Metrics.observe_max g_peak_hidden hidden;
+  Metrics.observe h_hidden_after hidden;
   report
 
 let flush t ~full =

@@ -7,6 +7,16 @@ module Generator = Tvs_atpg.Generator
 module Cost = Tvs_scan.Cost
 module Xor_scheme = Tvs_scan.Xor_scheme
 module Rng = Tvs_util.Rng
+module Metrics = Tvs_obs.Metrics
+module Trace = Tvs_obs.Trace
+
+(* Engine-level work metrics. All are driven from the submitting domain
+   (the engine itself is single-domain; only fault-sim chunks fan out), so
+   they are deterministic by construction. *)
+let m_engine_runs = Metrics.counter "engine.runs"
+let m_stitched_vectors = Metrics.counter "engine.stitched_vectors"
+let m_extra_vectors = Metrics.counter "engine.extra_vectors"
+let m_atpg_attempts = Metrics.counter "engine.atpg_attempts"
 
 type config = {
   scheme : Xor_scheme.t;
@@ -110,6 +120,10 @@ let score ~sim ~machine ~hardness selection ~sample cand =
       !total
 
 let run ?config ?(fallback = [||]) ~rng ctx ~faults =
+  Metrics.incr m_engine_runs;
+  Trace.with_span "engine.run"
+    ~args:[ ("faults", string_of_int (Array.length faults)) ]
+  @@ fun () ->
   let c = Podem.circuit ctx in
   let chain_len = Circuit.num_flops c in
   let cfg = match config with Some cfg -> cfg | None -> default_config ~chain_len in
@@ -129,6 +143,8 @@ let run ?config ?(fallback = [||]) ~rng ctx ~faults =
   (* Produce candidate vectors for this cycle's shift size, or [None] if no
      target is generatable under the constraints. *)
   let collect_candidates s =
+    Trace.with_span "engine.atpg" ~args:[ ("shift", string_of_int s) ]
+    @@ fun () ->
     let constraints = Cycle.constraints_for machine ~s in
     let order = target_order ~rng ~hardness cfg.selection (Cycle.uncaught_indices machine) in
     let wanted = wanted_candidates cfg.selection in
@@ -141,6 +157,7 @@ let run ?config ?(fallback = [||]) ~rng ctx ~faults =
       | [] -> acc
       | _ when found >= wanted || tries >= max_tries -> acc
       | idx :: rest -> (
+          Metrics.incr m_atpg_attempts;
           match Podem.generate ~config:cfg.podem ~constraints ctx faults.(idx) with
           | Podem.Detected cube ->
               let cand = { (make_candidate ~rng ~s cube) with target_idx = idx } in
@@ -150,11 +167,15 @@ let run ?config ?(fallback = [||]) ~rng ctx ~faults =
     List.rev (gather [] 0 0 order)
   in
   let apply_candidate s cand =
-    let ctrs = Tvs_fault.Fault_sim.counters in
-    let ev0 = ctrs.Tvs_fault.Fault_sim.events_fired in
-    let sk0 = ctrs.Tvs_fault.Fault_sim.gates_skipped in
-    let dr0 = ctrs.Tvs_fault.Fault_sim.faults_dropped in
-    let report = Cycle.step machine ~pi:cand.pi ~fresh:cand.fresh in
+    let ctrs0 = Tvs_fault.Fault_sim.counters () in
+    let ev0 = ctrs0.Tvs_fault.Fault_sim.events_fired in
+    let sk0 = ctrs0.Tvs_fault.Fault_sim.gates_skipped in
+    let dr0 = ctrs0.Tvs_fault.Fault_sim.faults_dropped in
+    let report =
+      Trace.with_span "engine.stitch" ~args:[ ("shift", string_of_int s) ] (fun () ->
+          Cycle.step machine ~pi:cand.pi ~fresh:cand.fresh)
+    in
+    let ctrs = Tvs_fault.Fault_sim.counters () in
     shifts := s :: !shifts;
     stimuli := (cand.pi, cand.fresh) :: !stimuli;
     peak_hidden := max !peak_hidden (Cycle.num_hidden machine);
@@ -232,7 +253,11 @@ let run ?config ?(fallback = [||]) ~rng ctx ~faults =
   let extra_stimuli = ref [] in
   let extra_vectors, caught_extra, redundant, aborted =
     if Array.length leftover = 0 then (0, 0, [], [])
-    else begin
+    else
+      Trace.with_span "engine.extra"
+        ~args:[ ("leftover", string_of_int (Array.length leftover)) ]
+      @@ fun () ->
+      begin
       let extra_podem = { cfg.podem with Podem.backtrack_limit = max 100 cfg.podem.Podem.backtrack_limit } in
       let options = { Generator.default_options with random_patterns = 0; podem = extra_podem } in
       let gen = Generator.generate ~options ~rng ctx leftover in
@@ -275,6 +300,8 @@ let run ?config ?(fallback = [||]) ~rng ctx ~faults =
       (!nvec, !caught, gen.Generator.redundant, !aborted)
     end
   in
+  Metrics.add m_stitched_vectors (List.length !shifts);
+  Metrics.add m_extra_vectors extra_vectors;
   {
     schedule =
       {

@@ -3,6 +3,8 @@ module Event = Tvs_sim.Event
 module Lanes = Tvs_sim.Lanes
 module Circuit = Tvs_netlist.Circuit
 module Pool = Tvs_util.Pool
+module Metrics = Tvs_obs.Metrics
+module Trace = Tvs_obs.Trace
 
 type outcome = Same | Po_detected | Capture_differs of bool array
 
@@ -59,25 +61,33 @@ type counters = {
   mutable faults_dropped : int;
 }
 
-let counters =
+(* The historical global counter record now lives in the metrics registry:
+   workers record into their own domain shards (lock-free), and the record is
+   rebuilt on demand by summing shards. Pool completion gives the submitter a
+   happens-before edge over every worker write, so a snapshot taken between
+   batches sees exact totals. *)
+let m_full_runs = Metrics.counter "faultsim.full_runs"
+let m_event_runs = Metrics.counter "faultsim.event_runs"
+let m_events_fired = Metrics.counter "faultsim.events_fired"
+let m_gate_evals = Metrics.counter "faultsim.gate_evals"
+let m_gates_skipped = Metrics.counter "faultsim.gates_skipped"
+let m_faults_dropped = Metrics.counter "faultsim.faults_dropped"
+let m_chunks = Metrics.counter "faultsim.chunks"
+let m_batches = Metrics.counter "faultsim.batches"
+
+let counters () =
   {
-    full_runs = 0;
-    event_runs = 0;
-    events_fired = 0;
-    gate_evals = 0;
-    gates_skipped = 0;
-    faults_dropped = 0;
+    full_runs = Metrics.counter_value m_full_runs;
+    event_runs = Metrics.counter_value m_event_runs;
+    events_fired = Metrics.counter_value m_events_fired;
+    gate_evals = Metrics.counter_value m_gate_evals;
+    gates_skipped = Metrics.counter_value m_gates_skipped;
+    faults_dropped = Metrics.counter_value m_faults_dropped;
   }
 
-let reset_counters () =
-  counters.full_runs <- 0;
-  counters.event_runs <- 0;
-  counters.events_fired <- 0;
-  counters.gate_evals <- 0;
-  counters.gates_skipped <- 0;
-  counters.faults_dropped <- 0
+let reset_counters () = Metrics.reset ~prefix:"faultsim." ()
 
-let note_dropped n = counters.faults_dropped <- counters.faults_dropped + n
+let note_dropped n = Metrics.add m_faults_dropped n
 
 let chunk_size = Lanes.width - 1 (* lane 0 is the fault-free machine *)
 
@@ -186,17 +196,25 @@ let run_full_chunks t ~nchunks f =
       Pool.parallel_map_chunks fo.pool ~n:nchunks (fun ~slot ci -> f fo.slots.(slot).s_par ci)
     end
   in
-  counters.full_runs <- counters.full_runs + nchunks;
+  Metrics.add m_full_runs nchunks;
+  Metrics.add m_chunks nchunks;
   out
 
 (* Event-driven counterpart. [t.ev] must already hold the stimulus; worker
    slots inherit it by baseline adoption (O(nets) blits, no gate work) on
-   their first chunk of each submission. Each chunk's event/eval tallies ride
-   back with its result and are folded into [counters] in chunk order —
-   per-chunk work is deterministic, so the totals are too. *)
+   their first chunk of each submission. Each chunk records its own
+   event/eval tallies into the executing domain's metric shards; per-chunk
+   work is deterministic and shard merge is a plain sum, so the totals are
+   identical for every jobs value. *)
 let run_event_chunks t ~nchunks f =
   let ev0 = Lazy.force t.ev in
-  let tally ev r = (r, Event.last_events ev, Event.last_evals ev, Event.full_evals ev) in
+  let tally ev r =
+    Metrics.incr m_event_runs;
+    Metrics.add m_events_fired (Event.last_events ev);
+    Metrics.add m_gate_evals (Event.last_evals ev);
+    Metrics.add m_gates_skipped (Event.full_evals ev - Event.last_evals ev);
+    r
+  in
   let out =
     if t.jobs = 1 || nchunks <= 1 then
       Array.init nchunks (fun ci -> tally ev0 (f ev0 ci))
@@ -215,14 +233,8 @@ let run_event_chunks t ~nchunks f =
           tally ev (f ev ci))
     end
   in
-  Array.map
-    (fun (r, fired, evals, full) ->
-      counters.event_runs <- counters.event_runs + 1;
-      counters.events_fired <- counters.events_fired + fired;
-      counters.gate_evals <- counters.gate_evals + evals;
-      counters.gates_skipped <- counters.gates_skipped + (full - evals);
-      r)
-    out
+  Metrics.add m_chunks nchunks;
+  out
 
 (* Full-broadcast path: one complete levelized pass per chunk. *)
 
@@ -337,16 +349,24 @@ let run_per_state_event t ~pi ~good_state ~faults ~states =
   { good; outcomes }
 
 let run_batch t ~pi ~state ~faults =
-  match t.mode with
-  | Full -> run_batch_full t ~pi ~state ~faults
-  | Event_driven -> run_batch_event t ~pi ~state ~faults
+  Metrics.incr m_batches;
+  Trace.with_span "faultsim.run_batch"
+    ~args:[ ("faults", string_of_int (Array.length faults)) ]
+    (fun () ->
+      match t.mode with
+      | Full -> run_batch_full t ~pi ~state ~faults
+      | Event_driven -> run_batch_event t ~pi ~state ~faults)
 
 let run_per_state t ~pi ~good_state ~faults ~states =
   if Array.length states <> Array.length faults then
     invalid_arg "Fault_sim.run_per_state: states length mismatch";
-  match t.mode with
-  | Full -> run_per_state_full t ~pi ~good_state ~faults ~states
-  | Event_driven -> run_per_state_event t ~pi ~good_state ~faults ~states
+  Metrics.incr m_batches;
+  Trace.with_span "faultsim.run_per_state"
+    ~args:[ ("faults", string_of_int (Array.length faults)) ]
+    (fun () ->
+      match t.mode with
+      | Full -> run_per_state_full t ~pi ~good_state ~faults ~states
+      | Event_driven -> run_per_state_event t ~pi ~good_state ~faults ~states)
 
 let detects t ~pi ~state fault =
   let r = run_batch t ~pi ~state ~faults:[| fault |] in
@@ -356,6 +376,10 @@ let detects t ~pi ~state fault =
    [outcomes_of_run] materializes, so the screening entry point reads the
    lane difference masks directly. *)
 let detected_faults t ~pi ~state faults =
+  Metrics.incr m_batches;
+  Trace.with_span "faultsim.detected_faults"
+    ~args:[ ("faults", string_of_int (Array.length faults)) ]
+  @@ fun () ->
   let n = Array.length faults in
   let flags_of_run (r : Parallel.result) ~nfaults =
     let used = Lanes.mask (nfaults + 1) in

@@ -65,8 +65,10 @@ val mode : t -> mode
 val jobs : t -> int
 (** Fan-out width this context was created with. *)
 
-(** Cumulative work counters across all contexts (reset with
-    {!reset_counters}; sampled by the engine per cycle and by the bench
+(** Cumulative work counters across all contexts. The numbers live in the
+    [faultsim.*] counters of the {!Tvs_obs.Metrics} registry (per-domain
+    shards, merged by summation); this record is a point-in-time snapshot
+    for callers that sample deltas (the engine per cycle, the bench
     harness). *)
 type counters = {
   mutable full_runs : int;  (** complete levelized passes *)
@@ -77,8 +79,14 @@ type counters = {
   mutable faults_dropped : int;  (** faults permanently dropped once caught *)
 }
 
-val counters : counters
+val counters : unit -> counters
+(** Snapshot the cumulative totals. Taken between batches (the entry points
+    are submitter-side), the pool's completion barrier guarantees every
+    worker contribution is visible. *)
+
 val reset_counters : unit -> unit
+(** Zero the [faultsim.*] metrics (and therefore the {!counters}
+    snapshot). *)
 
 val note_dropped : int -> unit
 (** Record that [n] caught faults were dropped from further simulation. *)

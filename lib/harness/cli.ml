@@ -38,3 +38,14 @@ let check_table n =
 let check_jobs j =
   if j >= 1 then Ok j
   else Error (Printf.sprintf "--jobs must be at least 1 (got %d)" j)
+
+let check_out_file ~flag path =
+  if String.length path = 0 then Error (Printf.sprintf "%s needs a non-empty file name" flag)
+  else if Sys.file_exists path && Sys.is_directory path then
+    Error (Printf.sprintf "%s %S is a directory" flag path)
+  else
+    let dir = Filename.dirname path in
+    if Sys.file_exists dir && Sys.is_directory dir then Ok path
+    else Error (Printf.sprintf "%s %S: directory %S does not exist" flag path dir)
+
+let check_trace_file = check_out_file ~flag:"--trace"

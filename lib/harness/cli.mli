@@ -18,3 +18,12 @@ val check_table : int -> (int, string) result
 
 val check_jobs : int -> (int, string) result
 (** Fan-out width for the fault-simulation domain pool: at least 1. *)
+
+val check_out_file : flag:string -> string -> (string, string) result
+(** An output file path the driver will create or overwrite: non-empty, not
+    an existing directory, and its parent directory must exist (the write
+    happens at exit — failing then would silently lose a whole run).
+    [flag] names the offending option in the error message. *)
+
+val check_trace_file : string -> (string, string) result
+(** [check_out_file ~flag:"--trace"]. *)

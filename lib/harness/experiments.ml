@@ -29,6 +29,9 @@ type run_summary = {
 }
 
 let run_flow ?scheme ?shift ?selection ?jobs ~label (prep : Prep.t) =
+  Tvs_obs.Trace.with_span "flow"
+    ~args:[ ("circuit", Circuit.name prep.Prep.circuit); ("label", label) ]
+  @@ fun () ->
   let chain_len = Circuit.num_flops prep.circuit in
   let base = Engine.default_config ~chain_len in
   let config =
@@ -324,7 +327,7 @@ let table5 ?scale ?(circuits = default_table5_circuits) () =
   Table.add_rule tbl;
   Table.add_row tbl
     [ "Ave"; ""; ""; ""; ""; Table.fmt_ratio (mean !ms); Table.fmt_ratio (mean !ts); "" ];
-  let ctr = Fault_sim.counters in
+  let ctr = Fault_sim.counters () in
   let skip_pct =
     let total = ctr.Fault_sim.gate_evals + ctr.Fault_sim.gates_skipped in
     if total = 0 then 0.0

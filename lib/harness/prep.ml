@@ -14,6 +14,8 @@ type t = {
 }
 
 let of_circuit circuit =
+  Tvs_obs.Trace.with_span "prep" ~args:[ ("circuit", Circuit.name circuit) ]
+  @@ fun () ->
   let all_faults = Fault_gen.all circuit in
   let faults = Fault_gen.collapse circuit all_faults in
   let ctx = Podem.create circuit in

@@ -1,0 +1,43 @@
+module Pool = Tvs_util.Pool
+
+let installed = Atomic.make false
+
+let us s = int_of_float (s *. 1e6)
+
+let install_pool_probe () =
+  if not (Atomic.exchange installed true) then begin
+    let submissions = Metrics.counter ~stable:false "pool.submissions" in
+    let chunks = Metrics.counter ~stable:false "pool.chunks" in
+    let wait = Metrics.histogram ~stable:false "pool.chunk_wait_us" in
+    let busy = Metrics.histogram ~stable:false "pool.chunk_busy_us" in
+    (* Per-slot busy counters, created on first use. Slot numbering restarts
+       per pool size, so a slot's counter aggregates across shared pools —
+       fine for a wall-clock utilization readout. The array is sized for any
+       realistic core count; wider slots fold into the last cell's name. *)
+    let max_slots = 256 in
+    let slot_busy : Metrics.counter option array = Array.make max_slots None in
+    let slot_counter slot =
+      let slot = if slot < 0 then 0 else if slot >= max_slots then max_slots - 1 else slot in
+      match slot_busy.(slot) with
+      | Some c -> c
+      | None ->
+          (* Metrics.counter is idempotent under its own mutex, so a racing
+             double-create from two domains lands on the same handle. *)
+          let c = Metrics.counter ~stable:false (Printf.sprintf "pool.slot%d.busy_us" slot) in
+          slot_busy.(slot) <- Some c;
+          c
+    in
+    Pool.set_probe
+      (Some
+         {
+           Pool.on_submit =
+             (fun ~chunks:n ~jobs:_ ->
+               Metrics.incr submissions;
+               Metrics.add chunks n);
+           Pool.on_chunk =
+             (fun ~slot ~wait_s ~busy_s ->
+               Metrics.observe wait (us wait_s);
+               Metrics.observe busy (us busy_s);
+               Metrics.add (slot_counter slot) (us busy_s));
+         })
+  end

@@ -1,0 +1,33 @@
+(** Minimal JSON tree, printer and parser.
+
+    The toolchain is deliberately dependency-free, so the observability layer
+    carries its own ~150-line JSON implementation instead of pulling in
+    yojson. It covers exactly what {!Report} and {!Trace} need: finite
+    numbers, UTF-8 strings passed through byte-for-byte (with control and
+    quote escaping), arrays and objects. Object member order is preserved. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). [Float] values must be
+    finite; NaN and infinities render as [null] to keep the output valid. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error. Numbers
+    without [.], [e] or [E] that fit in an OCaml [int] parse as [Int],
+    everything else as [Float]. *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] finds the first binding of [k]; [None] on missing
+    keys and non-objects. *)
+
+val sort_keys : t -> t
+(** Canonical form for structural comparison: recursively sort every
+    object's members by key. *)

@@ -1,0 +1,184 @@
+type kind = Counter | Gauge | Histogram
+
+let num_buckets = 63
+
+(* One domain's private slice of a metric. Only the owning domain writes the
+   mutable fields; merged readers sum (or max) across shards after
+   synchronizing with the writers (the pool's submit/finish mutex provides
+   the happens-before edge for fan-out workloads). *)
+type shard = {
+  dom : int;
+  mutable n : int;  (* counter total / gauge watermark / histogram count *)
+  mutable sum : int;  (* histogram: sum of observed values *)
+  mutable seen : bool;  (* gauge: watermark is valid *)
+  buckets : int array;  (* histogram only; [||] otherwise *)
+}
+
+type metric = {
+  name : string;
+  kind : kind;
+  stable : bool;
+  shards : shard list Atomic.t;
+}
+
+type counter = metric
+type gauge = metric
+type histogram = metric
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let kind_name = function Counter -> "counter" | Gauge -> "gauge" | Histogram -> "histogram"
+
+let register ~stable kind name =
+  Mutex.lock registry_mutex;
+  let found =
+    match Hashtbl.find_opt registry name with
+    | Some m -> Some m
+    | None ->
+        let m = { name; kind; stable; shards = Atomic.make [] } in
+        Hashtbl.add registry name m;
+        Some m
+  in
+  Mutex.unlock registry_mutex;
+  match found with
+  | Some m when m.kind = kind -> m
+  | Some m ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is already registered as a %s (wanted a %s)" name
+           (kind_name m.kind) (kind_name kind))
+  | None -> assert false
+
+let counter ?(stable = true) name = register ~stable Counter name
+let gauge ?(stable = true) name = register ~stable Gauge name
+let histogram ?(stable = true) name = register ~stable Histogram name
+
+let new_shard m dom =
+  {
+    dom;
+    n = 0;
+    sum = 0;
+    seen = false;
+    buckets = (match m.kind with Histogram -> Array.make num_buckets 0 | Counter | Gauge -> [||]);
+  }
+
+(* Find (or lock-free push) the calling domain's shard. The list only ever
+   grows, and each element is written by exactly one domain, so a plain
+   traversal of a stale head is safe. *)
+let rec shard_for m =
+  let dom = (Domain.self () :> int) in
+  let rec find = function
+    | [] -> None
+    | s :: tl -> if s.dom = dom then Some s else find tl
+  in
+  let head = Atomic.get m.shards in
+  match find head with
+  | Some s -> s
+  | None ->
+      let s = new_shard m dom in
+      if Atomic.compare_and_set m.shards head (s :: head) then s else shard_for m
+
+let add c by =
+  let s = shard_for c in
+  s.n <- s.n + by
+
+let incr c = add c 1
+
+let observe_max g v =
+  let s = shard_for g in
+  if (not s.seen) || v > s.n then s.n <- v;
+  s.seen <- true
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    (* Number of significant bits: v in [2^(i-1), 2^i - 1] -> bucket i. *)
+    let i = ref 0 and v = ref v in
+    while !v > 0 do
+      i := !i + 1;
+      v := !v lsr 1
+    done;
+    !i
+  end
+
+let observe h v =
+  let s = shard_for h in
+  s.n <- s.n + 1;
+  s.sum <- s.sum + v;
+  let b = bucket_of v in
+  s.buckets.(b) <- s.buckets.(b) + 1
+
+type value =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histogram_v of { count : int; sum : int; buckets : int array }
+
+type snapshot = (string * value) list
+
+let merged m =
+  let shards = Atomic.get m.shards in
+  match m.kind with
+  | Counter -> Counter_v (List.fold_left (fun acc s -> acc + s.n) 0 shards)
+  | Gauge ->
+      Gauge_v (List.fold_left (fun acc s -> if s.seen && s.n > acc then s.n else acc) 0 shards)
+  | Histogram ->
+      let count = ref 0 and sum = ref 0 in
+      let buckets = Array.make num_buckets 0 in
+      List.iter
+        (fun s ->
+          count := !count + s.n;
+          sum := !sum + s.sum;
+          Array.iteri (fun i b -> buckets.(i) <- buckets.(i) + b) s.buckets)
+        shards;
+      Histogram_v { count = !count; sum = !sum; buckets }
+
+let counter_value c = match merged c with Counter_v n -> n | Gauge_v _ | Histogram_v _ -> 0
+let gauge_value g = match merged g with Gauge_v n -> n | Counter_v _ | Histogram_v _ -> 0
+
+let all_metrics () =
+  Mutex.lock registry_mutex;
+  let ms = Hashtbl.fold (fun _ m acc -> m :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  ms
+
+let snapshot ?(all = false) () =
+  all_metrics ()
+  |> List.filter (fun m -> all || m.stable)
+  |> List.map (fun m -> (m.name, merged m))
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset ?prefix () =
+  let wanted name =
+    match prefix with
+    | None -> true
+    | Some p -> String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
+  List.iter
+    (fun m ->
+      if wanted m.name then
+        List.iter
+          (fun s ->
+            s.n <- 0;
+            s.sum <- 0;
+            s.seen <- false;
+            Array.fill s.buckets 0 (Array.length s.buckets) 0)
+          (Atomic.get m.shards))
+    (all_metrics ())
+
+let render ?(all = true) () =
+  let tbl = Tvs_util.Table.create [ "metric"; "kind"; "value" ] in
+  List.iter
+    (fun (name, v) ->
+      let kind, cell =
+        match v with
+        | Counter_v n -> ("counter", string_of_int n)
+        | Gauge_v n -> ("gauge", string_of_int n)
+        | Histogram_v { count; sum; buckets } ->
+            let top = ref 0 in
+            Array.iteri (fun i b -> if b > 0 then top := i) buckets;
+            ( "histogram",
+              Printf.sprintf "count=%d sum=%d max<2^%d" count sum !top )
+      in
+      Tvs_util.Table.add_row tbl [ name; kind; cell ])
+    (snapshot ~all ());
+  Tvs_util.Table.render tbl

@@ -1,0 +1,89 @@
+(** Named counters, gauges and log2-bucket histograms in a global registry,
+    stored as per-domain shards.
+
+    Every metric keeps one shard per domain that ever touched it, keyed by
+    [Domain.self ()]. The hot path (an increment or observation) finds its
+    own domain's shard in an atomic list — lock-free, and the shard's fields
+    are written by that one domain only, so {!Tvs_util.Pool} workers record
+    without contention. Reads ({!snapshot}, {!counter_value}) merge shards:
+    counters and histograms by summation, gauges by maximum — all
+    commutative, so the merged totals depend only on the work done, not on
+    which domain did it. A workload whose per-chunk work is deterministic
+    therefore snapshots bit-identically at every [jobs] value.
+
+    Registration takes a mutex (cold path: handles are created once, at
+    module initialization). Merged reads are exact when the recording
+    domains are quiescent — which pool submitters guarantee, since
+    {!Tvs_util.Pool.parallel_map_chunks} returns only after every worker has
+    synchronized through the pool mutex. A snapshot taken while another
+    domain is mid-run may miss its in-flight increments but never tears a
+    value.
+
+    Metrics registered with [~stable:false] (wall-clock timings, pool
+    scheduling artifacts — anything that legitimately varies across [jobs]
+    values or runs) are excluded from {!snapshot} by default so that the
+    default snapshot is byte-for-byte reproducible. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : ?stable:bool -> string -> counter
+(** Register (or look up) a counter. Re-registration with the same name
+    returns the existing handle; raises [Invalid_argument] if the name is
+    already registered as a different metric kind. *)
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+
+val counter_value : counter -> int
+(** Merged (summed over shards) current value. *)
+
+val gauge : ?stable:bool -> string -> gauge
+(** High-watermark gauge: {!observe_max} keeps the maximum ever observed.
+    Maximum — unlike last-write-wins — merges deterministically across
+    domains. *)
+
+val observe_max : gauge -> int -> unit
+
+val gauge_value : gauge -> int
+(** Merged (maximum over shards) watermark; 0 if never observed. *)
+
+val histogram : ?stable:bool -> string -> histogram
+(** Log2-bucket histogram of non-negative integer observations. *)
+
+val observe : histogram -> int -> unit
+
+val num_buckets : int
+(** 63: bucket 0 holds values [<= 0]; bucket [i >= 1] holds values in
+    [[2^(i-1), 2^i - 1]]. [max_int] (62 significant bits on a 64-bit build)
+    lands in bucket 62. *)
+
+val bucket_of : int -> int
+(** The bucket index an observation falls into (exposed for tests). *)
+
+(** A merged reading of one metric. [buckets] has {!num_buckets} cells;
+    [sum] accumulates raw observed values (wrapping on overflow, which is
+    still deterministic). *)
+type value =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histogram_v of { count : int; sum : int; buckets : int array }
+
+type snapshot = (string * value) list
+
+val snapshot : ?all:bool -> unit -> snapshot
+(** Merged values of every registered metric, sorted by name. [all] defaults
+    to [false]: unstable metrics are omitted, making the result comparable
+    across [jobs] values. Structural equality ([=]) on snapshots is
+    meaningful. *)
+
+val reset : ?prefix:string -> unit -> unit
+(** Zero every shard of every metric (or only metrics whose name starts with
+    [prefix]). Handles stay registered. Call only while recording domains
+    are quiescent. *)
+
+val render : ?all:bool -> unit -> string
+(** ASCII table of the current snapshot (via {!Tvs_util.Table}), for
+    [tvs --metrics]. [all] defaults to [true] here: a human asking for
+    metrics wants the timing-class ones too. *)

@@ -1,0 +1,53 @@
+(** Versioned, machine-readable benchmark reports.
+
+    One report captures a bench invocation: which artifacts ran, how long
+    each took, Bechamel ns/run estimates where available, the merged
+    {!Metrics} snapshot, and provenance (git revision, jobs, scale). The
+    JSON schema is versioned so the accumulated [BENCH_*.json] trajectory
+    stays parseable as it grows; {!of_json} doubles as the validator. The
+    [metrics] section contains only stable metrics, so it is bit-identical
+    across [--jobs] values. *)
+
+val schema_version : int
+(** Currently 1. *)
+
+type bench = { name : string; ns_per_run : float }
+(** One Bechamel estimate (micro artifacts only). *)
+
+type run = {
+  artifact : string;  (** bench artifact name, e.g. "table5" *)
+  circuit : string option;  (** a single-circuit run's circuit, if any *)
+  wall_ns : float;  (** wall-clock for the whole artifact *)
+  benchmarks : bench list;
+}
+
+type t = {
+  version : int;
+  scale : float option;  (** --scale override, if given *)
+  jobs : int;  (** resolved fan-out width *)
+  git_rev : string option;
+  runs : run list;
+  metrics : Metrics.snapshot;
+}
+
+val make :
+  ?scale:float -> ?git_rev:string -> jobs:int -> runs:run list -> metrics:Metrics.snapshot ->
+  unit -> t
+(** Stamp a report with the current {!schema_version}. *)
+
+val to_json : t -> string
+
+val of_json : string -> (t, string) result
+(** Parse and validate: schema version, field presence and types, metric
+    kinds, histogram shape. The error message names the offending field. *)
+
+val validate : string -> (unit, string) result
+(** [of_json] with the result discarded — the CI gate. *)
+
+val to_table : t -> string
+(** Human-readable ASCII rendering (via {!Tvs_util.Table}): one row per
+    artifact and benchmark, then a metrics summary line. *)
+
+val git_rev : unit -> string option
+(** [git rev-parse --short HEAD] of the working directory, if it is a git
+    checkout with git installed; [None] otherwise. *)

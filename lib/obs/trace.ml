@@ -1,0 +1,107 @@
+type span = {
+  name : string;
+  ts : float;
+  dur : float;
+  tid : int;
+  depth : int;
+  args : (string * string) list;
+}
+
+(* Per-domain span buffer: only the owning domain pushes, so no locks on the
+   recording path (cf. Metrics.shard). *)
+type buf = { dom : int; mutable spans : span list; mutable depth : int }
+
+let bufs : buf list Atomic.t = Atomic.make []
+let enabled_flag = Atomic.make false
+let epoch = Atomic.make 0.0  (* Clock.now at the last [start] *)
+
+let enabled () = Atomic.get enabled_flag
+
+let rec buf_for_self () =
+  let dom = (Domain.self () :> int) in
+  let rec find = function
+    | [] -> None
+    | b :: tl -> if b.dom = dom then Some b else find tl
+  in
+  let head = Atomic.get bufs in
+  match find head with
+  | Some b -> b
+  | None ->
+      let b = { dom; spans = []; depth = 0 } in
+      if Atomic.compare_and_set bufs head (b :: head) then b else buf_for_self ()
+
+let clear () =
+  List.iter
+    (fun b ->
+      b.spans <- [];
+      b.depth <- 0)
+    (Atomic.get bufs)
+
+let start () =
+  clear ();
+  Atomic.set epoch (Tvs_util.Clock.now ());
+  Atomic.set enabled_flag true
+
+let stop () = Atomic.set enabled_flag false
+
+let reset () =
+  stop ();
+  clear ()
+
+let with_span ?(args = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let b = buf_for_self () in
+    let depth = b.depth in
+    b.depth <- depth + 1;
+    let t0 = Tvs_util.Clock.now () in
+    let finish () =
+      let t1 = Tvs_util.Clock.now () in
+      b.depth <- depth;
+      b.spans <- { name; ts = t0; dur = t1 -. t0; tid = b.dom; depth; args } :: b.spans
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        finish ();
+        Printexc.raise_with_backtrace e bt
+  end
+
+let spans () =
+  Atomic.get bufs
+  |> List.concat_map (fun b -> b.spans)
+  |> List.sort (fun a b -> compare (a.tid, a.ts, a.depth) (b.tid, b.ts, b.depth))
+
+let export_json () =
+  let t0 = Atomic.get epoch in
+  let us t = (t -. t0) *. 1e6 in
+  let events =
+    List.map
+      (fun s ->
+        Json.Obj
+          ([
+             ("name", Json.Str s.name);
+             ("cat", Json.Str "tvs");
+             ("ph", Json.Str "X");
+             ("ts", Json.Float (us s.ts));
+             ("dur", Json.Float (s.dur *. 1e6));
+             ("pid", Json.Int 1);
+             ("tid", Json.Int s.tid);
+           ]
+          @
+          match s.args with
+          | [] -> []
+          | args -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) args)) ]))
+      (spans ())
+  in
+  Json.to_string
+    (Json.Obj [ ("traceEvents", Json.Arr events); ("displayTimeUnit", Json.Str "ms") ])
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (export_json ()))

@@ -1,0 +1,49 @@
+(** Span-based tracing on {!Tvs_util.Clock}, exportable as Chrome
+    [trace_event] JSON (load the file in [about://tracing] or Perfetto).
+
+    Disabled by default: {!with_span} costs one atomic load and runs the
+    body directly, so instrumentation can stay in hot paths permanently.
+    When enabled, each domain records completed spans into its own buffer
+    (same sharding discipline as {!Metrics}), so pool workers trace without
+    locks; the exporter merges buffers and tags each span with its domain id
+    as the Chrome [tid].
+
+    Spans nest by construction: a child runs inside its parent's callback,
+    so its interval is contained in the parent's and its recorded [depth] is
+    one greater. *)
+
+type span = {
+  name : string;
+  ts : float;  (** start, seconds on {!Tvs_util.Clock.now}'s epoch *)
+  dur : float;  (** seconds *)
+  tid : int;  (** recording domain's id *)
+  depth : int;  (** nesting depth at entry; 0 = top level *)
+  args : (string * string) list;  (** per-span attributes *)
+}
+
+val enabled : unit -> bool
+
+val start : unit -> unit
+(** Discard previously collected spans and begin collecting. *)
+
+val stop : unit -> unit
+(** Stop collecting; already-recorded spans are kept for export. *)
+
+val reset : unit -> unit
+(** Stop and discard everything. *)
+
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()]; if tracing is enabled, the elapsed
+    interval is recorded as a span (also when [f] raises). *)
+
+val spans : unit -> span list
+(** Collected spans, sorted by [(tid, ts, depth)]. Call while recording
+    domains are quiescent. *)
+
+val export_json : unit -> string
+(** Chrome [trace_event] JSON: an object with a [traceEvents] array of
+    complete ("ph":"X") events, timestamps in microseconds relative to the
+    last {!start}. *)
+
+val write : string -> unit
+(** [export_json] to a file. *)

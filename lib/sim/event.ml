@@ -1,5 +1,18 @@
 module Circuit = Tvs_netlist.Circuit
 module Gate = Tvs_netlist.Gate
+module Metrics = Tvs_obs.Metrics
+
+(* Work metrics, recorded per run (not per event) so the observation cost is
+   amortized over the whole chunk. These run inside pool workers; the
+   per-domain shards merge by summation, so totals are identical for every
+   jobs value. Baseline adoptions are jobs-dependent by nature (a jobs=1 run
+   never adopts), hence unstable. *)
+let m_runs = Metrics.counter "sim.event.runs"
+let m_events = Metrics.counter "sim.event.events"
+let m_gate_evals = Metrics.counter "sim.event.gate_evals"
+let m_full_passes = Metrics.counter "sim.event.full_passes"
+let m_adoptions = Metrics.counter ~stable:false "sim.event.baseline_adoptions"
+let h_disturbed = Metrics.histogram "sim.event.disturbed_nets"
 
 (* Pre-extracted gate table: kind + fanin nets per net, gate-only fanout
    sinks per net. Avoids constructor matches and tuple traffic on the hot
@@ -159,7 +172,8 @@ let set_stimulus t ~pi ~state =
   Array.blit t.good 0 t.values 0 (Array.length t.good);
   t.good_po <- Array.map (fun net -> t.good.(net) land 1 = 1) (Circuit.outputs c);
   t.good_capture <- Array.map (fun d -> t.good.(d) land 1 = 1) t.flop_d;
-  t.stimulus_set <- true
+  t.stimulus_set <- true;
+  Metrics.incr m_full_passes
 
 (* Same contract as [set_stimulus], but the fault-free pass is inherited
    from a sibling context by blitting its baseline — O(nets) copies instead
@@ -178,7 +192,8 @@ let adopt_baseline t ~from =
   Array.blit t.good 0 t.values 0 (Array.length t.good);
   t.good_po <- Array.copy from.good_po;
   t.good_capture <- Array.copy from.good_capture;
-  t.stimulus_set <- true
+  t.stimulus_set <- true;
+  Metrics.incr m_adoptions
 
 let good_po t = t.good_po
 let good_capture t = t.good_capture
@@ -256,6 +271,10 @@ let run t ?states ~injections () =
     Array.init (Array.length flops) (fun i ->
         Inject.fetch t.ov ~values:t.values ~sink:flops.(i) ~pin:0 t.flop_d.(i))
   in
+  Metrics.incr m_runs;
+  Metrics.add m_events t.last_events;
+  Metrics.add m_gate_evals t.last_evals;
+  Metrics.observe h_disturbed t.touched_len;
   (* Roll the working values back to the baseline for the next run. *)
   for k = 0 to t.touched_len - 1 do
     let net = t.touched.(k) in

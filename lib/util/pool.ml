@@ -93,6 +93,18 @@ let shutdown t =
 
 let sequential_map n f = Array.init n (fun i -> f ~slot:0 i)
 
+(* Observability probe: a single process-wide cell. Only read at submission
+   time, so installation must precede fan-out; the no-probe path costs one
+   load and no clock readings. *)
+type probe = {
+  on_submit : chunks:int -> jobs:int -> unit;
+  on_chunk : slot:int -> wait_s:float -> busy_s:float -> unit;
+}
+
+let probe : probe option ref = ref None
+
+let set_probe p = probe := p
+
 let parallel_map_chunks t ~n f =
   if n < 0 then invalid_arg "Pool.parallel_map_chunks: negative chunk count";
   if n = 0 then [||]
@@ -113,6 +125,24 @@ let parallel_map_chunks t ~n f =
       let results = Array.make n None in
       let next = Atomic.make 0 in
       let error = Atomic.make None in
+      (* With a probe installed, time each chunk against the submission
+         instant (queue wait) and its own start (busy). The timed wrapper is
+         chosen once per submission, so the common no-probe case adds
+         nothing to the claim loop. *)
+      let probe = !probe in
+      let f =
+        match probe with
+        | None -> f
+        | Some p ->
+            let t_submit = Clock.now () in
+            fun ~slot i ->
+              let t0 = Clock.now () in
+              let v = f ~slot i in
+              let t1 = Clock.now () in
+              p.on_chunk ~slot ~wait_s:(t0 -. t_submit) ~busy_s:(t1 -. t0);
+              v
+      in
+      (match probe with Some p -> p.on_submit ~chunks:n ~jobs:t.jobs | None -> ());
       let task slot =
         let rec claim () =
           let i = Atomic.fetch_and_add next 1 in

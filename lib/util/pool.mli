@@ -53,3 +53,25 @@ val default_jobs : unit -> int
 val set_default_jobs : int -> unit
 (** Process-wide override of {!default_jobs} (the [--jobs] CLI flag).
     Raises [Invalid_argument] if the value is < 1. *)
+
+(** Observability hook. The pool sits below the [tvs_obs] metrics library in
+    the dependency order, so instead of recording metrics itself it reports
+    neutral events through an installable probe
+    ([Tvs_obs.Instrument.install_pool_probe] routes them into the metrics
+    registry). With no probe installed (the default) the fan-out path takes
+    no clock readings at all. *)
+type probe = {
+  on_submit : chunks:int -> jobs:int -> unit;
+      (** A fanned-out submission of [chunks] chunks started on a pool of
+          width [jobs]. Called on the submitting domain. Inline submissions
+          ([jobs = 1], [n <= 1], re-entrant) are not reported. *)
+  on_chunk : slot:int -> wait_s:float -> busy_s:float -> unit;
+      (** One chunk finished on [slot]. [wait_s] is the queue wait (from
+          submission until the chunk started); [busy_s] the chunk body's own
+          wall time. Called on the executing domain, so a probe must be
+          domain-safe. *)
+}
+
+val set_probe : probe option -> unit
+(** Install or remove the process-wide probe. Not synchronized with running
+    submissions: install before fan-out begins (front-end startup). *)

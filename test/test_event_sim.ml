@@ -159,7 +159,7 @@ let qcheck_jobs_equivalence =
    sequential run tallies. s444's 763 collapsed faults span 13 chunks —
    enough for real fan-out. *)
 let counters_snapshot () =
-  let c = Fault_sim.counters in
+  let c = Fault_sim.counters () in
   ( c.Fault_sim.full_runs,
     c.Fault_sim.event_runs,
     c.Fault_sim.events_fired,

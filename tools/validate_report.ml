@@ -1,0 +1,62 @@
+(* validate_report — CI gate for bench's --out JSON.
+
+     validate_report FILE                 validate + print the ASCII view
+     validate_report --metrics-equal A B  also require identical metrics
+
+   Exit codes: 0 valid, 1 invalid (schema or metrics mismatch), 2 usage or
+   unreadable file. The metrics comparison is key-order-insensitive
+   (canonicalized via Json.sort_keys) but value-exact: it is the CI check
+   that a --jobs 1 and a --jobs 4 run produced bit-identical stable
+   metrics. *)
+
+module Report = Tvs_obs.Report
+module Json = Tvs_obs.Json
+
+let usage () =
+  prerr_endline "usage: validate_report FILE | validate_report --metrics-equal FILE FILE";
+  exit 2
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> contents
+  | exception Sys_error msg ->
+      Printf.eprintf "validate_report: %s\n" msg;
+      exit 2
+
+let load path =
+  let contents = read_file path in
+  match Report.of_json contents with
+  | Ok r -> r
+  | Error msg ->
+      Printf.eprintf "validate_report: %s: invalid report: %s\n" path msg;
+      exit 1
+
+let metrics_json path contents =
+  match Json.parse contents with
+  | Error msg ->
+      Printf.eprintf "validate_report: %s: %s\n" path msg;
+      exit 1
+  | Ok doc -> (
+      match Json.member "metrics" doc with
+      | Some m -> Json.sort_keys m
+      | None ->
+          Printf.eprintf "validate_report: %s: no metrics member\n" path;
+          exit 1)
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; file ] ->
+      let r = load file in
+      print_string (Report.to_table r);
+      Printf.printf "%s: valid (schema v%d)\n" file r.Report.version
+  | [ _; "--metrics-equal"; a; b ] ->
+      let ra = load a and rb = load b in
+      ignore ra;
+      ignore rb;
+      let ma = metrics_json a (read_file a) and mb = metrics_json b (read_file b) in
+      if ma = mb then Printf.printf "%s and %s: metrics identical\n" a b
+      else begin
+        Printf.eprintf "validate_report: metrics differ between %s and %s\n" a b;
+        exit 1
+      end
+  | _ -> usage ()
