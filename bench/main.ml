@@ -29,7 +29,7 @@ let artifacts =
 
 let usage_and_exit msg =
   Printf.eprintf "error: %s\n" msg;
-  Printf.eprintf "usage: bench [--scale FLOAT] [--jobs N] [--out FILE] [ARTIFACT...]\n";
+  Printf.eprintf "usage: bench [--scale FLOAT] [--jobs N] [--out FILE] [--cache DIR] [ARTIFACT...]\n";
   Printf.eprintf "valid artifacts: %s\n" (String.concat " " artifacts);
   exit 2
 
@@ -53,6 +53,12 @@ let parse_args () =
     | "--out" :: v :: rest ->
         (match Tvs_harness.Cli.check_out_file ~flag:"--out" v with
         | Ok path -> out := Some path
+        | Error msg -> usage_and_exit msg);
+        go rest
+    | [ "--cache" ] -> usage_and_exit "--cache requires a value"
+    | "--cache" :: v :: rest ->
+        (match Tvs_store.Cache.open_dir v with
+        | Ok c -> Experiments.set_cache (Some c)
         | Error msg -> usage_and_exit msg);
         go rest
     | arg :: rest ->

@@ -21,6 +21,10 @@ module Policy = Tvs_core.Policy
 module Baseline = Tvs_core.Baseline
 module Experiments = Tvs_harness.Experiments
 module Prep = Tvs_harness.Prep
+module Codec = Tvs_store.Codec
+module Checkpoint = Tvs_store.Checkpoint
+module Cache = Tvs_store.Cache
+module Store_digest = Tvs_store.Digest
 
 open Cmdliner
 
@@ -109,6 +113,28 @@ let setup_obs metrics trace =
 
 let obs_term = Term.(const setup_obs $ metrics_arg $ trace_arg)
 
+(* Content-addressed result cache, shared by the subcommands that run whole
+   experiments. The handle is installed process-wide so every [run_flow] a
+   table triggers sees it. *)
+let cache_arg =
+  let doc =
+    "Directory for the content-addressed result cache (created if missing). Experiment results \
+     are keyed by circuit and configuration digests plus the store schema version, so a stale \
+     entry can never be replayed."
+  in
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+
+let setup_cache = function
+  | None -> ()
+  | Some dir -> (
+      match Cache.open_dir dir with
+      | Ok c -> Experiments.set_cache (Some c)
+      | Error msg ->
+          prerr_endline ("tvs: " ^ msg);
+          exit Cmd.Exit.cli_error)
+
+let cache_term = Term.(const setup_cache $ cache_arg)
+
 let stats_cmd =
   let run () spec scale =
     let c = load_circuit ~scale spec in
@@ -142,25 +168,17 @@ let atpg_cmd =
     Term.(const run $ obs_term $ circuit_arg $ scale_arg $ jobs_arg)
 
 let faultsim_cmd =
-  let run () spec scale jobs =
+  let run () () spec scale jobs =
     set_jobs jobs;
     let prep = prep_of ~scale spec in
-    let c = prep.Prep.circuit in
-    let sim = Fault_sim.create c in
-    let detected = Array.make (Array.length prep.Prep.faults) false in
-    Array.iter
-      (fun (v : Cube.vector) ->
-        let flags = Fault_sim.detected_faults sim ~pi:v.Cube.pi ~state:v.Cube.scan prep.Prep.faults in
-        Array.iteri (fun i b -> if b then detected.(i) <- true) flags)
-      prep.Prep.baseline.Baseline.vectors;
-    let hits = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 detected in
+    let d = Experiments.baseline_detection prep in
     Printf.printf "%s: %d/%d faults detected by the %d baseline vectors (%.2f%%)\n"
-      (Circuit.name c) hits (Array.length prep.Prep.faults)
-      prep.Prep.baseline.Baseline.num_vectors
-      (100.0 *. float_of_int hits /. float_of_int (Array.length prep.Prep.faults))
+      (Circuit.name prep.Prep.circuit) d.Experiments.detected d.Experiments.faults
+      d.Experiments.vectors
+      (100.0 *. float_of_int d.Experiments.detected /. float_of_int d.Experiments.faults)
   in
   Cmd.v (Cmd.info "faultsim" ~doc:"Fault-simulate the baseline test set")
-    Term.(const run $ obs_term $ circuit_arg $ scale_arg $ jobs_arg)
+    Term.(const run $ obs_term $ cache_term $ circuit_arg $ scale_arg $ jobs_arg)
 
 let scheme_arg =
   let doc = "Observation scheme: nxor, vxor or hxor:<taps>." in
@@ -191,27 +209,161 @@ let shift_arg =
   let doc = "Fixed shift size per cycle; omit for the variable policy." in
   Arg.(value & opt (some int) None & info [ "shift" ] ~docv:"S" ~doc)
 
+(* Shared by [stitch] and [resume]: the two must print byte-identical
+   summaries for the same run (CI diffs a resumed run against an
+   uninterrupted one on exactly this block). *)
+let print_stitch_summary prep scheme selection (r : Experiments.run_summary) =
+  Printf.printf "circuit     : %s\n" (Circuit.name prep.Prep.circuit);
+  Printf.printf "scheme      : %s\n" (Xor_scheme.to_string scheme);
+  Printf.printf "selection   : %s\n" (Policy.describe_selection selection);
+  Printf.printf "aTV         : %d\n" r.Experiments.atv;
+  Printf.printf "TV          : %d\n" r.Experiments.tv;
+  Printf.printf "extra       : %d\n" r.Experiments.ex;
+  Printf.printf "peak hidden : %d\n" r.Experiments.peak_hidden;
+  Printf.printf "m (memory)  : %.2f\n" r.Experiments.m;
+  Printf.printf "t (time)    : %.2f\n" r.Experiments.t;
+  Printf.printf "coverage    : %.4f\n" r.Experiments.coverage
+
+let checkpoint_file_arg =
+  let doc = "Save an engine checkpoint to $(docv) periodically (atomic temp+rename writes)." in
+  let ckpt_conv =
+    Arg.conv ~docv:"FILE"
+      ( (fun s -> msg_of_string_error (Tvs_harness.Cli.check_checkpoint_file s)),
+        Format.pp_print_string )
+  in
+  Arg.(value & opt (some ckpt_conv) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let checkpoint_every_arg =
+  let doc = "Checkpoint period, in stitched cycles." in
+  let every_conv =
+    Arg.conv ~docv:"N"
+      ( (fun s ->
+          match int_of_string_opt s with
+          | None -> Error (`Msg (Printf.sprintf "invalid checkpoint period %S" s))
+          | Some n -> msg_of_string_error (Tvs_harness.Cli.check_checkpoint_every n)),
+        Format.pp_print_int )
+  in
+  Arg.(value & opt every_conv 4 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+(* The checkpoint callback: wraps each engine snapshot with the run's
+   identity so [resume] can rebuild and digest-verify the same run. *)
+let checkpoint_hook ~file ~every ~spec ~scale ~scheme ~selection ~shift ~label ?jobs prep =
+  let config =
+    Experiments.config_for ~scheme
+      ?shift:(Option.map (fun s -> Policy.Fixed s) shift)
+      ~selection ?jobs prep
+  in
+  let circuit_digest = Store_digest.circuit prep.Prep.circuit in
+  let config_digest = Store_digest.config ~config ~label in
+  ( every,
+    fun snapshot ->
+      Checkpoint.save file
+        {
+          Checkpoint.spec;
+          scale;
+          scheme;
+          selection;
+          shift;
+          label;
+          circuit_digest;
+          config_digest;
+          snapshot;
+        } )
+
 let stitch_cmd =
-  let run () spec scale scheme selection shift jobs =
+  let run () () spec scale scheme selection shift jobs ckpt every =
     set_jobs jobs;
     let prep = prep_of ~scale spec in
     let shift_policy = Option.map (fun s -> Policy.Fixed s) shift in
-    let r = Experiments.run_flow ~scheme ?shift:shift_policy ~selection ?jobs ~label:"cli" prep in
-    Printf.printf "circuit     : %s\n" (Circuit.name prep.Prep.circuit);
-    Printf.printf "scheme      : %s\n" (Xor_scheme.to_string scheme);
-    Printf.printf "selection   : %s\n" (Policy.describe_selection selection);
-    Printf.printf "aTV         : %d\n" r.Experiments.atv;
-    Printf.printf "TV          : %d\n" r.Experiments.tv;
-    Printf.printf "extra       : %d\n" r.Experiments.ex;
-    Printf.printf "peak hidden : %d\n" r.Experiments.peak_hidden;
-    Printf.printf "m (memory)  : %.2f\n" r.Experiments.m;
-    Printf.printf "t (time)    : %.2f\n" r.Experiments.t;
-    Printf.printf "coverage    : %.4f\n" r.Experiments.coverage
+    let checkpoint =
+      Option.map
+        (fun file ->
+          checkpoint_hook ~file ~every ~spec ~scale ~scheme ~selection ~shift ~label:"cli" ?jobs
+            prep)
+        ckpt
+    in
+    let r =
+      Experiments.run_flow ~scheme ?shift:shift_policy ~selection ?jobs ?checkpoint ~label:"cli"
+        prep
+    in
+    print_stitch_summary prep scheme selection r
   in
   Cmd.v (Cmd.info "stitch" ~doc:"Run the stitched compression flow")
     Term.(
-      const run $ obs_term $ circuit_arg $ scale_arg $ scheme_arg $ selection_arg $ shift_arg
-      $ jobs_arg)
+      const run $ obs_term $ cache_term $ circuit_arg $ scale_arg $ scheme_arg $ selection_arg
+      $ shift_arg $ jobs_arg $ checkpoint_file_arg $ checkpoint_every_arg)
+
+let resume_cmd =
+  let file_arg =
+    let doc = "Checkpoint file written by stitch --checkpoint." in
+    let resume_conv =
+      Arg.conv ~docv:"FILE"
+        ( (fun s -> msg_of_string_error (Tvs_harness.Cli.check_resume_file s)),
+          Format.pp_print_string )
+    in
+    Arg.(required & pos 0 (some resume_conv) None & info [] ~docv:"FILE" ~doc)
+  in
+  let die msg =
+    prerr_endline ("tvs: " ^ msg);
+    exit Cmd.Exit.some_error
+  in
+  let run () () file jobs ckpt every =
+    set_jobs jobs;
+    match Checkpoint.load file with
+    | Error e ->
+        die (Printf.sprintf "cannot resume from %S: %s" file (Codec.error_to_string e))
+    | Ok ck ->
+        let spec =
+          match Tvs_harness.Cli.check_spec ck.Checkpoint.spec with
+          | Ok s -> s
+          | Error msg -> die (Printf.sprintf "checkpoint circuit unavailable: %s" msg)
+        in
+        let prep = prep_of ~scale:ck.Checkpoint.scale spec in
+        if
+          not
+            (Store_digest.equal
+               (Store_digest.circuit prep.Prep.circuit)
+               ck.Checkpoint.circuit_digest)
+        then
+          die
+            (Printf.sprintf "circuit digest mismatch: %S no longer builds the circuit %S was \
+                             checkpointed on"
+               spec file);
+        let shift_policy = Option.map (fun s -> Policy.Fixed s) ck.Checkpoint.shift in
+        let config =
+          Experiments.config_for ~scheme:ck.Checkpoint.scheme ?shift:shift_policy
+            ~selection:ck.Checkpoint.selection ?jobs prep
+        in
+        if
+          not
+            (Store_digest.equal
+               (Store_digest.config ~config ~label:ck.Checkpoint.label)
+               ck.Checkpoint.config_digest)
+        then die (Printf.sprintf "configuration digest mismatch: %S was written by a build with \
+                                  different engine options" file);
+        let checkpoint =
+          Option.map
+            (fun file ->
+              checkpoint_hook ~file ~every ~spec ~scale:ck.Checkpoint.scale
+                ~scheme:ck.Checkpoint.scheme ~selection:ck.Checkpoint.selection
+                ~shift:ck.Checkpoint.shift ~label:ck.Checkpoint.label ?jobs prep)
+            ckpt
+        in
+        let r =
+          Experiments.run_flow ~scheme:ck.Checkpoint.scheme ?shift:shift_policy
+            ~selection:ck.Checkpoint.selection ?jobs ~resume:ck.Checkpoint.snapshot ?checkpoint
+            ~label:ck.Checkpoint.label prep
+        in
+        print_stitch_summary prep ck.Checkpoint.scheme ck.Checkpoint.selection r
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Continue an interrupted stitched run from a checkpoint; the output is byte-identical \
+          to the uninterrupted run's")
+    Term.(
+      const run $ obs_term $ cache_term $ file_arg $ jobs_arg $ checkpoint_file_arg
+      $ checkpoint_every_arg)
 
 let table_cmd =
   let which =
@@ -230,7 +382,7 @@ let table_cmd =
     let doc = "Restrict to these circuits (comma-separated)." in
     Arg.(value & opt (some string) None & info [ "circuits" ] ~docv:"LIST" ~doc)
   in
-  let run () n scale circuits jobs =
+  let run () () n scale circuits jobs =
     set_jobs jobs;
     let circuits = Option.map (String.split_on_char ',') circuits in
     (* scale < 0 means "per-circuit defaults". *)
@@ -250,7 +402,7 @@ let table_cmd =
     Arg.(value & opt float (-1.0) & info [ "scale" ] ~docv:"F" ~doc)
   in
   Cmd.v (Cmd.info "table" ~doc:"Regenerate a paper table")
-    Term.(const run $ obs_term $ which $ scale_arg $ circuits_arg $ jobs_arg)
+    Term.(const run $ obs_term $ cache_term $ which $ scale_arg $ circuits_arg $ jobs_arg)
 
 let ablation_cmd =
   let circuit_arg =
@@ -368,9 +520,17 @@ let fig1_cmd =
   Cmd.v (Cmd.info "fig1" ~doc:"Print the Section 3 worked example (Table 1)")
     Term.(const run $ obs_term)
 
+(* --version: the code generation (git revision when available) plus the two
+   on-disk schema versions a deployment cares about — the store frame schema
+   (checkpoints, cache entries) and the bench report JSON schema. *)
+let version_string =
+  Printf.sprintf "1.0.0+%s (store schema %d, report schema %d)"
+    (Option.value ~default:"unknown" (Tvs_obs.Report.git_rev ()))
+    Codec.schema_version Tvs_obs.Report.schema_version
+
 let () =
   let info =
-    Cmd.info "tvs" ~version:"1.0.0"
+    Cmd.info "tvs" ~version:version_string
       ~doc:"Virtual test compression through test vector stitching (DATE 2003 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ stats_cmd; atpg_cmd; faultsim_cmd; stitch_cmd; table_cmd; ablation_cmd; misr_cmd; comparison_cmd; diagnosis_cmd; randtest_cmd; export_cmd; fig1_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ stats_cmd; atpg_cmd; faultsim_cmd; stitch_cmd; resume_cmd; table_cmd; ablation_cmd; misr_cmd; comparison_cmd; diagnosis_cmd; randtest_cmd; export_cmd; fig1_cmd ]))

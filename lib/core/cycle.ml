@@ -72,7 +72,57 @@ let hidden_indices = indices (function H _ -> true | C _ | U -> false)
 
 let good_contents t = t.good
 
-let constraints_for t ~s = Chain.shift_ternary (Array.map Ternary.of_bool t.good) ~s
+(* --- persisted state (checkpoint/resume) ---------------------------- *)
+
+type fault_state = Fs_caught of int | Fs_hidden of bool array | Fs_uncaught
+
+type persisted = {
+  states : fault_state array;
+  good : bool array;
+  cycles : int;
+  last_shift : int;
+}
+
+let export t =
+  {
+    states =
+      Array.map
+        (function C n -> Fs_caught n | H contents -> Fs_hidden (Array.copy contents) | U -> Fs_uncaught)
+        t.state;
+    good = Array.copy t.good;
+    cycles = t.cycles;
+    last_shift = t.last_shift;
+  }
+
+let restore t p =
+  let ln = Circuit.num_flops t.circuit in
+  if Array.length p.states <> Array.length t.faults then
+    invalid_arg
+      (Printf.sprintf "Cycle.restore: %d fault states for %d faults" (Array.length p.states)
+         (Array.length t.faults));
+  if Array.length p.good <> ln then
+    invalid_arg
+      (Printf.sprintf "Cycle.restore: chain contents of %d bits on a %d-cell chain"
+         (Array.length p.good) ln);
+  Array.iteri
+    (fun i s ->
+      t.state.(i) <-
+        (match s with
+        | Fs_caught n -> C n
+        | Fs_hidden contents ->
+            if Array.length contents <> ln then
+              invalid_arg
+                (Printf.sprintf
+                   "Cycle.restore: hidden contents of %d bits on a %d-cell chain (fault %d)"
+                   (Array.length contents) ln i);
+            H (Array.copy contents)
+        | Fs_uncaught -> U))
+    p.states;
+  t.good <- Array.copy p.good;
+  t.cycles <- p.cycles;
+  t.last_shift <- p.last_shift
+
+let constraints_for (t : t) ~s = Chain.shift_ternary (Array.map Ternary.of_bool t.good) ~s
 
 type report = {
   caught_now : int list;

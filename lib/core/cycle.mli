@@ -46,6 +46,34 @@ val hidden_indices : t -> int list
 val good_contents : t -> bool array
 (** Fault-free chain contents (post write-back). Do not mutate. *)
 
+(** {2 Persisted state}
+
+    Everything a mid-flow machine carries beyond its construction inputs:
+    the fault partition (with each hidden fault's private chain contents),
+    the fault-free chain contents, and the cycle counters. {!export} and
+    {!restore} are the checkpoint/resume substrate — restoring an exported
+    state into a machine created with the same circuit and fault list
+    continues the flow bit-identically. *)
+
+type fault_state =
+  | Fs_caught of int  (** cycle number at which the fault was observed *)
+  | Fs_hidden of bool array  (** the fault's private (divergent) chain contents *)
+  | Fs_uncaught
+
+type persisted = {
+  states : fault_state array;  (** one per fault, in fault-list order *)
+  good : bool array;  (** fault-free chain contents *)
+  cycles : int;
+  last_shift : int;
+}
+
+val export : t -> persisted
+(** Deep copy of the machine's mutable state. *)
+
+val restore : t -> persisted -> unit
+(** Overwrite the machine's state. Raises [Invalid_argument] when the
+    persisted shape does not match the machine's circuit or fault count. *)
+
 val constraints_for : t -> s:int -> Tvs_logic.Ternary.t array
 (** The scan-part constraint cube a vector built with shift [s] must satisfy:
     head [s] cells free, the rest pinned to the retained response. *)

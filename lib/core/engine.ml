@@ -119,7 +119,20 @@ let score ~sim ~machine ~hardness selection ~sample cand =
         r.Tvs_fault.Fault_sim.outcomes;
       !total
 
-let run ?config ?(fallback = [||]) ~rng ctx ~faults =
+(* Everything the main loop mutates, beyond what the caller's inputs
+   determine: enough to continue an interrupted run bit-identically. *)
+type snapshot = {
+  machine : Cycle.persisted;
+  shifts_rev : int list;
+  stimuli_rev : (bool array * bool array) list;
+  log_rev : cycle_log list;
+  peak_hidden : int;
+  stagnant : int;
+  current_s : int;
+  rng_state : int64;
+}
+
+let run ?config ?(fallback = [||]) ?resume ?checkpoint ~rng ctx ~faults =
   Metrics.incr m_engine_runs;
   Trace.with_span "engine.run"
     ~args:[ ("faults", string_of_int (Array.length faults)) ]
@@ -139,6 +152,29 @@ let run ?config ?(fallback = [||]) ~rng ctx ~faults =
   let peak_hidden = ref 0 in
   let stagnant = ref 0 in
   let current_s = ref (min chain_len (max 1 (Policy.initial_shift cfg.shift))) in
+  (match resume with
+  | None -> ()
+  | Some s ->
+      Cycle.restore machine s.machine;
+      shifts := s.shifts_rev;
+      stimuli := s.stimuli_rev;
+      log := s.log_rev;
+      peak_hidden := s.peak_hidden;
+      stagnant := s.stagnant;
+      current_s := s.current_s;
+      Rng.set_state rng s.rng_state);
+  let take_snapshot () =
+    {
+      machine = Cycle.export machine;
+      shifts_rev = !shifts;
+      stimuli_rev = !stimuli;
+      log_rev = !log;
+      peak_hidden = !peak_hidden;
+      stagnant = !stagnant;
+      current_s = !current_s;
+      rng_state = Rng.state rng;
+    }
+  in
   let finished () = Cycle.num_uncaught machine = 0 && Cycle.num_hidden machine = 0 in
   (* Produce candidate vectors for this cycle's shift size, or [None] if no
      target is generatable under the constraints. *)
@@ -240,6 +276,12 @@ let run ?config ?(fallback = [||]) ~rng ctx ~faults =
           in
           apply_candidate s best;
           current_s := Policy.shrink cfg.shift ~current:!current_s;
+          (* Snapshot between cycles: everything below this point is a pure
+             function of the captured state and the caller's inputs. *)
+          (match checkpoint with
+          | Some (every, save) when every > 0 && Cycle.cycle_count machine mod every = 0 ->
+              Trace.with_span "engine.checkpoint" (fun () -> save (take_snapshot ()))
+          | Some _ | None -> ());
           loop ()
   in
   loop ();

@@ -66,9 +66,27 @@ type result = {
 val coverage : result -> float
 (** Caught over non-redundant faults. *)
 
+type snapshot = {
+  machine : Cycle.persisted;
+  shifts_rev : int list;  (** shift sizes so far, most recent first *)
+  stimuli_rev : (bool array * bool array) list;
+  log_rev : cycle_log list;
+  peak_hidden : int;
+  stagnant : int;
+  current_s : int;  (** the shift size the next cycle will try *)
+  rng_state : int64;
+}
+(** Everything the main loop mutates between stitched cycles. Together with
+    the construction inputs (config, faults, fallback, PODEM context — all
+    deterministically reproducible from a circuit spec) a snapshot continues
+    an interrupted run bit-identically; see {!Tvs_store.Checkpoint} for the
+    on-disk form. *)
+
 val run :
   ?config:config ->
   ?fallback:Tvs_atpg.Cube.vector array ->
+  ?resume:snapshot ->
+  ?checkpoint:int * (snapshot -> unit) ->
   rng:Tvs_util.Rng.t ->
   Tvs_atpg.Podem.ctx ->
   faults:Tvs_fault.Fault.t array ->
@@ -79,4 +97,13 @@ val run :
     [fallback] is a known-good full-shift test set (typically the baseline's):
     when the extra phase's own ATPG aborts on a leftover fault, detecting
     vectors are appended from it instead, so the stitched flow can never end
-    below the baseline's coverage. *)
+    below the baseline's coverage.
+
+    [resume] restores a mid-flow snapshot before the first cycle: the run
+    continues exactly where the snapshot was taken, and its result is
+    byte-identical to the uninterrupted run's (the remaining inputs must be
+    the ones the original run was created with — enforced by digest checks
+    at the {!Tvs_store.Checkpoint} layer). [checkpoint] is [(every, save)]:
+    [save] receives a fresh snapshot after every [every]-th stitched cycle.
+    Raises [Invalid_argument] when a resumed snapshot's shape does not match
+    the circuit or fault list. *)

@@ -49,3 +49,13 @@ let check_out_file ~flag path =
     else Error (Printf.sprintf "%s %S: directory %S does not exist" flag path dir)
 
 let check_trace_file = check_out_file ~flag:"--trace"
+let check_checkpoint_file = check_out_file ~flag:"--checkpoint"
+
+let check_checkpoint_every n =
+  if n >= 1 then Ok n
+  else Error (Printf.sprintf "--checkpoint-every must be at least 1 (got %d)" n)
+
+let check_resume_file path =
+  if not (Sys.file_exists path) then Error (Printf.sprintf "no checkpoint file %S" path)
+  else if Sys.is_directory path then Error (Printf.sprintf "checkpoint %S is a directory" path)
+  else Ok path

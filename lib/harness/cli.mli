@@ -27,3 +27,13 @@ val check_out_file : flag:string -> string -> (string, string) result
 
 val check_trace_file : string -> (string, string) result
 (** [check_out_file ~flag:"--trace"]. *)
+
+val check_checkpoint_file : string -> (string, string) result
+(** [check_out_file ~flag:"--checkpoint"]. *)
+
+val check_checkpoint_every : int -> (int, string) result
+(** Checkpoint period in stitched cycles: at least 1. *)
+
+val check_resume_file : string -> (string, string) result
+(** The checkpoint file to resume from must exist (its contents are
+    validated later, by {!Tvs_store.Checkpoint.load}). *)

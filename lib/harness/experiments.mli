@@ -17,18 +17,50 @@ type run_summary = {
   peak_hidden : int;
 }
 
+val set_cache : Tvs_store.Cache.t option -> unit
+(** Install (or clear) the process-wide result cache that {!run_flow} and
+    {!baseline_detection} consult — set from the drivers' [--cache DIR]. *)
+
+val cache : unit -> Tvs_store.Cache.t option
+
+val config_for :
+  ?scheme:Tvs_scan.Xor_scheme.t ->
+  ?shift:Tvs_core.Policy.shift_policy ->
+  ?selection:Tvs_core.Policy.selection ->
+  ?jobs:int ->
+  Prep.t ->
+  Tvs_core.Engine.config
+(** The exact engine configuration {!run_flow} would run with — exposed so
+    the CLI can digest it for checkpoint metadata. *)
+
 val run_flow :
   ?scheme:Tvs_scan.Xor_scheme.t ->
   ?shift:Tvs_core.Policy.shift_policy ->
   ?selection:Tvs_core.Policy.selection ->
   ?jobs:int ->
+  ?resume:Tvs_core.Engine.snapshot ->
+  ?checkpoint:int * (Tvs_core.Engine.snapshot -> unit) ->
   label:string ->
   Prep.t ->
   run_summary
 (** One stitched run on a prepared circuit, defaults: NXOR, variable shift,
     most-faults selection. [jobs] sets the fault-simulation fan-out width
     (default {!Tvs_util.Pool.default_jobs}); the summary is bit-identical
-    for every value. Exposed for the examples and the CLI. *)
+    for every value. Exposed for the examples and the CLI.
+
+    When a cache is installed ({!set_cache}) and neither [resume] nor
+    [checkpoint] is given, a prior identical run's summary is returned
+    without running the engine; computed summaries are stored back. [resume]
+    and [checkpoint] pass through to {!Tvs_core.Engine.run} — a resumed run's
+    summary is identical to the uninterrupted run's. *)
+
+type detection = { detected : int; faults : int; vectors : int }
+
+val baseline_detection : Prep.t -> detection
+(** Fault-simulate the baseline test set over the collapsed fault list (the
+    [tvs faultsim] measurement). Cached under the circuit digest when a
+    cache is installed — the baseline set is a deterministic function of the
+    circuit. *)
 
 val table1 : unit -> string
 (** The Section 3 worked example: the fault behaviour table regenerated from

@@ -74,6 +74,13 @@ let iteri_set f t =
     if get t i then f i
   done
 
+(* Canonical wire form: the bit length, then the packed bits. Re-packed
+   through bool arrays rather than dumping [words] so the encoding does not
+   depend on the 63-bit internal word layout. *)
+let encode w t = Tvs_util.Wire.write_bool_array w (to_bool_array t)
+
+let decode r = of_bool_array (Tvs_util.Wire.read_bool_array r)
+
 let fill t b =
   let full = if b then (1 lsl bits_per_word) - 1 else 0 in
   Array.fill t.words 0 (Array.length t.words) full;

@@ -40,3 +40,10 @@ val iteri_set : (int -> unit) -> t -> unit
 
 val fill : t -> bool -> unit
 (** Set every bit to the given value. *)
+
+val encode : Tvs_util.Wire.writer -> t -> unit
+(** Canonical wire form (bit length + packed bits, independent of the
+    internal word size), for the persistence layer. *)
+
+val decode : Tvs_util.Wire.reader -> t
+(** Raises [Tvs_util.Wire.Error] on truncated or malformed input. *)

@@ -81,21 +81,39 @@ let parse_string ~name text =
   String.split_on_char '\n' text
   |> List.iteri (fun i line ->
          match parse_statement (i + 1) line with
-         | Some st -> statements := st :: !statements
+         | Some st -> statements := (i + 1, st) :: !statements
          | None -> ());
-  let statements = List.rev !statements in
+  let numbered = List.rev !statements in
+  (* Pass 0: reject duplicate definitions up front, with both line numbers.
+     Without this, the second definition of a net would either silently race
+     pass 2's fixpoint or surface as a context-free [Build_error]; a net is
+     defined by INPUT, a DFF target, or a gate target. Duplicate OUTPUT lines
+     are rejected too — they would silently duplicate the outputs array. *)
+  let defined_at = Hashtbl.create 64 in
+  let output_at = Hashtbl.create 16 in
+  List.iter
+    (fun (lineno, st) ->
+      let check_dup tbl what nm =
+        match Hashtbl.find_opt tbl nm with
+        | Some first ->
+            fail lineno
+              (Printf.sprintf "duplicate %s of net %S (first defined at line %d)" what nm first)
+        | None -> Hashtbl.add tbl nm lineno
+      in
+      match st with
+      | St_input nm | St_dff (nm, _) | St_gate (nm, _, _) ->
+          check_dup defined_at "definition" nm
+      | St_output nm -> check_dup output_at "OUTPUT declaration" nm)
+    numbered;
+  let statements = List.map snd numbered in
   let b = Circuit.Builder.create name in
   (* Pass 1: declare inputs and flip-flops (forward), recording definitions. *)
   let defined = Hashtbl.create 64 in
   let declare nm net = Hashtbl.replace defined nm net in
   List.iter
     (function
-      | St_input nm ->
-          if Hashtbl.mem defined nm then raise (Circuit.Build_error ("duplicate definition of " ^ nm));
-          declare nm (Circuit.Builder.input b nm)
-      | St_dff (q, _) ->
-          if Hashtbl.mem defined q then raise (Circuit.Build_error ("duplicate definition of " ^ q));
-          declare q (Circuit.Builder.flop_forward b q)
+      | St_input nm -> declare nm (Circuit.Builder.input b nm)
+      | St_dff (q, _) -> declare q (Circuit.Builder.flop_forward b q)
       | St_output _ | St_gate _ -> ())
     statements;
   (* Pass 2: create gates in dependency order (gates may reference later
@@ -112,7 +130,6 @@ let parse_string ~name text =
     List.iter
       (fun (nm, kind, ins) ->
         if List.for_all (Hashtbl.mem defined) ins then begin
-          if Hashtbl.mem defined nm then raise (Circuit.Build_error ("duplicate definition of " ^ nm));
           let fanins = List.map (Hashtbl.find defined) ins in
           declare nm (Circuit.Builder.gate b ~name:nm kind fanins);
           progress := true

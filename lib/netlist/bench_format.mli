@@ -15,8 +15,11 @@ exception Parse_error of int * string
 (** Line number (1-based) and message. *)
 
 val parse_string : name:string -> string -> Circuit.t
-(** Raises [Parse_error] on malformed input and [Circuit.Build_error] on
-    structural violations (duplicate definitions, undefined nets). *)
+(** Raises [Parse_error] on malformed input — including a duplicate
+    definition of a net (by INPUT, a DFF target or a gate target) or a
+    duplicate OUTPUT declaration, reported with both line numbers — and
+    [Circuit.Build_error] on structural violations (undefined nets,
+    combinational cycles). *)
 
 val parse_file : string -> Circuit.t
 (** Circuit name is the file's basename without extension. *)

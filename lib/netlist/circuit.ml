@@ -381,6 +381,88 @@ module Builder = struct
     t
 end
 
+(* --- wire codec ------------------------------------------------------- *)
+
+module Wire = Tvs_util.Wire
+
+let kind_tag = function
+  | Gate.And -> 0
+  | Gate.Nand -> 1
+  | Gate.Or -> 2
+  | Gate.Nor -> 3
+  | Gate.Xor -> 4
+  | Gate.Xnor -> 5
+  | Gate.Not -> 6
+  | Gate.Buf -> 7
+
+let kind_of_tag = function
+  | 0 -> Gate.And
+  | 1 -> Gate.Nand
+  | 2 -> Gate.Or
+  | 3 -> Gate.Nor
+  | 4 -> Gate.Xor
+  | 5 -> Gate.Xnor
+  | 6 -> Gate.Not
+  | 7 -> Gate.Buf
+  | n -> raise (Wire.Error (Printf.sprintf "unknown gate kind tag %d" n))
+
+(* Canonical form: net records in index order (name + driver), then the
+   output list. Inputs and flops are recovered from the drivers — their
+   arrays hold PI/FF nets in index order by construction — so the encoding
+   carries no redundant structure a corrupt file could contradict. *)
+let encode w t =
+  Wire.write_string w t.name;
+  Wire.write_varint w (num_nets t);
+  Array.iteri
+    (fun net d ->
+      Wire.write_string w t.net_names.(net);
+      match d with
+      | Primary_input -> Wire.write_u8 w 0
+      | Flip_flop d ->
+          Wire.write_u8 w 1;
+          Wire.write_varint w d
+      | Gate_node (kind, ins) ->
+          Wire.write_u8 w 2;
+          Wire.write_u8 w (kind_tag kind);
+          Wire.write_array Wire.write_varint w ins
+      | Const v ->
+          Wire.write_u8 w 3;
+          Wire.write_bool w v)
+    t.drivers;
+  Wire.write_array Wire.write_varint w t.outputs
+
+let decode r =
+  try
+    let name = Wire.read_string r in
+    let n = Wire.read_varint r in
+    let b = Builder.create name in
+    let pending = ref [] in
+    for net = 0 to n - 1 do
+      let nm = Wire.read_string r in
+      match Wire.read_u8 r with
+      | 0 -> ignore (Builder.input b nm)
+      | 1 ->
+          let d = Wire.read_varint r in
+          if d < net then ignore (Builder.flop b ~name:nm d)
+          else begin
+            (* Forward data reference: connect once every net exists. *)
+            let q = Builder.flop_forward b nm in
+            pending := (q, d) :: !pending
+          end
+      | 2 ->
+          let kind = kind_of_tag (Wire.read_u8 r) in
+          let ins = Wire.read_array Wire.read_varint r in
+          ignore (Builder.gate b ~name:nm kind (Array.to_list ins))
+      | 3 -> ignore (Builder.const b ~name:nm (Wire.read_bool r))
+      | tag -> raise (Wire.Error (Printf.sprintf "unknown driver tag %d for net %d" tag net))
+    done;
+    List.iter (fun (q, d) -> Builder.connect_flop b q d) !pending;
+    Array.iter (Builder.mark_output b) (Wire.read_array Wire.read_varint r);
+    Builder.finish b
+  with
+  | Build_error msg -> raise (Wire.Error ("invalid circuit encoding: " ^ msg))
+  | Failure msg -> raise (Wire.Error ("invalid circuit encoding: " ^ msg))
+
 let pp_summary fmt t =
   let gates =
     Array.fold_left

@@ -115,3 +115,13 @@ end
 
 val pp_summary : Format.formatter -> t -> unit
 (** One-line summary: name, #PI, #PO, #FF, #gates. *)
+
+val encode : Tvs_util.Wire.writer -> t -> unit
+(** Canonical wire form: net records in index order (name and driver), then
+    the output list. The byte form is a function of the circuit structure
+    only, so it doubles as the input to content digests. *)
+
+val decode : Tvs_util.Wire.reader -> t
+(** Rebuild through {!Builder}, preserving net numbering exactly. Raises
+    [Tvs_util.Wire.Error] on truncated input or structural violations
+    (unknown tags, dangling references, combinational cycles). *)

@@ -1,0 +1,68 @@
+module Metrics = Tvs_obs.Metrics
+
+(* Cache traffic varies run to run (a warm cache hits where a cold one
+   misses), so none of these may enter the stable snapshot that CI compares
+   across jobs values. *)
+let m_hits = Metrics.counter ~stable:false "store.cache.hits"
+let m_misses = Metrics.counter ~stable:false "store.cache.misses"
+let m_evictions = Metrics.counter ~stable:false "store.cache.evictions"
+let m_stores = Metrics.counter ~stable:false "store.cache.stores"
+
+type t = { dir : string }
+
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_dir path =
+  if String.length path = 0 then Error "--cache needs a non-empty directory name"
+  else
+    match
+      if Sys.file_exists path then
+        if Sys.is_directory path then Ok ()
+        else Error (Printf.sprintf "--cache %S exists and is not a directory" path)
+      else begin
+        mkdir_p path;
+        Ok ()
+      end
+    with
+    | Ok () -> Ok { dir = path }
+    | Error _ as e -> e
+    | exception Unix.Unix_error (err, _, arg) ->
+        Error (Printf.sprintf "--cache %S: cannot create %S: %s" path arg (Unix.error_message err))
+
+let dir t = t.dir
+
+let entry_path t ~kind ~key =
+  Filename.concat t.dir
+    (Printf.sprintf "%s-v%d-%s.tvsc" kind Codec.schema_version (Digest.to_hex key))
+
+let find t ~kind ~key f =
+  let path = entry_path t ~kind ~key in
+  if not (Sys.file_exists path) then begin
+    Metrics.incr m_misses;
+    None
+  end
+  else
+    match Codec.of_file ~kind path f with
+    | Ok v ->
+        Metrics.incr m_hits;
+        Some v
+    | Error _ ->
+        (* Torn write, bit rot, or a schema change that kept the file name:
+           drop the entry and recompute. *)
+        (try Sys.remove path with Sys_error _ -> ());
+        Metrics.incr m_evictions;
+        Metrics.incr m_misses;
+        None
+
+let store t ~kind ~key f =
+  Codec.to_file ~kind (entry_path t ~kind ~key) f;
+  Metrics.incr m_stores
+
+let hits () = Metrics.counter_value m_hits
+let misses () = Metrics.counter_value m_misses
+let evictions () = Metrics.counter_value m_evictions

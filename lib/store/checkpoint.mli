@@ -1,0 +1,37 @@
+(** On-disk engine checkpoints: everything needed to continue an interrupted
+    stitched run bit-identically.
+
+    A checkpoint couples the engine's mid-flow {!Tvs_core.Engine.snapshot}
+    with the run's identity: the circuit spec and scale (so [tvs resume] can
+    rebuild the preparation deterministically), the engine options, and
+    content digests of the circuit and configuration. {!load} only hands back
+    a checkpoint whose frame is intact (CRC); the caller must additionally
+    verify the digests against the rebuilt run before resuming — a checkpoint
+    from a different circuit or configuration would otherwise continue into
+    silently wrong results. *)
+
+type t = {
+  spec : string;  (** circuit spec as given on the command line *)
+  scale : float;
+  scheme : Tvs_scan.Xor_scheme.t;
+  selection : Tvs_core.Policy.selection;
+  shift : int option;  (** fixed shift size; [None] = variable policy *)
+  label : string;  (** experiment label seeding the engine RNG *)
+  circuit_digest : Digest.t;
+  config_digest : Digest.t;
+  snapshot : Tvs_core.Engine.snapshot;
+}
+
+val kind : string
+(** The frame kind, ["CKPT"]. *)
+
+val encode : Tvs_util.Wire.writer -> t -> unit
+val decode : Tvs_util.Wire.reader -> t
+(** Payload codec, exposed for round-trip tests. [decode] raises
+    [Wire.Error] on malformed input (callers normally go through {!load}). *)
+
+val save : string -> t -> unit
+(** Atomic write (temp + rename): an interrupted save never damages the
+    previous checkpoint at the same path. *)
+
+val load : string -> (t, Codec.error) result

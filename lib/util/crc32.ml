@@ -1,0 +1,35 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320), table-driven.
+   State is kept as a plain OCaml int masked to 32 bits: on a 64-bit build
+   every intermediate fits a native int, avoiding Int32 boxing on the hot
+   byte loop. *)
+
+let poly = 0xEDB88320
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := poly lxor (!c lsr 1) else c := !c lsr 1
+         done;
+         !c))
+
+type t = int
+
+let mask = 0xFFFFFFFF
+
+let init = 0
+
+let update_bytes crc s pos len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update_bytes: range out of bounds";
+  let tbl = Lazy.force table in
+  let c = ref (crc lxor mask) in
+  for i = pos to pos + len - 1 do
+    c := tbl.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor mask land mask
+
+let update crc s = update_bytes crc s 0 (String.length s)
+
+let digest s = update init s

@@ -1,0 +1,22 @@
+(** CRC-32 (IEEE 802.3), the integrity trailer of every [tvs_store] frame.
+
+    The checksum is the standard reflected CRC-32 (polynomial 0xEDB88320,
+    initial value and final XOR 0xFFFFFFFF) — the same function as zlib's
+    [crc32], so frames can be checked with external tooling. Values are
+    plain non-negative ints in [0, 2^32). *)
+
+type t = int
+(** A running checksum. *)
+
+val init : t
+(** The checksum of the empty string. *)
+
+val update : t -> string -> t
+(** [update crc s] extends [crc] with every byte of [s]. *)
+
+val update_bytes : t -> string -> int -> int -> t
+(** [update_bytes crc s pos len] extends [crc] with [s.[pos .. pos+len-1]].
+    Raises [Invalid_argument] if the range is out of bounds. *)
+
+val digest : string -> t
+(** [update init]. *)

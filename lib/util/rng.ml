@@ -10,6 +10,9 @@ let mix64 z =
 
 let create seed = { state = seed }
 
+let state t = t.state
+let set_state t s = t.state <- s
+
 let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state

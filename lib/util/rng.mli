@@ -12,6 +12,17 @@ type t
 val create : int64 -> t
 (** [create seed] returns a fresh generator seeded with [seed]. *)
 
+val state : t -> int64
+(** The raw generator state, for checkpointing. [create (state t)] yields a
+    generator that continues [t]'s stream exactly. *)
+
+val set_state : t -> int64 -> unit
+(** Overwrite the generator state (checkpoint restore). *)
+
+val mix64 : int64 -> int64
+(** The SplitMix64 finalizer (Stafford's mix13), exposed for content-hash
+    construction in the persistence layer. *)
+
 val of_string : string -> t
 (** [of_string s] derives a generator from an arbitrary label (e.g. a circuit
     name) via a FNV-1a hash, so streams for distinct labels are independent. *)

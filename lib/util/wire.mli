@@ -1,0 +1,66 @@
+(** Binary wire primitives for the persistence layer ([tvs_store]).
+
+    All multi-byte integers are little-endian; lengths and non-negative ints
+    use unsigned LEB128 varints; bool arrays are bit-packed LSB-first. The
+    canonical byte form is host-independent, so content digests computed
+    over encodings are stable across machines.
+
+    Writers append to a growable buffer and raise [Invalid_argument] only on
+    programmer error (negative varint, byte out of range). Readers are
+    bounds-checked cursors: every malformed or truncated input raises the
+    local {!Error} exception, which {!decode} converts to [Result.Error] —
+    corrupt bytes can never surface as a bare [Failure] from a half-read. *)
+
+type writer
+
+val writer : ?size:int -> unit -> writer
+val contents : writer -> string
+
+val write_u8 : writer -> int -> unit
+val write_bool : writer -> bool -> unit
+
+val write_varint : writer -> int -> unit
+(** Unsigned LEB128. Raises [Invalid_argument] on a negative value. *)
+
+val write_i64 : writer -> int64 -> unit
+(** Fixed 8 bytes, little-endian. *)
+
+val write_f64 : writer -> float -> unit
+(** IEEE-754 bits via {!write_i64}. *)
+
+val write_string : writer -> string -> unit
+(** Varint byte length, then the raw bytes. *)
+
+val write_bool_array : writer -> bool array -> unit
+(** Varint bit length, then [ceil(n/8)] bytes, LSB-first. *)
+
+val write_option : (writer -> 'a -> unit) -> writer -> 'a option -> unit
+val write_list : (writer -> 'a -> unit) -> writer -> 'a list -> unit
+val write_array : (writer -> 'a -> unit) -> writer -> 'a array -> unit
+
+(** {2 Reading} *)
+
+exception Error of string
+(** Truncated or malformed input. The message names the offset. *)
+
+type reader
+
+val reader : ?pos:int -> ?len:int -> string -> reader
+val remaining : reader -> int
+val at_end : reader -> bool
+
+val read_u8 : reader -> int
+val read_bool : reader -> bool
+val read_varint : reader -> int
+val read_i64 : reader -> int64
+val read_f64 : reader -> float
+val read_string : reader -> string
+val read_bool_array : reader -> bool array
+val read_option : (reader -> 'a) -> reader -> 'a option
+val read_list : (reader -> 'a) -> reader -> 'a list
+val read_array : (reader -> 'a) -> reader -> 'a array
+
+val decode : string -> (reader -> 'a) -> ('a, string) result
+(** Run a decoder over a whole string, catching {!Error} (and
+    [Invalid_argument] from structural validation inside decoders) as
+    [Result.Error]. *)

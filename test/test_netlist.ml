@@ -204,7 +204,34 @@ let test_parse_errors () =
   Alcotest.(check bool) "undefined net" true
     (expect_build_error "INPUT(a)\nOUTPUT(g)\ng = AND(a, zz)\n");
   Alcotest.(check bool) "duplicate definition" true
-    (expect_build_error "INPUT(a)\nINPUT(a)\n")
+    (expect_parse_error "INPUT(a)\nINPUT(a)\n")
+
+let string_contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* Duplicate definitions are a parse error naming both lines, whichever
+   statement kinds collide. *)
+let test_duplicate_definitions () =
+  let expect text ~line ~mentions =
+    match Bench_format.parse_string ~name:"dup" text with
+    | (_ : Circuit.t) -> Alcotest.failf "accepted duplicate: %S" text
+    | exception Bench_format.Parse_error (l, msg) ->
+        Alcotest.(check int) ("error line for " ^ String.escaped text) line l;
+        List.iter
+          (fun frag ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%S mentions %S" msg frag)
+              true (string_contains msg frag))
+          mentions
+  in
+  expect "INPUT(a)\nOUTPUT(g)\ng = NOT(a)\ng = BUFF(a)\n" ~line:4
+    ~mentions:[ "duplicate definition"; "\"g\""; "line 3" ];
+  expect "INPUT(a)\na = NOT(a)\n" ~line:2 ~mentions:[ "duplicate definition"; "line 1" ];
+  expect "INPUT(a)\nq = DFF(a)\nq = AND(a, a)\n" ~line:3 ~mentions:[ "\"q\""; "line 2" ];
+  expect "INPUT(a)\nOUTPUT(g)\nOUTPUT(g)\ng = NOT(a)\n" ~line:3
+    ~mentions:[ "duplicate OUTPUT"; "line 2" ]
 
 let test_parse_forward_reference () =
   (* Gates listed before their fanins, as in real benchmark files. *)
@@ -304,6 +331,7 @@ let () =
           Alcotest.test_case "parse s27" `Quick test_parse_s27;
           Alcotest.test_case "print/parse roundtrip" `Quick test_parse_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "duplicate definitions" `Quick test_duplicate_definitions;
           Alcotest.test_case "forward references" `Quick test_parse_forward_reference;
           Alcotest.test_case "comments and blanks" `Quick test_parse_comments_and_blank;
           Alcotest.test_case "file round-trip" `Quick test_bench_file_io;

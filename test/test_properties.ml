@@ -53,6 +53,28 @@ let qcheck_bench_roundtrip_behaviour =
       let f2 = Comb.eval_bool c' ~pi ~state in
       f1.Comb.po = f2.Comb.po && f1.Comb.capture = f2.Comb.capture)
 
+(* 1b. Print-then-parse is a structural isomorphism, not just behavioural
+   equivalence: net numbering may permute (the parser declares flops before
+   resolving gates), but names survive, so re-printing must yield exactly
+   the same set of statement lines. *)
+let qcheck_bench_roundtrip_isomorphism =
+  QCheck.Test.make ~name:"bench round-trip is a netlist isomorphism" ~count:50
+    QCheck.(int_range 0 64)
+    (fun i ->
+      let c = tiny_circuit i in
+      let text = Bench_format.to_string c in
+      let c' = Bench_format.parse_string ~name:(Circuit.name c) text in
+      let statement_lines s =
+        String.split_on_char '\n' s
+        |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+        |> List.sort compare
+      in
+      Circuit.num_nets c = Circuit.num_nets c'
+      && Circuit.num_inputs c = Circuit.num_inputs c'
+      && Circuit.num_flops c = Circuit.num_flops c'
+      && Circuit.num_outputs c = Circuit.num_outputs c'
+      && statement_lines text = statement_lines (Bench_format.to_string c'))
+
 (* 2. The word-parallel engine agrees with the scalar simulator on every
    lane, for arbitrary circuits. *)
 let qcheck_parallel_agrees_with_scalar =
@@ -183,6 +205,7 @@ let () =
       ( "cross-module",
         [
           QCheck_alcotest.to_alcotest qcheck_bench_roundtrip_behaviour;
+          QCheck_alcotest.to_alcotest qcheck_bench_roundtrip_isomorphism;
           QCheck_alcotest.to_alcotest qcheck_parallel_agrees_with_scalar;
           QCheck_alcotest.to_alcotest qcheck_podem_cubes_detect;
           QCheck_alcotest.to_alcotest qcheck_cycle_partition;
