@@ -2,6 +2,7 @@
 
    Subcommands:
      stats     structural statistics of a circuit
+     lint      rule-based static analysis + hidden-fault risk table
      atpg      traditional full-shift test generation (baseline)
      faultsim  fault-simulate a circuit's baseline test set
      stitch    run the stitched flow and report compression
@@ -21,6 +22,8 @@ module Policy = Tvs_core.Policy
 module Baseline = Tvs_core.Baseline
 module Experiments = Tvs_harness.Experiments
 module Prep = Tvs_harness.Prep
+module Lint = Tvs_lint.Lint
+module Lint_diag = Tvs_lint.Diagnostic
 module Codec = Tvs_store.Codec
 module Checkpoint = Tvs_store.Checkpoint
 module Cache = Tvs_store.Cache
@@ -149,6 +152,130 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Structural statistics and validation of a circuit")
     Term.(const run $ obs_term $ circuit_arg $ scale_arg)
 
+let lint_cmd =
+  let circuit_opt_arg =
+    let doc =
+      "Circuit: a benchmark profile name (s444 ... s38584), s27, fig1, or a .bench file. \
+       Optional with $(b,--list-rules)."
+    in
+    Arg.(value & pos 0 (some circuit_conv) None & info [] ~docv:"CIRCUIT" ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: $(b,ascii) or $(b,json)." in
+    Arg.(
+      value
+      & opt (Arg.enum [ ("ascii", `Ascii); ("json", `Json) ]) `Ascii
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let rules_arg =
+    let doc =
+      "Keep only diagnostics whose rule id matches one of these comma-separated ids or id \
+       prefixes (e.g. TVS-N001,TVS-D). See $(b,--list-rules)."
+    in
+    Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"LIST" ~doc)
+  in
+  let fail_on_arg =
+    let doc =
+      "Exit 1 when a diagnostic at or above $(docv) exists: error, warning, info, or never."
+    in
+    Arg.(
+      value
+      & opt
+          (Arg.enum
+             [
+               ("error", Some Lint_diag.Error);
+               ("warning", Some Lint_diag.Warning);
+               ("info", Some Lint_diag.Info);
+               ("never", None);
+             ])
+          (Some Lint_diag.Error)
+      & info [ "fail-on" ] ~docv:"SEV" ~doc)
+  in
+  let lint_shift_arg =
+    let doc = "Shift size for the hidden-fault risk table (default: chain length / 4)." in
+    Arg.(value & opt (some int) None & info [ "shift" ] ~docv:"S" ~doc)
+  in
+  let sat_faults_arg =
+    let doc = "Attempt SAT untestability proofs on at most $(docv) hardest faults (0 disables)." in
+    Arg.(
+      value & opt int Lint.default_options.Lint.sat_faults & info [ "sat-faults" ] ~docv:"N" ~doc)
+  in
+  let sat_budget_arg =
+    let doc = "Per-fault SAT decision budget; exhausted proofs report TVS-D005 (undecided)." in
+    Arg.(
+      value
+      & opt int Lint.default_options.Lint.sat_decisions
+      & info [ "sat-budget" ] ~docv:"N" ~doc)
+  in
+  let list_rules_arg =
+    let doc = "Print the rule catalog (id, severity, title) and exit." in
+    Arg.(value & flag & info [ "list-rules" ] ~doc)
+  in
+  let die_cli msg =
+    prerr_endline ("tvs: " ^ msg);
+    exit Cmd.Exit.cli_error
+  in
+  let run () () list_rules spec scale format rules fail_on shift sat_faults sat_budget jobs =
+    set_jobs jobs;
+    if list_rules then
+      List.iter
+        (fun (r : Lint_diag.rule_info) ->
+          Printf.printf "%s  %-7s  %s\n" r.Lint_diag.id
+            (Lint_diag.severity_to_string r.Lint_diag.default_severity)
+            r.Lint_diag.title)
+        Lint_diag.catalog
+    else begin
+      let spec =
+        match spec with
+        | Some s -> s
+        | None -> die_cli "lint needs a CIRCUIT argument (or --list-rules)"
+      in
+      let rules =
+        Option.map
+          (fun s ->
+            let ids = List.filter (fun r -> r <> "") (String.split_on_char ',' s) in
+            if ids = [] then die_cli "--rules: empty rule list";
+            List.iter
+              (fun r ->
+                if
+                  not
+                    (List.exists
+                       (fun (i : Lint_diag.rule_info) -> Lint_diag.matches r ~rule:i.Lint_diag.id)
+                       Lint_diag.catalog)
+                then die_cli (Printf.sprintf "--rules: %S matches no rule id (see --list-rules)" r))
+              ids;
+            ids)
+          rules
+      in
+      let options = { Lint.rules; sat_faults; sat_decisions = sat_budget; shift } in
+      (* .bench files are linted from source so statement-level defects
+         (syntax, cycles, duplicate/undefined nets) become diagnostics with
+         line numbers instead of load errors; built-in circuits have no
+         source text and go through the (cacheable) circuit-level path. *)
+      let report =
+        if Sys.file_exists spec then
+          let text = In_channel.with_open_bin spec In_channel.input_all in
+          Lint.run_source ~options ~name:Filename.(remove_extension (basename spec)) text
+        else Experiments.lint_report ~options (load_circuit ~scale spec)
+      in
+      (match format with
+      | `Ascii -> print_string (Lint.to_ascii report)
+      | `Json -> print_endline (Lint.to_json_string report));
+      match fail_on with
+      | Some sev when Lint.failed ~fail_on:sev report -> exit 1
+      | _ -> ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Rule-based static analysis: structural, dataflow and scan-chain checks plus a \
+          hidden-fault risk table")
+    Term.(
+      const run $ obs_term $ cache_term $ list_rules_arg $ circuit_opt_arg $ scale_arg
+      $ format_arg $ rules_arg $ fail_on_arg $ lint_shift_arg $ sat_faults_arg $ sat_budget_arg
+      $ jobs_arg)
+
 let atpg_cmd =
   let run () spec scale jobs =
     set_jobs jobs;
@@ -270,8 +397,15 @@ let checkpoint_hook ~file ~every ~spec ~scale ~scheme ~selection ~shift ~label ?
           snapshot;
         } )
 
+let preflight_arg =
+  let doc =
+    "Run the lint preflight gate (structural and constant-propagation checks) before stitching \
+     and abort on any error-severity finding."
+  in
+  Arg.(value & flag & info [ "preflight" ] ~doc)
+
 let stitch_cmd =
-  let run () () spec scale scheme selection shift jobs ckpt every =
+  let run () () spec scale scheme selection shift preflight jobs ckpt every =
     set_jobs jobs;
     let prep = prep_of ~scale spec in
     let shift_policy = Option.map (fun s -> Policy.Fixed s) shift in
@@ -283,15 +417,19 @@ let stitch_cmd =
         ckpt
     in
     let r =
-      Experiments.run_flow ~scheme ?shift:shift_policy ~selection ?jobs ?checkpoint ~label:"cli"
-        prep
+      try
+        Experiments.run_flow ~scheme ?shift:shift_policy ~selection ~preflight ?jobs ?checkpoint
+          ~label:"cli" prep
+      with Failure msg when preflight ->
+        prerr_endline ("tvs: " ^ msg);
+        exit Cmd.Exit.some_error
     in
     print_stitch_summary prep scheme selection r
   in
   Cmd.v (Cmd.info "stitch" ~doc:"Run the stitched compression flow")
     Term.(
       const run $ obs_term $ cache_term $ circuit_arg $ scale_arg $ scheme_arg $ selection_arg
-      $ shift_arg $ jobs_arg $ checkpoint_file_arg $ checkpoint_every_arg)
+      $ shift_arg $ preflight_arg $ jobs_arg $ checkpoint_file_arg $ checkpoint_every_arg)
 
 let resume_cmd =
   let file_arg =
@@ -533,4 +671,4 @@ let () =
     Cmd.info "tvs" ~version:version_string
       ~doc:"Virtual test compression through test vector stitching (DATE 2003 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ stats_cmd; atpg_cmd; faultsim_cmd; stitch_cmd; resume_cmd; table_cmd; ablation_cmd; misr_cmd; comparison_cmd; diagnosis_cmd; randtest_cmd; export_cmd; fig1_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ stats_cmd; lint_cmd; atpg_cmd; faultsim_cmd; stitch_cmd; resume_cmd; table_cmd; ablation_cmd; misr_cmd; comparison_cmd; diagnosis_cmd; randtest_cmd; export_cmd; fig1_cmd ]))

@@ -27,6 +27,7 @@ type config = {
   stagnation_limit : int;
   max_targets_per_cycle : int;
   jobs : int option;
+  preflight : bool;
 }
 
 let default_config ~chain_len =
@@ -39,6 +40,7 @@ let default_config ~chain_len =
     stagnation_limit = 25;
     max_targets_per_cycle = 25;
     jobs = None;
+    preflight = false;
   }
 
 type cycle_log = {
@@ -140,6 +142,23 @@ let run ?config ?(fallback = [||]) ?resume ?checkpoint ~rng ctx ~faults =
   let c = Podem.circuit ctx in
   let chain_len = Circuit.num_flops c in
   let cfg = match config with Some cfg -> cfg | None -> default_config ~chain_len in
+  if cfg.preflight then begin
+    (* Cheap gate only (structural + constant propagation): an error-severity
+       finding means the netlist cannot produce a meaningful run, so fail
+       before any compute is invested. Warnings pass — several bundled
+       circuits legitimately warn (fig1 has no primary inputs). *)
+    let errs =
+      List.filter
+        (fun (d : Tvs_lint.Diagnostic.t) -> d.severity = Tvs_lint.Diagnostic.Error)
+        (Tvs_lint.Lint.preflight c)
+    in
+    match errs with
+    | [] -> ()
+    | first :: _ ->
+        failwith
+          (Printf.sprintf "preflight lint failed on %s: %d error(s), first: [%s] %s"
+             (Circuit.name c) (List.length errs) first.rule first.message)
+  end;
   let machine = Cycle.create ~scheme:cfg.scheme ?jobs:cfg.jobs c ~faults in
   let sim = Tvs_fault.Fault_sim.create ?jobs:cfg.jobs c in
   let hardness =

@@ -26,6 +26,12 @@ type config = {
       (** fault-simulation fan-out width; [None] defers to
           {!Tvs_util.Pool.default_jobs}. Results are bit-identical for every
           value — the knob trades wall-clock for cores only. *)
+  preflight : bool;
+      (** run the cheap lint gate ({!Tvs_lint.Lint.preflight}: structural +
+          constant propagation, no SAT) before the first cycle and raise
+          [Failure] on any error-severity finding. Off by default; has no
+          effect on the results of a run that passes, so it is excluded from
+          {!Tvs_store.Digest.config} and checkpoints stay compatible. *)
 }
 
 val default_config : chain_len:int -> config

@@ -44,7 +44,7 @@ let active_cache : Cache.t option ref = ref None
 let set_cache c = active_cache := c
 let cache () = !active_cache
 
-let config_for ?scheme ?shift ?selection ?jobs (prep : Prep.t) =
+let config_for ?scheme ?shift ?selection ?jobs ?preflight (prep : Prep.t) =
   let chain_len = Circuit.num_flops prep.circuit in
   let base = Engine.default_config ~chain_len in
   {
@@ -53,6 +53,7 @@ let config_for ?scheme ?shift ?selection ?jobs (prep : Prep.t) =
     shift = Option.value ~default:base.Engine.shift shift;
     selection = Option.value ~default:base.Engine.selection selection;
     jobs = (match jobs with Some _ -> jobs | None -> base.Engine.jobs);
+    preflight = Option.value ~default:base.Engine.preflight preflight;
   }
 
 let summary_kind = "EXPR"
@@ -76,11 +77,48 @@ let read_summary r =
   let peak_hidden = Wire.read_varint r in
   { atv; tv; ex; m; t; coverage; peak_hidden }
 
-let run_flow ?scheme ?shift ?selection ?jobs ?resume ?checkpoint ~label (prep : Prep.t) =
+(* Lint reports are cached like experiment summaries. The key digests the
+   circuit, the lint schema version, the options, and the source line table:
+   two digest-equal circuits can come from differently formatted .bench
+   files whose diagnostics cite different lines. *)
+let lint_kind = "LINT"
+
+let lint_report ?options ?lines c =
+  let compute () = Tvs_lint.Lint.run ?options ?lines c in
+  match !active_cache with
+  | None -> compute ()
+  | Some cache -> (
+      let opts = Option.value ~default:Tvs_lint.Lint.default_options options in
+      let key =
+        Store_digest.combine (Store_digest.circuit c)
+          (Store_digest.of_encoding (fun w ->
+               Wire.write_varint w Tvs_lint.Lint.schema_version;
+               Tvs_lint.Lint.encode_options w opts;
+               let entries =
+                 match lines with
+                 | None -> []
+                 | Some tbl ->
+                     List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+               in
+               Wire.write_list
+                 (fun w (k, v) ->
+                   Wire.write_string w k;
+                   Wire.write_varint w v)
+                 w entries))
+      in
+      match Cache.find cache ~kind:lint_kind ~key Tvs_lint.Lint.decode_report with
+      | Some r -> r
+      | None ->
+          let r = compute () in
+          Cache.store cache ~kind:lint_kind ~key (fun w -> Tvs_lint.Lint.encode_report w r);
+          r)
+
+let run_flow ?scheme ?shift ?selection ?jobs ?preflight ?resume ?checkpoint ~label
+    (prep : Prep.t) =
   Tvs_obs.Trace.with_span "flow"
     ~args:[ ("circuit", Circuit.name prep.Prep.circuit); ("label", label) ]
   @@ fun () ->
-  let config = config_for ?scheme ?shift ?selection ?jobs prep in
+  let config = config_for ?scheme ?shift ?selection ?jobs ?preflight prep in
   let key =
     Option.map
       (fun _ ->

@@ -28,16 +28,29 @@ val config_for :
   ?shift:Tvs_core.Policy.shift_policy ->
   ?selection:Tvs_core.Policy.selection ->
   ?jobs:int ->
+  ?preflight:bool ->
   Prep.t ->
   Tvs_core.Engine.config
 (** The exact engine configuration {!run_flow} would run with — exposed so
     the CLI can digest it for checkpoint metadata. *)
+
+val lint_report :
+  ?options:Tvs_lint.Lint.options ->
+  ?lines:(string, int) Hashtbl.t ->
+  Tvs_netlist.Circuit.t ->
+  Tvs_lint.Lint.report
+(** {!Tvs_lint.Lint.run} behind the result cache: when one is installed the
+    report is stored under kind ["LINT"], keyed by the circuit digest
+    combined with the lint schema version, the options and the source line
+    table — any change to the netlist, the rule set or the knobs recomputes
+    instead of replaying. *)
 
 val run_flow :
   ?scheme:Tvs_scan.Xor_scheme.t ->
   ?shift:Tvs_core.Policy.shift_policy ->
   ?selection:Tvs_core.Policy.selection ->
   ?jobs:int ->
+  ?preflight:bool ->
   ?resume:Tvs_core.Engine.snapshot ->
   ?checkpoint:int * (Tvs_core.Engine.snapshot -> unit) ->
   label:string ->
@@ -46,7 +59,10 @@ val run_flow :
 (** One stitched run on a prepared circuit, defaults: NXOR, variable shift,
     most-faults selection. [jobs] sets the fault-simulation fan-out width
     (default {!Tvs_util.Pool.default_jobs}); the summary is bit-identical
-    for every value. Exposed for the examples and the CLI.
+    for every value. [preflight] (default off) aborts with [Failure] on
+    error-severity lint findings before the engine starts; it never changes
+    the results of a run that passes, so cache keys and checkpoint digests
+    ignore it. Exposed for the examples and the CLI.
 
     When a cache is installed ({!set_cache}) and neither [resume] nor
     [checkpoint] is given, a prior identical run's summary is returned

@@ -1,0 +1,28 @@
+(** Dataflow lint passes (rules TVS-D001 .. TVS-D005).
+
+    {!constants} is three-valued constant propagation: every source (primary
+    input or flop Q) starts at X, constants at their value, and gates fold
+    through the Kleene tables — any net that still evaluates to 0 or 1 is
+    provably stuck for every input assignment. {!untestable} goes further on
+    a budget: it hands the hardest collapsed faults (SCOAP ordering) to the
+    SAT-based ATPG, whose [Untestable] answers are redundancy {e proofs}
+    (D004); budget-exhausted [Unknown] answers downgrade to info (D005). *)
+
+val values : Tvs_netlist.Circuit.t -> Tvs_logic.Ternary.t array
+(** The constant-propagation fixpoint, indexed by net. Exposed for tests. *)
+
+val constants :
+  ?lines:(string, int) Hashtbl.t -> Tvs_netlist.Circuit.t -> Diagnostic.t list
+(** D001 (gate output stuck at a constant), D002 (primary output constant
+    through logic — constant {e drivers} are structural N005), D003 (a
+    constant input to a gate whose output still varies). *)
+
+val untestable :
+  ?lines:(string, int) Hashtbl.t ->
+  max_faults:int ->
+  max_decisions:int ->
+  Tvs_netlist.Circuit.t ->
+  Diagnostic.t list
+(** SAT pass over at most [max_faults] collapsed faults, hardest first by
+    {!Tvs_atpg.Scoap.fault_hardness}, each with a [max_decisions] budget.
+    Deterministic: the fault order is a pure function of the circuit. *)

@@ -1,0 +1,252 @@
+module Circuit = Tvs_netlist.Circuit
+module Bench_format = Tvs_netlist.Bench_format
+module Json = Tvs_obs.Json
+module Metrics = Tvs_obs.Metrics
+module Trace = Tvs_obs.Trace
+module Table = Tvs_util.Table
+module Wire = Tvs_util.Wire
+
+let schema_version = 1
+
+let m_runs = Metrics.counter "lint.runs"
+let m_errors = Metrics.counter "lint.diagnostics.error"
+let m_warnings = Metrics.counter "lint.diagnostics.warning"
+let m_infos = Metrics.counter "lint.diagnostics.info"
+
+type options = {
+  rules : string list option;
+  sat_faults : int;
+  sat_decisions : int;
+  shift : int option;
+}
+
+let default_options = { rules = None; sat_faults = 32; sat_decisions = 2000; shift = None }
+
+type report = {
+  circuit : string;
+  nets : int;
+  diagnostics : Diagnostic.t list;
+  shift : int;
+  risk : Scan_lint.risk_row array;
+}
+
+let filter_rules rules diags =
+  match rules with
+  | None -> diags
+  | Some rs ->
+      List.filter
+        (fun (d : Diagnostic.t) -> List.exists (fun r -> Diagnostic.matches r ~rule:d.rule) rs)
+        diags
+
+let count r sev =
+  List.length (List.filter (fun (d : Diagnostic.t) -> d.severity = sev) r.diagnostics)
+
+let errors r = List.filter (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Error) r.diagnostics
+
+let failed ~fail_on r =
+  let threshold = Diagnostic.severity_rank fail_on in
+  List.exists
+    (fun (d : Diagnostic.t) -> Diagnostic.severity_rank d.severity >= threshold)
+    r.diagnostics
+
+let finish ~circuit ~nets ~shift ~risk options diags =
+  let diagnostics = filter_rules options.rules diags in
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      Metrics.incr
+        (match d.severity with
+        | Diagnostic.Error -> m_errors
+        | Diagnostic.Warning -> m_warnings
+        | Diagnostic.Info -> m_infos))
+    diagnostics;
+  { circuit; nets; diagnostics; shift; risk }
+
+(* The S004 hotspot: name the riskiest retained position so the headline
+   finding survives even when nobody reads the full table. *)
+let hotspot shift risk =
+  let best = ref None in
+  Array.iter
+    (fun (row : Scan_lint.risk_row) ->
+      if not row.emitted then
+        match !best with
+        | Some (b : Scan_lint.risk_row) when b.risk >= row.risk -> ()
+        | _ -> best := Some row)
+    risk;
+  match !best with
+  | None -> []
+  | Some row ->
+      [
+        Diagnostic.make ~rule:"TVS-S004" ~nets:[ row.cell ]
+          ~hint:"prefer larger shifts or XOR observation when targeting faults captured here"
+          (Printf.sprintf
+             "scan position %d (cell %s) has the highest hidden-fault risk (%d) under shift %d"
+             row.position row.cell row.risk shift);
+      ]
+
+let run ?(options = default_options) ?lines ?chain c =
+  Trace.with_span "lint" ~args:[ ("circuit", Circuit.name c) ] @@ fun () ->
+  Metrics.incr m_runs;
+  let structural = Structural.circuit_pass ?lines c in
+  let constants = Dataflow.constants ?lines c in
+  let sat =
+    if options.sat_faults > 0 then
+      Dataflow.untestable ?lines ~max_faults:options.sat_faults
+        ~max_decisions:options.sat_decisions c
+    else []
+  in
+  let chain_diags = Scan_lint.integrity ?chain ?lines c in
+  let chain_ok =
+    not
+      (List.exists (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Error) chain_diags)
+  in
+  let shift =
+    match options.shift with
+    | Some s -> max 1 (min s (max 1 (Circuit.num_flops c)))
+    | None -> Scan_lint.default_shift c
+  in
+  let risk =
+    if chain_ok && Circuit.num_flops c > 0 then Scan_lint.risk_table ?chain ~s:shift c
+    else [||]
+  in
+  let shift = if Array.length risk = 0 then 0 else shift in
+  let diags =
+    structural @ constants @ sat @ chain_diags @ hotspot shift risk
+  in
+  finish ~circuit:(Circuit.name c) ~nets:(Circuit.num_nets c) ~shift ~risk options diags
+
+let source_failure ?(options = default_options) ~name diags =
+  finish ~circuit:name ~nets:0 ~shift:0 ~risk:[||] options diags
+
+let run_source ?(options = default_options) ~name text =
+  match Bench_format.statements_of_string text with
+  | exception Bench_format.Parse_error (line, msg) ->
+      source_failure ~options ~name [ Diagnostic.make ~rule:"TVS-P001" ~line msg ]
+  | stmts -> (
+      let sdiags = Structural.source_pass stmts in
+      if List.exists (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Error) sdiags then
+        source_failure ~options ~name sdiags
+      else
+        let lines = Bench_format.line_of_net stmts in
+        match Bench_format.circuit_of_statements ~name stmts with
+        | c -> run ~options ~lines c
+        | exception Bench_format.Parse_error (line, msg) ->
+            (* Unreachable when [source_pass] is error-free; kept as a belt. *)
+            source_failure ~options ~name
+              (sdiags @ [ Diagnostic.make ~rule:"TVS-P001" ~line msg ])
+        | exception Circuit.Build_error msg ->
+            source_failure ~options ~name
+              (sdiags @ [ Diagnostic.make ~rule:"TVS-P001" msg ]))
+
+let preflight c = Structural.circuit_pass c @ Dataflow.constants c
+
+(* ---------- rendering ---------- *)
+
+let to_ascii r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "lint %s: %d nets, %d error(s), %d warning(s), %d info(s)\n" r.circuit
+       r.nets (count r Diagnostic.Error) (count r Diagnostic.Warning)
+       (count r Diagnostic.Info));
+  List.iter (fun d -> Buffer.add_string b ("  " ^ Diagnostic.to_ascii d ^ "\n")) r.diagnostics;
+  if Array.length r.risk > 0 then begin
+    Buffer.add_string b
+      (Printf.sprintf "hidden-fault risk under shift s=%d (tail cell %d is scan-out):\n" r.shift
+         (Array.length r.risk - 1));
+    let t =
+      Table.create [ "pos"; "cell"; "captures"; "exclusive"; "obs"; "emitted"; "risk" ]
+    in
+    Array.iter
+      (fun (row : Scan_lint.risk_row) ->
+        Table.add_row t
+          [
+            string_of_int row.position;
+            row.cell;
+            string_of_int row.captures;
+            string_of_int row.exclusive;
+            string_of_int row.observability;
+            (if row.emitted then "yes" else "no");
+            string_of_int row.risk;
+          ])
+      r.risk;
+    Buffer.add_string b (Table.render t);
+    Buffer.add_char b '\n'
+  end;
+  Buffer.contents b
+
+let risk_row_json (row : Scan_lint.risk_row) =
+  Json.Obj
+    [
+      ("position", Json.Int row.position);
+      ("cell", Json.Str row.cell);
+      ("captures", Json.Int row.captures);
+      ("exclusive", Json.Int row.exclusive);
+      ("observability", Json.Int row.observability);
+      ("emitted", Json.Bool row.emitted);
+      ("risk", Json.Int row.risk);
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema", Json.Int schema_version);
+      ("circuit", Json.Str r.circuit);
+      ("nets", Json.Int r.nets);
+      ( "summary",
+        Json.Obj
+          [
+            ("errors", Json.Int (count r Diagnostic.Error));
+            ("warnings", Json.Int (count r Diagnostic.Warning));
+            ("infos", Json.Int (count r Diagnostic.Info));
+          ] );
+      ("diagnostics", Json.Arr (List.map Diagnostic.to_json r.diagnostics));
+      ( "risk",
+        Json.Obj
+          [
+            ("shift", Json.Int r.shift);
+            ("positions", Json.Arr (Array.to_list (Array.map risk_row_json r.risk)));
+          ] );
+    ]
+
+let to_json_string r = Json.to_string (to_json r)
+
+(* ---------- wire form (result cache) ---------- *)
+
+let encode_options w o =
+  Wire.write_option (Wire.write_list Wire.write_string) w o.rules;
+  Wire.write_varint w o.sat_faults;
+  Wire.write_varint w o.sat_decisions;
+  Wire.write_option (fun w s -> Wire.write_varint w s) w o.shift
+
+let encode_risk_row w (row : Scan_lint.risk_row) =
+  Wire.write_varint w row.position;
+  Wire.write_string w row.cell;
+  Wire.write_varint w row.captures;
+  Wire.write_varint w row.exclusive;
+  Wire.write_varint w row.observability;
+  Wire.write_bool w row.emitted;
+  Wire.write_varint w row.risk
+
+let decode_risk_row r : Scan_lint.risk_row =
+  let position = Wire.read_varint r in
+  let cell = Wire.read_string r in
+  let captures = Wire.read_varint r in
+  let exclusive = Wire.read_varint r in
+  let observability = Wire.read_varint r in
+  let emitted = Wire.read_bool r in
+  let risk = Wire.read_varint r in
+  { position; cell; captures; exclusive; observability; emitted; risk }
+
+let encode_report w r =
+  Wire.write_string w r.circuit;
+  Wire.write_varint w r.nets;
+  Wire.write_list Diagnostic.encode w r.diagnostics;
+  Wire.write_varint w r.shift;
+  Wire.write_array encode_risk_row w r.risk
+
+let decode_report rd =
+  let circuit = Wire.read_string rd in
+  let nets = Wire.read_varint rd in
+  let diagnostics = Wire.read_list Diagnostic.decode rd in
+  let shift = Wire.read_varint rd in
+  let risk = Wire.read_array decode_risk_row rd in
+  { circuit; nets; diagnostics; shift; risk }

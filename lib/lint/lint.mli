@@ -1,0 +1,91 @@
+(** Rule-based static analysis for netlists, scan chains and hidden-fault
+    risk — the `tvs lint` engine.
+
+    Orchestrates the three pass families ({!Structural}, {!Dataflow},
+    {!Scan_lint}) into one {!report}: structured diagnostics (stable rule
+    ids, severities, net names, `.bench` line numbers, fix hints) plus the
+    per-scan-position hidden-fault-risk table. Rendering is ASCII for humans
+    and JSON for machines; both are deterministic functions of the inputs,
+    so CI can diff them across [--jobs] values. Counts land on the metrics
+    registry under [lint.*]. *)
+
+type options = {
+  rules : string list option;
+      (** keep only diagnostics whose rule id matches one of these ids or
+          id prefixes; [None] = all rules *)
+  sat_faults : int;  (** SAT untestability budget: at most this many faults; 0 disables *)
+  sat_decisions : int;  (** per-fault SAT decision budget *)
+  shift : int option;  (** shift size for the risk table; [None] = {!Scan_lint.default_shift} *)
+}
+
+val default_options : options
+(** All rules, 32 SAT faults at 2000 decisions each, default shift. *)
+
+type report = {
+  circuit : string;
+  nets : int;
+  diagnostics : Diagnostic.t list;  (** pass order, post rule-filter *)
+  shift : int;  (** the shift the risk table used; 0 when there is no chain *)
+  risk : Scan_lint.risk_row array;
+}
+
+val run :
+  ?options:options ->
+  ?lines:(string, int) Hashtbl.t ->
+  ?chain:Tvs_netlist.Circuit.net array ->
+  Tvs_netlist.Circuit.t ->
+  report
+(** Lint a built circuit. [lines] (from
+    {!Tvs_netlist.Bench_format.line_of_net}) attaches source lines; [chain]
+    overrides the scan order under test (default
+    {!Tvs_netlist.Circuit.flops}). The risk table is computed only when the
+    chain passes integrity without errors. *)
+
+val run_source : ?options:options -> name:string -> string -> report
+(** Lint `.bench` text. Statement-level defects a [Circuit.t] cannot
+    represent — syntax errors (P001), multiply-driven nets (N010), undefined
+    references (N009), combinational cycles (N001) — are reported with line
+    numbers instead of raising; when the source is build-clean this is
+    {!run} with the line table attached. *)
+
+val preflight : Tvs_netlist.Circuit.t -> Diagnostic.t list
+(** The cheap gate for {!Tvs_core.Engine}: structural and
+    constant-propagation passes only (no SAT, no risk table). *)
+
+val errors : report -> Diagnostic.t list
+val count : report -> Diagnostic.severity -> int
+
+val failed : fail_on:Diagnostic.severity -> report -> bool
+(** Any diagnostic at or above the threshold severity. *)
+
+val to_ascii : report -> string
+(** Summary line, one line per diagnostic, then the risk table (when a
+    chain exists). Ends with a newline. *)
+
+val to_json : report -> Tvs_obs.Json.t
+(** Schema (also enforced by `validate_report --lint`):
+    {v
+    { "schema": 1, "circuit": str, "nets": int,
+      "summary": {"errors": int, "warnings": int, "infos": int},
+      "diagnostics": [ {"rule": "TVS-...", "severity": "error|warning|info",
+                        "message": str, "nets": [str], "line": int|null,
+                        "hint": str|null} ],
+      "risk": {"shift": int,
+               "positions": [ {"position": int, "cell": str, "captures": int,
+                               "exclusive": int, "observability": int,
+                               "emitted": bool, "risk": int} ]} }
+    v} *)
+
+val to_json_string : report -> string
+
+val schema_version : int
+(** Version of both the JSON schema above and the wire encoding; bump on
+    any rule-set or format change so cached reports never go stale. *)
+
+val encode_options : Tvs_util.Wire.writer -> options -> unit
+(** Canonical encoding of everything in [options] that affects the report —
+    cache-key material for {!Tvs_harness.Experiments}. *)
+
+val encode_report : Tvs_util.Wire.writer -> report -> unit
+val decode_report : Tvs_util.Wire.reader -> report
+(** Raises [Tvs_util.Wire.Error] on malformed input. *)

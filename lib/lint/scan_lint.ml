@@ -1,0 +1,175 @@
+module Circuit = Tvs_netlist.Circuit
+module Gate = Tvs_netlist.Gate
+module Scoap = Tvs_atpg.Scoap
+
+type risk_row = {
+  position : int;
+  cell : string;
+  captures : int;
+  exclusive : int;
+  observability : int;
+  emitted : bool;
+  risk : int;
+}
+
+let line_of lines nm = Option.bind lines (fun tbl -> Hashtbl.find_opt tbl nm)
+
+let integrity ?chain ?lines c =
+  let chain = Option.value ~default:(Circuit.flops c) chain in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let seen = Hashtbl.create 16 in
+  Array.iteri
+    (fun i q ->
+      let nm = Circuit.net_name c q in
+      (match Circuit.driver c q with
+      | Circuit.Flip_flop _ -> ()
+      | _ ->
+          add
+            (Diagnostic.make ~rule:"TVS-S001" ~nets:[ nm ] ?line:(line_of lines nm)
+               ~hint:"only flip-flop Q nets can be stitched into the chain"
+               (Printf.sprintf "scan position %d is net %s, which is not a flip-flop" i nm)));
+      match Hashtbl.find_opt seen q with
+      | Some first ->
+          add
+            (Diagnostic.make ~rule:"TVS-S002" ~nets:[ nm ] ?line:(line_of lines nm)
+               ~hint:"a cell can hold one value; a repeated entry shadows the first"
+               (Printf.sprintf "cell %s appears at scan positions %d and %d" nm first i))
+      | None -> Hashtbl.add seen q i)
+    chain;
+  Array.iter
+    (fun q ->
+      if not (Hashtbl.mem seen q) then
+        let nm = Circuit.net_name c q in
+        add
+          (Diagnostic.make ~rule:"TVS-S003" ~nets:[ nm ] ?line:(line_of lines nm)
+             ~hint:"faults captured into an off-chain cell are never shifted out"
+             (Printf.sprintf "flip-flop %s is not on the scan chain" nm)))
+    (Circuit.flops c);
+  List.rev !diags
+
+let default_shift c =
+  let l = Circuit.num_flops c in
+  if l = 0 then 0 else max 1 (l / 4)
+
+(* Constants of the documented risk formula (DESIGN.md §8). *)
+let defer_penalty = 8
+let obs_cap = 50
+let exclusive_weight = 3
+
+let unreachable = Scoap.unreachable
+let sat_add a b = let s = a + b in if s < 0 || s > unreachable then unreachable else s
+
+(* Transitive combinational fanin of [root] (the support), as visited net
+   ids: the root, every gate net feeding it, and the PI/Q/const sources.
+   Stamp-based so the per-cell sweeps reuse one array. *)
+let support c stamp cur root =
+  incr cur;
+  let acc = ref [] in
+  let todo = ref [ root ] in
+  while !todo <> [] do
+    match !todo with
+    | [] -> ()
+    | x :: rest ->
+        todo := rest;
+        if stamp.(x) <> !cur then begin
+          stamp.(x) <- !cur;
+          acc := x :: !acc;
+          match Circuit.driver c x with
+          | Circuit.Gate_node (_, ins) -> Array.iter (fun i -> todo := i :: !todo) ins
+          | _ -> ()
+        end
+  done;
+  !acc
+
+(* Chain-aware SCOAP observability: the standard reverse CO sweep, except
+   that only primary outputs and the emitted tail cells observe for free —
+   capturing into a retained cell defers observation by at least one more
+   cycle and costs [defer_penalty]. Off-chain flops observe nothing. *)
+let chain_aware_co c guide ~chain ~emitted =
+  let n = Circuit.num_nets c in
+  let co = Array.make n unreachable in
+  let better net v = if v < co.(net) then co.(net) <- v in
+  Array.iter (fun po -> better po 0) (Circuit.outputs c);
+  Array.iteri
+    (fun i q ->
+      match Circuit.driver c q with
+      | Circuit.Flip_flop d -> better d (if emitted i then 0 else defer_penalty)
+      | _ -> ())
+    chain;
+  let order = Circuit.topo_order c in
+  for k = Array.length order - 1 downto 0 do
+    let net = order.(k) in
+    if co.(net) < unreachable then
+      match Circuit.driver c net with
+      | Circuit.Gate_node (kind, ins) ->
+          let side j =
+            match kind with
+            | Gate.And | Gate.Nand -> Scoap.cc1 guide ins.(j)
+            | Gate.Or | Gate.Nor -> Scoap.cc0 guide ins.(j)
+            | Gate.Xor | Gate.Xnor -> min (Scoap.cc0 guide ins.(j)) (Scoap.cc1 guide ins.(j))
+            | Gate.Not | Gate.Buf -> 0
+          in
+          let m = Array.length ins in
+          for i = 0 to m - 1 do
+            let cost = ref (sat_add co.(net) 1) in
+            for j = 0 to m - 1 do
+              if j <> i then cost := sat_add !cost (side j)
+            done;
+            better ins.(i) !cost
+          done
+      | _ -> ()
+  done;
+  co
+
+let risk_table ?chain ~s c =
+  let chain = Option.value ~default:(Circuit.flops c) chain in
+  let len = Array.length chain in
+  if len = 0 then [||]
+  else begin
+    let s = max 1 (min s len) in
+    let emitted i = i >= len - s in
+    let nets = Circuit.num_nets c in
+    let stamp = Array.make nets 0 in
+    let cur = ref 0 in
+    let supports =
+      Array.map
+        (fun q ->
+          match Circuit.driver c q with
+          | Circuit.Flip_flop d -> support c stamp cur d
+          | _ -> [])
+        chain
+    in
+    (* Nets a fault effect can surface through without this cell: the
+       transitive fanin of every primary output and of every emitted cell. *)
+    let elsewhere = Array.make nets false in
+    let mark root = List.iter (fun x -> elsewhere.(x) <- true) (support c stamp cur root) in
+    Array.iter mark (Circuit.outputs c);
+    Array.iteri
+      (fun i q ->
+        if emitted i then
+          match Circuit.driver c q with Circuit.Flip_flop d -> mark d | _ -> ())
+      chain;
+    let guide = Scoap.compute c in
+    let co = chain_aware_co c guide ~chain ~emitted in
+    Array.mapi
+      (fun i q ->
+        let sup = supports.(i) in
+        let captures = List.length sup in
+        let exclusive = List.length (List.filter (fun x -> not elsewhere.(x)) sup) in
+        let observability = min co.(q) obs_cap in
+        let risk =
+          if emitted i then 0
+          else captures + (exclusive_weight * exclusive) + observability
+        in
+        {
+          position = i;
+          cell = Circuit.net_name c q;
+          captures;
+          exclusive;
+          observability;
+          emitted = emitted i;
+          risk;
+        })
+      chain
+  end

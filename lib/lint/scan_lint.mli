@@ -1,0 +1,59 @@
+(** Scan-chain lint passes (rules TVS-S001 .. TVS-S004) and the per-position
+    hidden-fault-risk table.
+
+    The chain follows the project convention ({!Tvs_netlist.Circuit.flops}):
+    cell 0 is the scan-in head, cell L-1 the scan-out tail, and a shift of
+    [s] emits exactly the last [s] cells. A fault whose effect is captured
+    only into non-emitted cells is {e hidden} — the paper's central event —
+    so which positions are likely to hide faults is statically predictable.
+
+    The documented risk score for position [i] under shift [s] (see DESIGN.md
+    §8 for the rationale and constants):
+    {v
+      risk(i) = 0                                          if i >= L - s
+              = captures(i) + 3*exclusive(i) + obs(i)      otherwise
+    v}
+    where [captures(i)] is the size of the combinational support of cell
+    [i]'s D net (how much logic funnels faults into the cell),
+    [exclusive(i)] counts the support nets observable {e nowhere else} (no
+    primary output and no emitted cell sees them — a fault there can only
+    ever surface through this cell), and [obs(i)] is a chain-aware SCOAP
+    observability of the cell's Q net, capped at 50: the CO sweep in which
+    only primary outputs and emitted cells are free observation points while
+    capturing into a non-emitted cell costs a deferred-observation penalty
+    of 8. Higher risk = more likely to hide faults, and for longer. *)
+
+type risk_row = {
+  position : int;
+  cell : string;  (** Q-net name of the scan cell *)
+  captures : int;
+  exclusive : int;
+  observability : int;  (** chain-aware CO of the Q net, capped at 50 *)
+  emitted : bool;  (** position is within the emitted tail under [s] *)
+  risk : int;
+}
+
+val integrity :
+  ?chain:Tvs_netlist.Circuit.net array ->
+  ?lines:(string, int) Hashtbl.t ->
+  Tvs_netlist.Circuit.t ->
+  Diagnostic.t list
+(** S001 (a chain entry whose driver is not a flip-flop), S002 (the same
+    cell listed twice), S003 (a flip-flop of the circuit absent from the
+    chain). [chain] defaults to {!Tvs_netlist.Circuit.flops} — the order
+    every other layer uses — and exists so tests and future re-ordering
+    experiments can lint candidate chains. *)
+
+val default_shift : Tvs_netlist.Circuit.t -> int
+(** The shift size the risk table assumes when the caller gives none:
+    [max 1 (L/4)], the lower end of the paper's variable-shift sweep, where
+    hiding pressure is highest. 0 when the circuit has no flops. *)
+
+val risk_table :
+  ?chain:Tvs_netlist.Circuit.net array ->
+  s:int ->
+  Tvs_netlist.Circuit.t ->
+  risk_row array
+(** One row per chain position, in chain order. [s] is clamped to
+    [1 .. L]. Empty when the chain is empty; call only on chains that pass
+    {!integrity} without errors. *)

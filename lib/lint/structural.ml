@@ -1,0 +1,218 @@
+module Circuit = Tvs_netlist.Circuit
+module Bench_format = Tvs_netlist.Bench_format
+module Validate = Tvs_netlist.Validate
+
+(* Iterative Tarjan: the benchmark giants have tens of thousands of gates in
+   a chain, so a recursive DFS would overflow the stack exactly on the inputs
+   that matter. *)
+let cyclic_sccs (adj : int list array) =
+  let n = Array.length adj in
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let self_loop = Array.make n false in
+  Array.iteri (fun u vs -> if List.mem u vs then self_loop.(u) <- true) adj;
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let visit root =
+    let call = Stack.create () in
+    let open_node u =
+      index.(u) <- !counter;
+      low.(u) <- !counter;
+      incr counter;
+      stack := u :: !stack;
+      on_stack.(u) <- true;
+      Stack.push (u, ref adj.(u)) call
+    in
+    open_node root;
+    while not (Stack.is_empty call) do
+      let u, succs = Stack.top call in
+      match !succs with
+      | v :: rest ->
+          succs := rest;
+          if index.(v) < 0 then open_node v
+          else if on_stack.(v) then low.(u) <- min low.(u) index.(v)
+      | [] ->
+          ignore (Stack.pop call);
+          (match Stack.top_opt call with
+          | Some (p, _) -> low.(p) <- min low.(p) low.(u)
+          | None -> ());
+          if low.(u) = index.(u) then begin
+            let rec pop acc =
+              match !stack with
+              | v :: rest ->
+                  stack := rest;
+                  on_stack.(v) <- false;
+                  if v = u then v :: acc else pop (v :: acc)
+              | [] -> acc
+            in
+            let comp = pop [] in
+            if List.length comp > 1 || self_loop.(u) then out := comp :: !out
+          end
+    done
+  in
+  for u = 0 to n - 1 do
+    if index.(u) < 0 then visit u
+  done;
+  List.rev !out
+
+(* ---------- statement-level pass ---------- *)
+
+let statement_target = function
+  | Bench_format.St_input nm | Bench_format.St_dff (nm, _) | Bench_format.St_gate (nm, _, _) ->
+      Some nm
+  | Bench_format.St_output _ -> None
+
+let source_pass numbered =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (* N010: a net defined more than once (and duplicate OUTPUT lines, which
+     would silently duplicate the observation). *)
+  let defined_at = Hashtbl.create 64 in
+  let output_at = Hashtbl.create 16 in
+  List.iter
+    (fun (lineno, st) ->
+      let dup tbl what nm =
+        match Hashtbl.find_opt tbl nm with
+        | Some first ->
+            add
+              (Diagnostic.make ~rule:"TVS-N010" ~nets:[ nm ] ~line:lineno
+                 ~hint:"delete or rename one of the definitions"
+                 (Printf.sprintf "duplicate %s of net %S (first defined at line %d)" what nm
+                    first))
+        | None -> Hashtbl.add tbl nm lineno
+      in
+      match st with
+      | Bench_format.St_output nm -> dup output_at "OUTPUT declaration" nm
+      | st -> Option.iter (dup defined_at "definition") (statement_target st))
+    numbered;
+  (* N009: references to names no statement defines. One diagnostic per
+     missing name, at its first use. *)
+  let reported = Hashtbl.create 16 in
+  let reference lineno ~by nm =
+    if (not (Hashtbl.mem defined_at nm)) && not (Hashtbl.mem reported nm) then begin
+      Hashtbl.add reported nm ();
+      add
+        (Diagnostic.make ~rule:"TVS-N009" ~nets:[ nm ] ~line:lineno
+           ~hint:"add an INPUT, DFF or gate definition for the net"
+           (Printf.sprintf "net %S is referenced by %s but never defined" nm by))
+    end
+  in
+  List.iter
+    (fun (lineno, st) ->
+      match st with
+      | Bench_format.St_input _ -> ()
+      | Bench_format.St_output nm -> reference lineno ~by:"an OUTPUT declaration" nm
+      | Bench_format.St_dff (q, d) -> reference lineno ~by:(Printf.sprintf "flop %S" q) d
+      | Bench_format.St_gate (g, _, ins) ->
+          List.iter (reference lineno ~by:(Printf.sprintf "gate %S" g)) ins)
+    numbered;
+  (* N001: cycles through gate definitions. Flip-flops break combinational
+     paths, so only gate-target -> gate-target edges count. *)
+  let gates =
+    List.filter_map
+      (function
+        | lineno, Bench_format.St_gate (nm, _, ins) -> Some (lineno, nm, ins) | _ -> None)
+      numbered
+  in
+  let gate_ids = Hashtbl.create 64 in
+  List.iteri (fun i (_, nm, _) -> if not (Hashtbl.mem gate_ids nm) then Hashtbl.add gate_ids nm i) gates;
+  let garr = Array.of_list gates in
+  let adj =
+    Array.map
+      (fun (_, _, ins) -> List.filter_map (Hashtbl.find_opt gate_ids) ins)
+      garr
+  in
+  (* Edge direction fanin -> target for the SCC walk. [adj] above maps target
+     -> fanins; cycles are direction-independent, so it works as-is. *)
+  List.iter
+    (fun comp ->
+      let names = List.map (fun i -> let _, nm, _ = garr.(i) in nm) comp in
+      let first_line =
+        List.fold_left (fun acc i -> let l, _, _ = garr.(i) in min acc l) max_int comp
+      in
+      add
+        (Diagnostic.make ~rule:"TVS-N001" ~nets:names ~line:first_line
+           ~hint:"break the loop with a flip-flop or remove the feedback"
+           (Printf.sprintf "combinational cycle: %s -> %s"
+              (String.concat " -> " names) (List.hd names))))
+    (cyclic_sccs adj);
+  List.rev !diags
+
+(* ---------- circuit-level pass ---------- *)
+
+let line_of lines nm = Option.bind lines (fun tbl -> Hashtbl.find_opt tbl nm)
+
+let of_validate_issue c lines issue =
+  let mk ?nets ?hint rule msg =
+    let line = match nets with Some (nm :: _) -> line_of lines nm | _ -> None in
+    Diagnostic.make ?nets ?line ?hint ~rule msg
+  in
+  let name n = Circuit.net_name c n in
+  match issue with
+  | Validate.No_inputs ->
+      mk "TVS-N002" "circuit has no primary inputs"
+        ~hint:"every stimulus must come through the scan chain"
+  | Validate.No_observation_points ->
+      mk "TVS-N003" "circuit has no outputs and no flip-flops"
+        ~hint:"mark at least one OUTPUT or add scan cells"
+  | Validate.Dangling_net n ->
+      mk "TVS-N004" ~nets:[ name n ]
+        (Printf.sprintf "net %s drives nothing and is not an output" (name n))
+        ~hint:"remove the dead logic or declare the net as an OUTPUT"
+  | Validate.Undriven_output n ->
+      mk "TVS-N005" ~nets:[ name n ]
+        (Printf.sprintf "output %s is driven by a constant" (name n))
+  | Validate.Trivial_gate n ->
+      mk "TVS-N006" ~nets:[ name n ]
+        (Printf.sprintf "gate %s has a single input but is not a buffer/inverter" (name n))
+        ~hint:"use BUFF or NOT"
+  | Validate.Repeated_fanin (g, f) ->
+      mk "TVS-N007" ~nets:[ name g; name f ]
+        (Printf.sprintf "gate %s lists net %s more than once in its fanin" (name g) (name f))
+        ~hint:"deduplicate the fanin list"
+
+let circuit_pass ?lines c =
+  let diags = List.map (of_validate_issue c lines) (Validate.check c) in
+  (* N008: logic whose value can never reach a primary output or a scan
+     capture point. [cone_rep] already runs the reverse cone sweep and marks
+     such nets with [max_int]; dangling nets (fanout 0) are N004's. *)
+  let unobservable = ref [] in
+  for n = Circuit.num_nets c - 1 downto 0 do
+    if
+      Circuit.cone_rep c n = max_int
+      && Array.length (Circuit.fanout c n) > 0
+      && not (Circuit.is_output c n)
+    then
+      unobservable :=
+        (let nm = Circuit.net_name c n in
+         Diagnostic.make ~rule:"TVS-N008" ~nets:[ nm ] ?line:(line_of lines nm)
+           ~hint:"the downstream logic is dead; remove it or observe it"
+           (Printf.sprintf "net %s cannot reach any output or scan cell" nm))
+        :: !unobservable
+  done;
+  (* N001, defensively: [Builder.finish] and [Circuit.decode] both force a
+     topological order, so a cyclic [Circuit.t] cannot normally exist — but
+     the check is O(V+E) and makes the pass self-contained. *)
+  let n = Circuit.num_nets c in
+  let adj =
+    Array.init n (fun v ->
+        match Circuit.driver c v with
+        | Circuit.Gate_node (_, ins) ->
+            Array.to_list ins
+            |> List.filter (fun u ->
+                   match Circuit.driver c u with Circuit.Gate_node _ -> true | _ -> false)
+        | _ -> [])
+  in
+  let cycles =
+    List.map
+      (fun comp ->
+        let names = List.map (Circuit.net_name c) comp in
+        Diagnostic.make ~rule:"TVS-N001" ~nets:names
+          ~hint:"break the loop with a flip-flop or remove the feedback"
+          (Printf.sprintf "combinational cycle: %s -> %s" (String.concat " -> " names)
+             (List.hd names)))
+      (cyclic_sccs adj)
+  in
+  cycles @ diags @ !unobservable

@@ -1,0 +1,32 @@
+(** Structural lint passes (rules TVS-N001 .. TVS-N010).
+
+    Two entry points, because the two representations can express different
+    defects. [Circuit.Builder] rejects undefined references and forces a
+    topological order, so undriven nets (N009), multiply-driven nets (N010)
+    and combinational cycles (N001) can only be observed at the `.bench`
+    statement level — {!source_pass} finds them there, with line numbers,
+    before any build is attempted. Everything expressible on a built
+    {!Tvs_netlist.Circuit.t} — including every rule of the legacy
+    {!Tvs_netlist.Validate} checker — comes from {!circuit_pass}. *)
+
+val source_pass : (int * Tvs_netlist.Bench_format.statement) list -> Diagnostic.t list
+(** Statement-level checks on numbered statements (as returned by
+    {!Tvs_netlist.Bench_format.statements_of_string}): multiply-driven nets
+    and duplicate OUTPUT declarations (N010), references to undefined nets
+    (N009), and combinational cycles through gate definitions (N001, with
+    the cycle path in the message). An empty error set guarantees
+    {!Tvs_netlist.Bench_format.circuit_of_statements} succeeds. *)
+
+val circuit_pass :
+  ?lines:(string, int) Hashtbl.t -> Tvs_netlist.Circuit.t -> Diagnostic.t list
+(** Checks on a built circuit: the {!Tvs_netlist.Validate} rules mapped to
+    N002..N007, logic that cannot reach any primary output or scan cell
+    (N008, via the reverse cone sweep behind
+    {!Tvs_netlist.Circuit.cone_rep}), and a defensive N001 cycle check.
+    [lines] (from {!Tvs_netlist.Bench_format.line_of_net}) attaches source
+    lines to net-located findings. *)
+
+val cyclic_sccs : int list array -> int list list
+(** Strongly connected components of the adjacency list that contain a cycle
+    (size > 1, or a single node with a self-edge), via iterative Tarjan —
+    safe on graphs deeper than the OCaml stack. Exposed for tests. *)

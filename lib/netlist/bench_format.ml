@@ -76,14 +76,27 @@ let parse_statement lineno line =
               List.iter (check_ident lineno) args;
               Some (St_gate (target, kind, args))
 
-let parse_string ~name text =
+let statements_of_string text =
   let statements = ref [] in
   String.split_on_char '\n' text
   |> List.iteri (fun i line ->
          match parse_statement (i + 1) line with
          | Some st -> statements := (i + 1, st) :: !statements
          | None -> ());
-  let numbered = List.rev !statements in
+  List.rev !statements
+
+let line_of_net numbered =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (lineno, st) ->
+      match st with
+      | St_input nm | St_dff (nm, _) | St_gate (nm, _, _) ->
+          if not (Hashtbl.mem tbl nm) then Hashtbl.add tbl nm lineno
+      | St_output _ -> ())
+    numbered;
+  tbl
+
+let circuit_of_statements ~name numbered =
   (* Pass 0: reject duplicate definitions up front, with both line numbers.
      Without this, the second definition of a net would either silently race
      pass 2's fixpoint or surface as a context-free [Build_error]; a net is
@@ -105,60 +118,76 @@ let parse_string ~name text =
           check_dup defined_at "definition" nm
       | St_output nm -> check_dup output_at "OUTPUT declaration" nm)
     numbered;
-  let statements = List.map snd numbered in
   let b = Circuit.Builder.create name in
   (* Pass 1: declare inputs and flip-flops (forward), recording definitions. *)
   let defined = Hashtbl.create 64 in
   let declare nm net = Hashtbl.replace defined nm net in
   List.iter
-    (function
+    (fun (_, st) ->
+      match st with
       | St_input nm -> declare nm (Circuit.Builder.input b nm)
       | St_dff (q, _) -> declare q (Circuit.Builder.flop_forward b q)
       | St_output _ | St_gate _ -> ())
-    statements;
+    numbered;
   (* Pass 2: create gates in dependency order (gates may reference later
      gates only through flip-flops in well-formed .bench files, but some
      files do order gates arbitrarily, so iterate until fixpoint). *)
   let gates_left =
     ref
-      (List.filter_map (function St_gate (nm, k, ins) -> Some (nm, k, ins) | St_input _ | St_output _ | St_dff _ -> None) statements)
+      (List.filter_map
+         (function
+           | lineno, St_gate (nm, k, ins) -> Some (lineno, nm, k, ins)
+           | _, (St_input _ | St_output _ | St_dff _) -> None)
+         numbered)
   in
   let progress = ref true in
   while !gates_left <> [] && !progress do
     progress := false;
     let deferred = ref [] in
     List.iter
-      (fun (nm, kind, ins) ->
+      (fun ((_, nm, kind, ins) as g) ->
         if List.for_all (Hashtbl.mem defined) ins then begin
           let fanins = List.map (Hashtbl.find defined) ins in
           declare nm (Circuit.Builder.gate b ~name:nm kind fanins);
           progress := true
         end
-        else deferred := (nm, kind, ins) :: !deferred)
+        else deferred := g :: !deferred)
       !gates_left;
     gates_left := List.rev !deferred
   done;
   (match !gates_left with
   | [] -> ()
-  | (nm, _, ins) :: _ ->
+  | (lineno, nm, _, ins) :: _ as stalled ->
+      (* A stalled fixpoint is either a reference to a name nothing defines,
+         or gates defining each other in a combinational cycle — tell them
+         apart so the error names the real problem. *)
       let missing = List.filter (fun i -> not (Hashtbl.mem defined i)) ins in
-      raise
-        (Circuit.Build_error
-           (Printf.sprintf "gate %s references undefined net(s): %s" nm (String.concat ", " missing))));
+      let undeclared = List.filter (fun i -> not (Hashtbl.mem defined_at i)) missing in
+      if undeclared <> [] then
+        fail lineno
+          (Printf.sprintf "gate %s references undefined net(s): %s" nm
+             (String.concat ", " undeclared))
+      else
+        fail lineno
+          (Printf.sprintf "combinational cycle through gate(s): %s"
+             (String.concat ", " (List.map (fun (_, g, _, _) -> g) stalled))));
   (* Pass 3: resolve flip-flop data nets and outputs. *)
   List.iter
-    (function
+    (fun (lineno, st) ->
+      match st with
       | St_dff (q, d) -> (
           match Hashtbl.find_opt defined d with
           | Some dnet -> Circuit.Builder.connect_flop b (Hashtbl.find defined q) dnet
-          | None -> raise (Circuit.Build_error (Printf.sprintf "flop %s references undefined net %s" q d)))
+          | None -> fail lineno (Printf.sprintf "flop %s references undefined net %s" q d))
       | St_output nm -> (
           match Hashtbl.find_opt defined nm with
           | Some net -> Circuit.Builder.mark_output b net
-          | None -> raise (Circuit.Build_error ("OUTPUT references undefined net " ^ nm)))
+          | None -> fail lineno ("OUTPUT references undefined net " ^ nm))
       | St_input _ | St_gate _ -> ())
-    statements;
+    numbered;
   Circuit.Builder.finish b
+
+let parse_string ~name text = circuit_of_statements ~name (statements_of_string text)
 
 let parse_file path =
   let ic = open_in path in

@@ -14,12 +14,37 @@
 exception Parse_error of int * string
 (** Line number (1-based) and message. *)
 
+(** One parsed statement. Exposed (with {!statements_of_string}) so the lint
+    layer can analyse defects a built {!Circuit.t} cannot represent —
+    multiply-driven nets, undefined references, combinational cycles — at
+    the source level, with line numbers. *)
+type statement =
+  | St_input of string
+  | St_output of string
+  | St_dff of string * string  (** (Q net, data net) *)
+  | St_gate of string * Gate.kind * string list  (** (target, kind, fanins) *)
+
+val statements_of_string : string -> (int * statement) list
+(** Tokenize and parse, statement per non-empty line, each paired with its
+    1-based line number. Raises [Parse_error] on malformed syntax only
+    (unknown keywords, bad arity, bad characters); cross-statement
+    consistency is {!circuit_of_statements}'s job. *)
+
+val line_of_net : (int * statement) list -> (string, int) Hashtbl.t
+(** Net name → line of its first definition (INPUT, DFF target or gate
+    target). The table lint diagnostics use to cite source lines. *)
+
+val circuit_of_statements : name:string -> (int * statement) list -> Circuit.t
+(** Build the circuit. Raises [Parse_error] — always carrying the offending
+    line — on duplicate definitions and duplicate OUTPUT declarations (with
+    both line numbers in the message), on references to undefined nets
+    (from a gate, a DFF data pin or an OUTPUT), and on combinational cycles
+    through gate definitions. *)
+
 val parse_string : name:string -> string -> Circuit.t
-(** Raises [Parse_error] on malformed input — including a duplicate
-    definition of a net (by INPUT, a DFF target or a gate target) or a
-    duplicate OUTPUT declaration, reported with both line numbers — and
-    [Circuit.Build_error] on structural violations (undefined nets,
-    combinational cycles). *)
+(** [circuit_of_statements ~name (statements_of_string text)]: every
+    malformed input, including undefined nets and combinational cycles,
+    raises [Parse_error] with its source line. *)
 
 val parse_file : string -> Circuit.t
 (** Circuit name is the file's basename without extension. *)

@@ -4,6 +4,7 @@ type issue =
   | No_inputs
   | No_observation_points
   | Trivial_gate of Circuit.net
+  | Repeated_fanin of Circuit.net * Circuit.net
 
 let pp_issue c fmt = function
   | Dangling_net n -> Format.fprintf fmt "net %s drives nothing and is not an output" (Circuit.net_name c n)
@@ -11,6 +12,9 @@ let pp_issue c fmt = function
   | No_inputs -> Format.fprintf fmt "circuit has no primary inputs"
   | No_observation_points -> Format.fprintf fmt "circuit has no outputs and no flip-flops"
   | Trivial_gate n -> Format.fprintf fmt "gate %s has a single input but is not a buffer/inverter" (Circuit.net_name c n)
+  | Repeated_fanin (g, f) ->
+      Format.fprintf fmt "gate %s lists net %s more than once in its fanin" (Circuit.net_name c g)
+        (Circuit.net_name c f)
 
 let check c =
   let issues = ref [] in
@@ -24,7 +28,21 @@ let check c =
           match kind with
           | Gate.And | Gate.Or | Gate.Nand | Gate.Nor -> add (Trivial_gate net)
           | Gate.Xor | Gate.Xnor | Gate.Not | Gate.Buf -> ()
-        end
+        end;
+        (* One report per gate: the first net that appears twice. A repeated
+           fanin is degenerate (AND(a,a) = a) or cancelling (XOR(a,a) = 0)
+           and usually a netlist-generation bug. *)
+        (try
+           let m = Array.length ins in
+           for i = 0 to m - 1 do
+             for j = i + 1 to m - 1 do
+               if ins.(i) = ins.(j) then begin
+                 add (Repeated_fanin (net, ins.(i)));
+                 raise Exit
+               end
+             done
+           done
+         with Exit -> ())
     | Circuit.Const _ -> if Circuit.is_output c net then add (Undriven_output net)
     | Circuit.Primary_input | Circuit.Flip_flop _ -> ());
     if Array.length (Circuit.fanout c net) = 0 && not (Circuit.is_output c net) then

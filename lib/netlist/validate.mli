@@ -2,7 +2,13 @@
 
     [Circuit.Builder] already guarantees well-formed references and acyclic
     combinational logic; this module adds the checks a DFT flow cares about
-    before investing compute in a netlist. *)
+    before investing compute in a netlist.
+
+    This is the dependency-light compatibility layer: the full rule-based
+    analyser ([Tvs_lint], `tvs lint`) subsumes every issue here — mapping
+    them to its stable rule ids TVS-N002..N007 — and adds source-level,
+    dataflow and scan-chain rules on top. [check]/[is_clean] keep their
+    historical signatures for callers below the lint layer. *)
 
 type issue =
   | Dangling_net of Circuit.net  (** drives nothing and is not an output *)
@@ -10,6 +16,9 @@ type issue =
   | No_inputs
   | No_observation_points  (** neither outputs nor flip-flops *)
   | Trivial_gate of Circuit.net  (** single-input AND/OR family gate *)
+  | Repeated_fanin of Circuit.net * Circuit.net
+      (** (gate, net): the gate lists the net more than once — degenerate
+          (AND(a,a)) or cancelling (XOR(a,a)) *)
 
 val pp_issue : Circuit.t -> Format.formatter -> issue -> unit
 

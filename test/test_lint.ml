@@ -1,0 +1,394 @@
+(* tvs_lint: rule catalog, the three pass families, the risk table, the
+   renderers and the engine preflight gate. Ground truth is exhaustive
+   where the circuit is small enough (the SAT cross-check simulates every
+   input assignment) and property-based elsewhere. *)
+
+module Circuit = Tvs_netlist.Circuit
+module Gate = Tvs_netlist.Gate
+module Bench_format = Tvs_netlist.Bench_format
+module Validate = Tvs_netlist.Validate
+module Fault = Tvs_fault.Fault
+module Fault_gen = Tvs_fault.Fault_gen
+module Fault_sim = Tvs_fault.Fault_sim
+module Diagnostic = Tvs_lint.Diagnostic
+module Structural = Tvs_lint.Structural
+module Dataflow = Tvs_lint.Dataflow
+module Scan_lint = Tvs_lint.Scan_lint
+module Lint = Tvs_lint.Lint
+module Json = Tvs_obs.Json
+module Wire = Tvs_util.Wire
+module Profiles = Tvs_circuits.Profiles
+module Synth = Tvs_circuits.Synth
+module B = Circuit.Builder
+
+(* Same deterministic family as test_properties.ml. *)
+let tiny_profile i =
+  let styles = [| Profiles.Balanced; Profiles.Shallow; Profiles.Deep |] in
+  {
+    Profiles.name = Printf.sprintf "lint-%d" i;
+    npi = 2 + (i mod 5);
+    npo = 1 + (i mod 4);
+    nff = 4 + (i mod 9);
+    ngates = 25 + (7 * (i mod 11));
+    style = styles.(i mod 3);
+  }
+
+let tiny_circuit i = Synth.generate (tiny_profile i)
+
+(* Structural/constant passes only: SAT is exercised separately. *)
+let fast_options = { Lint.default_options with Lint.sat_faults = 0 }
+let rules_of r = List.map (fun d -> d.Diagnostic.rule) r.Lint.diagnostics
+let has_rule rule r = List.mem rule (rules_of r)
+
+let find_rule rule r =
+  match List.find_opt (fun d -> d.Diagnostic.rule = rule) r.Lint.diagnostics with
+  | Some d -> d
+  | None -> Alcotest.failf "expected a %s diagnostic, got [%s]" rule (String.concat "; " (rules_of r))
+
+(* --- catalog ------------------------------------------------------------ *)
+
+let test_catalog () =
+  List.iter
+    (fun (i : Diagnostic.rule_info) ->
+      Alcotest.(check bool) (i.Diagnostic.id ^ " known") true (Diagnostic.known_rule i.Diagnostic.id);
+      Alcotest.(check bool)
+        (i.Diagnostic.id ^ " well-formed")
+        true
+        (String.length i.Diagnostic.id = 8 && String.sub i.Diagnostic.id 0 4 = "TVS-"))
+    Diagnostic.catalog;
+  let ids = List.map (fun (i : Diagnostic.rule_info) -> i.Diagnostic.id) Diagnostic.catalog in
+  Alcotest.(check int) "no duplicate ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  Alcotest.(check bool) "prefix match" true (Diagnostic.matches "TVS-N" ~rule:"TVS-N001");
+  Alcotest.(check bool) "exact match" true (Diagnostic.matches "TVS-D004" ~rule:"TVS-D004");
+  Alcotest.(check bool) "no match" false (Diagnostic.matches "TVS-S" ~rule:"TVS-N001");
+  Alcotest.check_raises "unknown rule rejected"
+    (Invalid_argument "Diagnostic.make: unknown rule \"TVS-Z999\"") (fun () ->
+      ignore (Diagnostic.make ~rule:"TVS-Z999" "nope"))
+
+(* --- clean circuits ----------------------------------------------------- *)
+
+let qcheck_synth_lint_clean =
+  QCheck.Test.make ~name:"synthetic circuits lint without errors" ~count:33
+    QCheck.(int_range 0 32)
+    (fun i ->
+      let r = Lint.run ~options:fast_options (tiny_circuit i) in
+      Lint.errors r = [])
+
+let test_bundled_clean () =
+  let check_clean name c =
+    let r = Lint.run c in
+    Alcotest.(check int) (name ^ " has no errors") 0 (Lint.count r Diagnostic.Error);
+    Alcotest.(check bool) (name ^ " passes --fail-on error") false
+      (Lint.failed ~fail_on:Diagnostic.Error r)
+  in
+  check_clean "s27" (Tvs_circuits.S27.circuit ());
+  (* fig1 has no primary inputs at all — that must stay a warning, or every
+     error-gated CI run on the paper's own example would fail. *)
+  let fig1 = Lint.run (Tvs_circuits.Fig1.circuit ()) in
+  Alcotest.(check int) "fig1 has no errors" 0 (Lint.count fig1 Diagnostic.Error);
+  Alcotest.(check bool) "fig1 flags no-PI" true (has_rule "TVS-N002" fig1)
+
+(* --- seeded statement-level defects ------------------------------------- *)
+
+let test_source_cycle () =
+  let r = Lint.run_source ~name:"cyc" "INPUT(a)\nOUTPUT(d)\nd = AND(a, e)\ne = OR(d, a)\n" in
+  let d = find_rule "TVS-N001" r in
+  Alcotest.(check (option int)) "cycle line" (Some 3) d.Diagnostic.line;
+  Alcotest.(check bool) "names both nets" true
+    (List.mem "d" d.Diagnostic.nets && List.mem "e" d.Diagnostic.nets);
+  Alcotest.(check bool) "is an error" true (Lint.failed ~fail_on:Diagnostic.Error r)
+
+let test_source_undefined () =
+  let r = Lint.run_source ~name:"undef" "INPUT(a)\nOUTPUT(g)\ng = AND(a, zz)\n" in
+  let d = find_rule "TVS-N009" r in
+  Alcotest.(check (option int)) "undefined ref line" (Some 3) d.Diagnostic.line;
+  Alcotest.(check (list string)) "names the missing net" [ "zz" ] d.Diagnostic.nets
+
+let test_source_multiply_driven () =
+  let r = Lint.run_source ~name:"dup" "INPUT(a)\nOUTPUT(g)\ng = NOT(a)\ng = BUFF(a)\n" in
+  let d = find_rule "TVS-N010" r in
+  Alcotest.(check (option int)) "second definition line" (Some 4) d.Diagnostic.line
+
+let test_source_syntax () =
+  let r = Lint.run_source ~name:"syn" "g = FROB(a)\n" in
+  let d = find_rule "TVS-P001" r in
+  Alcotest.(check (option int)) "syntax error line" (Some 1) d.Diagnostic.line
+
+(* A clean source reports exactly like the built circuit, with lines. *)
+let test_source_clean_has_lines () =
+  let text = Bench_format.to_string (Tvs_circuits.S27.circuit ()) in
+  let r = Lint.run_source ~options:fast_options ~name:"s27" text in
+  Alcotest.(check int) "no errors" 0 (Lint.count r Diagnostic.Error);
+  Alcotest.(check int) "risk rows" 3 (Array.length r.Lint.risk)
+
+(* --- circuit-level structural rules ------------------------------------- *)
+
+let test_repeated_fanin () =
+  let b = B.create "rep" in
+  let a = B.input b "a" in
+  let g = B.gate b ~name:"g" Gate.And [ a; a ] in
+  B.mark_output b g;
+  let c = B.finish b in
+  (* Satellite: the legacy checker must flag it too (tvs stats path). *)
+  let from_validate =
+    List.exists (function Validate.Repeated_fanin _ -> true | _ -> false) (Validate.check c)
+  in
+  Alcotest.(check bool) "Validate.check flags AND(a,a)" true from_validate;
+  let d = find_rule "TVS-N007" (Lint.run ~options:fast_options c) in
+  Alcotest.(check (list string)) "gate then net" [ "g"; "a" ] d.Diagnostic.nets
+
+let test_unobservable () =
+  let b = B.create "unobs" in
+  let a = B.input b "a" in
+  let g = B.gate b ~name:"g" Gate.Not [ a ] in
+  ignore (B.gate b ~name:"dead" Gate.Not [ g ]);
+  let q = B.flop b ~name:"q" g in
+  B.mark_output b q;
+  let c = B.finish b in
+  let r = Lint.run ~options:fast_options c in
+  (* "dead" drives nothing: that is N004 dangling, not N008. *)
+  Alcotest.(check bool) "dangling flagged" true (has_rule "TVS-N004" r);
+  Alcotest.(check int) "still no errors" 0 (Lint.count r Diagnostic.Error)
+
+let test_cyclic_sccs () =
+  (* 0 -> 1 -> 2 -> 0 plus a self-loop at 3 and an acyclic tail 4 -> 5. *)
+  let adj = [| [ 1 ]; [ 2 ]; [ 0 ]; [ 3 ]; [ 5 ]; [] |] in
+  let sccs = List.map (List.sort compare) (Structural.cyclic_sccs adj) in
+  Alcotest.(check int) "two cyclic components" 2 (List.length sccs);
+  Alcotest.(check bool) "triangle found" true (List.mem [ 0; 1; 2 ] sccs);
+  Alcotest.(check bool) "self-loop found" true (List.mem [ 3 ] sccs);
+  (* Deep chain: iterative Tarjan must not overflow the stack. *)
+  let n = 200_000 in
+  let deep = Array.init n (fun i -> if i + 1 < n then [ i + 1 ] else [ 0 ]) in
+  Alcotest.(check int) "one giant cycle" 1 (List.length (Structural.cyclic_sccs deep))
+
+(* --- dataflow rules ------------------------------------------------------ *)
+
+let test_constants () =
+  let b = B.create "const" in
+  let a = B.input b "a" in
+  let k = B.const b ~name:"k" true in
+  let stuck = B.gate b ~name:"stuck" Gate.Or [ k; a ] in
+  let live = B.gate b ~name:"live" Gate.And [ k; a ] in
+  B.mark_output b stuck;
+  B.mark_output b live;
+  let c = B.finish b in
+  let r = Lint.run ~options:fast_options c in
+  let d1 = find_rule "TVS-D001" r in
+  Alcotest.(check (list string)) "stuck gate named" [ "stuck" ] d1.Diagnostic.nets;
+  let d2 = find_rule "TVS-D002" r in
+  Alcotest.(check (list string)) "constant output named" [ "stuck" ] d2.Diagnostic.nets;
+  let d3 = find_rule "TVS-D003" r in
+  Alcotest.(check (list string)) "constant input to live gate" [ "k"; "live" ] d3.Diagnostic.nets;
+  (* Ternary fixpoint: OR(1, X) = 1, AND(1, X) = X. *)
+  let v = Dataflow.values c in
+  Alcotest.(check char) "stuck is 1" '1' (Tvs_logic.Ternary.to_char v.(stuck));
+  Alcotest.(check char) "live is X" 'X' (Tvs_logic.Ternary.to_char v.(live))
+
+(* SAT untestability vs exhaustive simulation on y = OR(a, AND(a, b)):
+   absorption makes the redundancy real but invisible to ternary
+   propagation. Every collapsed fault is adjudicated both ways. *)
+let test_sat_vs_exhaustive () =
+  let b = B.create "redund" in
+  let a = B.input b "a" in
+  let bb = B.input b "b" in
+  let g1 = B.gate b ~name:"g1" Gate.And [ a; bb ] in
+  let y = B.gate b ~name:"y" Gate.Or [ a; g1 ] in
+  B.mark_output b y;
+  let c = B.finish b in
+  let faults = Fault_gen.collapsed c in
+  let sim = Fault_sim.create c in
+  let undetectable f =
+    let detected = ref false in
+    for bits = 0 to 3 do
+      let pi = [| bits land 1 = 1; bits land 2 = 2 |] in
+      if Fault_sim.detects sim ~pi ~state:[||] f then detected := true
+    done;
+    not !detected
+  in
+  let truly_untestable = Array.to_list faults |> List.filter undetectable in
+  Alcotest.(check bool) "the absorption redundancy exists" true (truly_untestable <> []);
+  let diags =
+    Dataflow.untestable ~max_faults:(Array.length faults) ~max_decisions:100_000 c
+  in
+  let count rule = List.length (List.filter (fun d -> d.Diagnostic.rule = rule) diags) in
+  Alcotest.(check int) "every true redundancy proven (D004)"
+    (List.length truly_untestable) (count "TVS-D004");
+  Alcotest.(check int) "nothing undecided at this budget (D005)" 0 (count "TVS-D005")
+
+(* --- scan rules and the risk table --------------------------------------- *)
+
+let test_chain_integrity () =
+  let c = Tvs_circuits.S27.circuit () in
+  let flops = Circuit.flops c in
+  let gate_net =
+    (* any non-flop net *)
+    let rec find n =
+      match Circuit.driver c n with Circuit.Gate_node _ -> n | _ -> find (n + 1)
+    in
+    find 0
+  in
+  let rules diags = List.map (fun d -> d.Diagnostic.rule) diags in
+  Alcotest.(check (list string)) "default chain is clean" [] (rules (Scan_lint.integrity c));
+  let with_gate = Array.copy flops in
+  with_gate.(0) <- gate_net;
+  let r = rules (Scan_lint.integrity ~chain:with_gate c) in
+  Alcotest.(check bool) "S001 on non-flop cell" true (List.mem "TVS-S001" r);
+  Alcotest.(check bool) "S003 on displaced flop" true (List.mem "TVS-S003" r);
+  let dup = Array.copy flops in
+  dup.(1) <- dup.(0);
+  let r = rules (Scan_lint.integrity ~chain:dup c) in
+  Alcotest.(check bool) "S002 on duplicate cell" true (List.mem "TVS-S002" r)
+
+let qcheck_risk_table_shape =
+  QCheck.Test.make ~name:"risk table: one row per cell, emitted tail risk-free" ~count:33
+    QCheck.(pair (int_range 0 32) (int_range 1 12))
+    (fun (i, s) ->
+      let c = tiny_circuit i in
+      let nff = Circuit.num_flops c in
+      let rows = Scan_lint.risk_table ~s c in
+      let s = max 1 (min s nff) in
+      Array.length rows = nff
+      && Array.for_all
+           (fun (row : Scan_lint.risk_row) ->
+             row.Scan_lint.emitted = (row.Scan_lint.position >= nff - s)
+             && (if row.Scan_lint.emitted then row.Scan_lint.risk = 0 else row.Scan_lint.risk >= 0)
+             && row.Scan_lint.observability <= 50)
+           rows
+      && rows = Scan_lint.risk_table ~s c)
+
+let test_hotspot () =
+  let r = Lint.run ~options:{ fast_options with Lint.shift = Some 1 } (Tvs_circuits.Fig1.circuit ()) in
+  Alcotest.(check int) "fig1 shift" 1 r.Lint.shift;
+  let d = find_rule "TVS-S004" r in
+  let top =
+    Array.to_list r.Lint.risk
+    |> List.filter (fun (row : Scan_lint.risk_row) -> not row.Scan_lint.emitted)
+    |> List.fold_left (fun acc (row : Scan_lint.risk_row) -> max acc row.Scan_lint.risk) 0
+  in
+  Alcotest.(check bool) "hotspot names the max-risk cell" true
+    (match d.Diagnostic.nets with
+    | cell :: _ ->
+        Array.exists
+          (fun (row : Scan_lint.risk_row) -> row.Scan_lint.cell = cell && row.Scan_lint.risk = top)
+          r.Lint.risk
+    | [] -> false)
+
+(* --- rendering, filtering, round-trips ----------------------------------- *)
+
+let test_rule_filter () =
+  let c = Tvs_circuits.Fig1.circuit () in
+  let all = Lint.run ~options:fast_options c in
+  let only_scan =
+    Lint.run ~options:{ fast_options with Lint.rules = Some [ "TVS-S" ] } c
+  in
+  Alcotest.(check bool) "unfiltered has N002" true (has_rule "TVS-N002" all);
+  Alcotest.(check bool) "filtered drops N002" false (has_rule "TVS-N002" only_scan);
+  List.iter
+    (fun rule -> Alcotest.(check bool) (rule ^ " kept") true (String.sub rule 0 5 = "TVS-S"))
+    (rules_of only_scan)
+
+let test_json_stable_and_valid () =
+  let c = Tvs_circuits.S27.circuit () in
+  let s1 = Lint.to_json_string (Lint.run c) in
+  let s2 = Lint.to_json_string (Lint.run c) in
+  Alcotest.(check string) "byte-stable across runs" s1 s2;
+  match Json.parse s1 with
+  | Error msg -> Alcotest.failf "invalid JSON: %s" msg
+  | Ok doc ->
+      Alcotest.(check (option bool)) "schema version"
+        (Some true)
+        (Option.map (fun j -> j = Json.Int Lint.schema_version) (Json.member "schema" doc));
+      let r = Lint.run c in
+      let summary = Option.get (Json.member "summary" doc) in
+      Alcotest.(check (option bool)) "error count matches"
+        (Some true)
+        (Option.map
+           (fun j -> j = Json.Int (Lint.count r Diagnostic.Error))
+           (Json.member "errors" summary))
+
+let test_wire_roundtrip () =
+  let check_rt name c =
+    let r = Lint.run ~options:fast_options c in
+    let w = Wire.writer () in
+    Lint.encode_report w r;
+    let r' = Lint.decode_report (Wire.reader (Wire.contents w)) in
+    Alcotest.(check bool) (name ^ " round-trips") true (r = r')
+  in
+  check_rt "s27" (Tvs_circuits.S27.circuit ());
+  check_rt "fig1" (Tvs_circuits.Fig1.circuit ());
+  check_rt "synthetic" (tiny_circuit 7)
+
+(* --- preflight gate ------------------------------------------------------ *)
+
+let test_preflight () =
+  (* Clean circuit: the pass list is empty of errors. *)
+  let clean = Lint.preflight (Tvs_circuits.S27.circuit ()) in
+  Alcotest.(check bool) "s27 preflight clean" true
+    (List.for_all (fun d -> d.Diagnostic.severity <> Diagnostic.Error) clean);
+  (* No observation points: N003, an error, must abort the engine. *)
+  let b = B.create "noobs" in
+  let a = B.input b "a" in
+  ignore (B.gate b ~name:"g" Gate.Not [ a ]);
+  let c = B.finish b in
+  let ctx = Tvs_atpg.Podem.create c in
+  let config =
+    { (Tvs_core.Engine.default_config ~chain_len:0) with Tvs_core.Engine.preflight = true }
+  in
+  (match
+     Tvs_core.Engine.run ~config
+       ~rng:(Tvs_util.Rng.of_string "lint-test")
+       ctx ~faults:(Fault_gen.collapsed c)
+   with
+  | (_ : Tvs_core.Engine.result) -> Alcotest.fail "engine ran on an unobservable circuit"
+  | exception Failure msg ->
+      Alcotest.(check bool) "failure names the preflight" true
+        (String.length msg >= 9 && String.sub msg 0 9 = "preflight"));
+  (* The gate passes cleanly end-to-end on a real flow. *)
+  let prep = Tvs_harness.Prep.of_circuit (Tvs_circuits.S27.circuit ()) in
+  let r = Tvs_harness.Experiments.run_flow ~preflight:true ~label:"lint-preflight" prep in
+  Alcotest.(check bool) "preflighted flow still covers" true (r.Tvs_harness.Experiments.coverage > 0.9)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "catalog",
+        [
+          Alcotest.test_case "catalog ids" `Quick test_catalog;
+          Alcotest.test_case "rule filter" `Quick test_rule_filter;
+        ] );
+      ( "clean",
+        [
+          QCheck_alcotest.to_alcotest qcheck_synth_lint_clean;
+          Alcotest.test_case "bundled circuits" `Quick test_bundled_clean;
+          Alcotest.test_case "clean source keeps lines" `Quick test_source_clean_has_lines;
+        ] );
+      ( "structural",
+        [
+          Alcotest.test_case "seeded cycle" `Quick test_source_cycle;
+          Alcotest.test_case "seeded undefined net" `Quick test_source_undefined;
+          Alcotest.test_case "seeded multiply-driven" `Quick test_source_multiply_driven;
+          Alcotest.test_case "seeded syntax error" `Quick test_source_syntax;
+          Alcotest.test_case "repeated fanin" `Quick test_repeated_fanin;
+          Alcotest.test_case "dangling vs unobservable" `Quick test_unobservable;
+          Alcotest.test_case "tarjan sccs" `Quick test_cyclic_sccs;
+        ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "constant propagation rules" `Quick test_constants;
+          Alcotest.test_case "sat vs exhaustive" `Quick test_sat_vs_exhaustive;
+        ] );
+      ( "scan",
+        [
+          Alcotest.test_case "chain integrity" `Quick test_chain_integrity;
+          QCheck_alcotest.to_alcotest qcheck_risk_table_shape;
+          Alcotest.test_case "hotspot diagnostic" `Quick test_hotspot;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "json stable and valid" `Quick test_json_stable_and_valid;
+          Alcotest.test_case "wire round-trip" `Quick test_wire_roundtrip;
+        ] );
+      ("preflight", [ Alcotest.test_case "engine gate" `Quick test_preflight ]);
+    ]

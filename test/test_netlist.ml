@@ -190,19 +190,15 @@ let expect_parse_error text =
     false
   with Bench_format.Parse_error _ -> true
 
-let expect_build_error text =
-  try
-    ignore (Bench_format.parse_string ~name:"bad" text);
-    false
-  with Circuit.Build_error _ -> true
-
 let test_parse_errors () =
   Alcotest.(check bool) "unknown gate" true (expect_parse_error "g = FROB(a)\n");
   Alcotest.(check bool) "missing paren" true (expect_parse_error "INPUT(a\n");
   Alcotest.(check bool) "bad arity" true (expect_parse_error "g = NOT(a, b)\n");
   Alcotest.(check bool) "dff arity" true (expect_parse_error "q = DFF(a, b)\n");
   Alcotest.(check bool) "undefined net" true
-    (expect_build_error "INPUT(a)\nOUTPUT(g)\ng = AND(a, zz)\n");
+    (expect_parse_error "INPUT(a)\nOUTPUT(g)\ng = AND(a, zz)\n");
+  Alcotest.(check bool) "combinational cycle" true
+    (expect_parse_error "INPUT(a)\nOUTPUT(d)\nd = AND(a, e)\ne = OR(d, a)\n");
   Alcotest.(check bool) "duplicate definition" true
     (expect_parse_error "INPUT(a)\nINPUT(a)\n")
 

@@ -1,19 +1,24 @@
-(* validate_report — CI gate for bench's --out JSON.
+(* validate_report — CI gate for bench's --out JSON and tvs lint's JSON.
 
      validate_report FILE                 validate + print the ASCII view
      validate_report --metrics-equal A B  also require identical metrics
+     validate_report --lint FILE          validate a `tvs lint --format json` document
 
    Exit codes: 0 valid, 1 invalid (schema or metrics mismatch), 2 usage or
    unreadable file. The metrics comparison is key-order-insensitive
    (canonicalized via Json.sort_keys) but value-exact: it is the CI check
    that a --jobs 1 and a --jobs 4 run produced bit-identical stable
-   metrics. *)
+   metrics. The lint check is deliberately structural (no tvs_lint
+   dependency): it enforces the schema documented in Tvs_lint.Lint.to_json
+   so a drive-by format change breaks CI, not downstream scripts. *)
 
 module Report = Tvs_obs.Report
 module Json = Tvs_obs.Json
 
 let usage () =
-  prerr_endline "usage: validate_report FILE | validate_report --metrics-equal FILE FILE";
+  prerr_endline
+    "usage: validate_report FILE | validate_report --metrics-equal FILE FILE | validate_report \
+     --lint FILE";
   exit 2
 
 let read_file path =
@@ -43,8 +48,112 @@ let metrics_json path contents =
           Printf.eprintf "validate_report: %s: no metrics member\n" path;
           exit 1)
 
+(* The lint JSON schema (see Tvs_lint.Lint.to_json). Validation is
+   structural and value-checked: summary counts must equal a recount of the
+   diagnostics array, emitted scan positions must carry zero risk, and
+   positions must be dense and in order. *)
+let lint_validate path doc =
+  let fail msg =
+    Printf.eprintf "validate_report: %s: invalid lint report: %s\n" path msg;
+    exit 1
+  in
+  let get k o =
+    match Json.member k o with Some v -> v | None -> fail (Printf.sprintf "missing member %S" k)
+  in
+  let int_ge lo k o =
+    match get k o with
+    | Json.Int n when n >= lo -> n
+    | Json.Int n -> fail (Printf.sprintf "%s = %d, expected >= %d" k n lo)
+    | _ -> fail (k ^ " is not an integer")
+  in
+  let str k o = match get k o with Json.Str s -> s | _ -> fail (k ^ " is not a string") in
+  let rule_ok s =
+    let digit c = c >= '0' && c <= '9' in
+    String.length s = 8
+    && String.sub s 0 4 = "TVS-"
+    && (match s.[4] with 'A' .. 'Z' -> true | _ -> false)
+    && digit s.[5] && digit s.[6] && digit s.[7]
+  in
+  (match get "schema" doc with
+  | Json.Int 1 -> ()
+  | Json.Int n -> fail (Printf.sprintf "unknown schema version %d" n)
+  | _ -> fail "schema is not an integer");
+  if str "circuit" doc = "" then fail "circuit name is empty";
+  ignore (int_ge 0 "nets" doc);
+  let diags =
+    match get "diagnostics" doc with
+    | Json.Arr l -> l
+    | _ -> fail "diagnostics is not an array"
+  in
+  let errors = ref 0 and warnings = ref 0 and infos = ref 0 in
+  List.iteri
+    (fun i d ->
+      let fail msg = fail (Printf.sprintf "diagnostics[%d]: %s" i msg) in
+      let rule = str "rule" d in
+      if not (rule_ok rule) then fail (Printf.sprintf "rule %S does not match TVS-XNNN" rule);
+      (match str "severity" d with
+      | "error" -> incr errors
+      | "warning" -> incr warnings
+      | "info" -> incr infos
+      | s -> fail (Printf.sprintf "unknown severity %S" s));
+      if str "message" d = "" then fail "message is empty";
+      (match get "nets" d with
+      | Json.Arr nets ->
+          List.iter (function Json.Str _ -> () | _ -> fail "nets contains a non-string") nets
+      | _ -> fail "nets is not an array");
+      (match get "line" d with
+      | Json.Null -> ()
+      | Json.Int n when n >= 1 -> ()
+      | _ -> fail "line is neither null nor a positive integer");
+      match get "hint" d with
+      | Json.Null | Json.Str _ -> ()
+      | _ -> fail "hint is neither null nor a string")
+    diags;
+  let summary = get "summary" doc in
+  let check_count k counted =
+    let n = int_ge 0 k summary in
+    if n <> counted then
+      fail (Printf.sprintf "summary.%s = %d but the diagnostics array has %d" k n counted)
+  in
+  check_count "errors" !errors;
+  check_count "warnings" !warnings;
+  check_count "infos" !infos;
+  let risk = get "risk" doc in
+  let shift = int_ge 0 "shift" risk in
+  let positions =
+    match get "positions" risk with
+    | Json.Arr l -> l
+    | _ -> fail "risk.positions is not an array"
+  in
+  if positions <> [] && shift < 1 then fail "risk table present but shift < 1";
+  List.iteri
+    (fun i p ->
+      let fail msg = fail (Printf.sprintf "risk.positions[%d]: %s" i msg) in
+      let pos = int_ge 0 "position" p in
+      if pos <> i then fail (Printf.sprintf "position %d out of order" pos);
+      if str "cell" p = "" then fail "cell name is empty";
+      ignore (int_ge 0 "captures" p);
+      ignore (int_ge 0 "exclusive" p);
+      ignore (int_ge 0 "observability" p);
+      let emitted =
+        match get "emitted" p with
+        | Json.Bool b -> b
+        | _ -> fail "emitted is not a boolean"
+      in
+      let r = int_ge 0 "risk" p in
+      if emitted && r <> 0 then fail (Printf.sprintf "emitted position has non-zero risk %d" r))
+    positions;
+  Printf.printf "%s: valid lint report (%d diagnostics, %d scan positions)\n" path
+    (List.length diags) (List.length positions)
+
 let () =
   match Array.to_list Sys.argv with
+  | [ _; "--lint"; file ] -> (
+      match Json.parse (read_file file) with
+      | Error msg ->
+          Printf.eprintf "validate_report: %s: %s\n" file msg;
+          exit 1
+      | Ok doc -> lint_validate file doc)
   | [ _; file ] ->
       let r = load file in
       print_string (Report.to_table r);
