@@ -19,6 +19,7 @@ module Report = Tvs_obs.Report
 let scale : float option ref = ref None
 let only : string list ref = ref []
 let jobs : int option ref = ref None
+let batch : int option ref = ref None
 let out : string option ref = ref None
 
 let artifacts =
@@ -29,7 +30,8 @@ let artifacts =
 
 let usage_and_exit msg =
   Printf.eprintf "error: %s\n" msg;
-  Printf.eprintf "usage: bench [--scale FLOAT] [--jobs N] [--out FILE] [--cache DIR] [ARTIFACT...]\n";
+  Printf.eprintf
+    "usage: bench [--scale FLOAT] [--jobs N] [--batch N] [--out FILE] [--cache DIR] [ARTIFACT...]\n";
   Printf.eprintf "valid artifacts: %s\n" (String.concat " " artifacts);
   exit 2
 
@@ -38,9 +40,17 @@ let parse_args () =
     | [] -> ()
     | [ "--scale" ] -> usage_and_exit "--scale requires a value"
     | "--scale" :: v :: rest ->
-        (match float_of_string_opt v with
-        | Some f when f > 0.0 -> scale := Some f
-        | Some _ | None -> usage_and_exit (Printf.sprintf "invalid --scale value %S" v));
+        (match Option.map Tvs_harness.Cli.check_scale (float_of_string_opt v) with
+        | Some (Ok f) -> scale := Some f
+        | Some (Error msg) -> usage_and_exit msg
+        | None -> usage_and_exit (Printf.sprintf "invalid --scale value %S" v));
+        go rest
+    | [ "--batch" ] -> usage_and_exit "--batch requires a value"
+    | "--batch" :: v :: rest ->
+        (match Option.map Tvs_harness.Cli.check_batch (int_of_string_opt v) with
+        | Some (Ok b) -> batch := Some b
+        | Some (Error msg) -> usage_and_exit msg
+        | None -> usage_and_exit (Printf.sprintf "invalid --batch value %S" v));
         go rest
     | [ "--jobs" ] -> usage_and_exit "--jobs requires a value"
     | "--jobs" :: v :: rest ->
@@ -106,6 +116,12 @@ let micro_tests () =
       scan = Array.init (Tvs_netlist.Circuit.num_flops s444) (fun _ -> Tvs_util.Rng.bool rng);
     }
   in
+  let s444_vecs =
+    let rng = Tvs_util.Rng.of_string "bench:vecs" in
+    Array.init 16 (fun _ ->
+        ( Array.init (Tvs_netlist.Circuit.num_inputs s444) (fun _ -> Tvs_util.Rng.bool rng),
+          Array.init (Tvs_netlist.Circuit.num_flops s444) (fun _ -> Tvs_util.Rng.bool rng) ))
+  in
   [
     (* Table 1: one stitched cycle of the worked example. *)
     Test.make ~name:"table1/cycle-step"
@@ -157,6 +173,11 @@ let micro_tests () =
            ignore
              (Tvs_fault.Fault_sim.detected_faults s444_sim_full ~pi:s444_vec.Tvs_atpg.Cube.pi
                 ~state:s444_vec.Tvs_atpg.Cube.scan s444_faults)));
+    (* The multi-vector screen behind candidate scoring: 16 vectors in one
+       call, so cone setup and injection tables amortize across the batch. *)
+    Test.make ~name:"table5/faultsim-matrix"
+      (Staged.stage (fun () ->
+           ignore (Tvs_fault.Fault_sim.detected_matrix s444_sim ~vectors:s444_vecs s444_faults)));
   ]
 
 let run_micro () =
@@ -213,8 +234,10 @@ let write_report file =
 let () =
   parse_args ();
   (* --jobs (or TVS_JOBS, handled inside Pool) sets the process-wide default
-     fan-out; every table regenerates identically for any value. *)
+     fan-out, and --batch (or TVS_BATCH) the vector-batch size; every table
+     regenerates identically for any value of either. *)
   Option.iter Tvs_util.Pool.set_default_jobs !jobs;
+  Option.iter Tvs_fault.Fault_sim.set_default_batch !batch;
   let t0 = Unix.gettimeofday () in
   if wants "table1" then table "Table 1 / Figure 1" "table1" Experiments.table1;
   if wants "table2" then table "Table 2" "table2" (fun () -> Experiments.table2 ?scale:!scale ());

@@ -80,6 +80,29 @@ let jobs_arg =
     & info [ "jobs"; "j" ] ~env:(Cmd.Env.info "TVS_JOBS") ~docv:"N" ~doc)
 
 let set_jobs = Option.iter Tvs_util.Pool.set_default_jobs
+
+(* Vector-batch size for multi-vector screening (Fault_sim.detected_matrix).
+   Like --jobs, a pure scheduling knob: the flag (or TVS_BATCH) sets the
+   process-wide default, and results are bit-identical for every value. *)
+let batch_arg =
+  let doc =
+    "Vectors per domain-pool chunk in multi-vector fault screening (default: 16). Results are \
+     identical for every value; only wall-clock time changes."
+  in
+  let batch_conv =
+    Arg.conv ~docv:"N"
+      ( (fun s ->
+          match int_of_string_opt s with
+          | None -> Error (`Msg (Printf.sprintf "invalid batch size %S" s))
+          | Some b -> msg_of_string_error (Tvs_harness.Cli.check_batch b)),
+        Format.pp_print_int )
+  in
+  Arg.(
+    value
+    & opt (some batch_conv) None
+    & info [ "batch" ] ~env:(Cmd.Env.info "TVS_BATCH") ~docv:"N" ~doc)
+
+let set_batch = Option.iter Tvs_fault.Fault_sim.set_default_batch
 let prep_of ?scale spec = Prep.of_circuit (load_circuit ?scale spec)
 
 (* Observability flags, shared by every subcommand. Both channels bypass
@@ -295,8 +318,9 @@ let atpg_cmd =
     Term.(const run $ obs_term $ circuit_arg $ scale_arg $ jobs_arg)
 
 let faultsim_cmd =
-  let run () () spec scale jobs =
+  let run () () spec scale jobs batch =
     set_jobs jobs;
+    set_batch batch;
     let prep = prep_of ~scale spec in
     let d = Experiments.baseline_detection prep in
     Printf.printf "%s: %d/%d faults detected by the %d baseline vectors (%.2f%%)\n"
@@ -305,7 +329,7 @@ let faultsim_cmd =
       (100.0 *. float_of_int d.Experiments.detected /. float_of_int d.Experiments.faults)
   in
   Cmd.v (Cmd.info "faultsim" ~doc:"Fault-simulate the baseline test set")
-    Term.(const run $ obs_term $ cache_term $ circuit_arg $ scale_arg $ jobs_arg)
+    Term.(const run $ obs_term $ cache_term $ circuit_arg $ scale_arg $ jobs_arg $ batch_arg)
 
 let scheme_arg =
   let doc = "Observation scheme: nxor, vxor or hxor:<taps>." in
@@ -405,8 +429,9 @@ let preflight_arg =
   Arg.(value & flag & info [ "preflight" ] ~doc)
 
 let stitch_cmd =
-  let run () () spec scale scheme selection shift preflight jobs ckpt every =
+  let run () () spec scale scheme selection shift preflight jobs batch ckpt every =
     set_jobs jobs;
+    set_batch batch;
     let prep = prep_of ~scale spec in
     let shift_policy = Option.map (fun s -> Policy.Fixed s) shift in
     let checkpoint =
@@ -418,8 +443,8 @@ let stitch_cmd =
     in
     let r =
       try
-        Experiments.run_flow ~scheme ?shift:shift_policy ~selection ~preflight ?jobs ?checkpoint
-          ~label:"cli" prep
+        Experiments.run_flow ~scheme ?shift:shift_policy ~selection ~preflight ?jobs ?batch
+          ?checkpoint ~label:"cli" prep
       with Failure msg when preflight ->
         prerr_endline ("tvs: " ^ msg);
         exit Cmd.Exit.some_error
@@ -429,7 +454,8 @@ let stitch_cmd =
   Cmd.v (Cmd.info "stitch" ~doc:"Run the stitched compression flow")
     Term.(
       const run $ obs_term $ cache_term $ circuit_arg $ scale_arg $ scheme_arg $ selection_arg
-      $ shift_arg $ preflight_arg $ jobs_arg $ checkpoint_file_arg $ checkpoint_every_arg)
+      $ shift_arg $ preflight_arg $ jobs_arg $ batch_arg $ checkpoint_file_arg
+      $ checkpoint_every_arg)
 
 let resume_cmd =
   let file_arg =
@@ -445,8 +471,9 @@ let resume_cmd =
     prerr_endline ("tvs: " ^ msg);
     exit Cmd.Exit.some_error
   in
-  let run () () file jobs ckpt every =
+  let run () () file jobs batch ckpt every =
     set_jobs jobs;
+    set_batch batch;
     match Checkpoint.load file with
     | Error e ->
         die (Printf.sprintf "cannot resume from %S: %s" file (Codec.error_to_string e))
@@ -489,8 +516,8 @@ let resume_cmd =
         in
         let r =
           Experiments.run_flow ~scheme:ck.Checkpoint.scheme ?shift:shift_policy
-            ~selection:ck.Checkpoint.selection ?jobs ~resume:ck.Checkpoint.snapshot ?checkpoint
-            ~label:ck.Checkpoint.label prep
+            ~selection:ck.Checkpoint.selection ?jobs ?batch ~resume:ck.Checkpoint.snapshot
+            ?checkpoint ~label:ck.Checkpoint.label prep
         in
         print_stitch_summary prep ck.Checkpoint.scheme ck.Checkpoint.selection r
   in
@@ -500,7 +527,7 @@ let resume_cmd =
          "Continue an interrupted stitched run from a checkpoint; the output is byte-identical \
           to the uninterrupted run's")
     Term.(
-      const run $ obs_term $ cache_term $ file_arg $ jobs_arg $ checkpoint_file_arg
+      const run $ obs_term $ cache_term $ file_arg $ jobs_arg $ batch_arg $ checkpoint_file_arg
       $ checkpoint_every_arg)
 
 let table_cmd =
@@ -520,8 +547,9 @@ let table_cmd =
     let doc = "Restrict to these circuits (comma-separated)." in
     Arg.(value & opt (some string) None & info [ "circuits" ] ~docv:"LIST" ~doc)
   in
-  let run () () n scale circuits jobs =
+  let run () () n scale circuits jobs batch =
     set_jobs jobs;
+    set_batch batch;
     let circuits = Option.map (String.split_on_char ',') circuits in
     (* scale < 0 means "per-circuit defaults". *)
     let scale = if scale < 0.0 then None else Some scale in
@@ -540,19 +568,21 @@ let table_cmd =
     Arg.(value & opt float (-1.0) & info [ "scale" ] ~docv:"F" ~doc)
   in
   Cmd.v (Cmd.info "table" ~doc:"Regenerate a paper table")
-    Term.(const run $ obs_term $ cache_term $ which $ scale_arg $ circuits_arg $ jobs_arg)
+    Term.(const run $ obs_term $ cache_term $ which $ scale_arg $ circuits_arg $ jobs_arg
+      $ batch_arg)
 
 let ablation_cmd =
   let circuit_arg =
     let doc = "Profile circuit for the ablations." in
     Arg.(value & opt string "s953" & info [ "circuit" ] ~docv:"NAME" ~doc)
   in
-  let run () scale circuit jobs =
+  let run () scale circuit jobs batch =
     set_jobs jobs;
+    set_batch batch;
     print_string (Experiments.ablations ~scale ~circuit ?jobs ())
   in
   Cmd.v (Cmd.info "ablation" ~doc:"Run the design-choice ablations")
-    Term.(const run $ obs_term $ scale_arg $ circuit_arg $ jobs_arg)
+    Term.(const run $ obs_term $ scale_arg $ circuit_arg $ jobs_arg $ batch_arg)
 
 let misr_cmd =
   let circuit_arg =

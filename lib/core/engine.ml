@@ -27,6 +27,7 @@ type config = {
   stagnation_limit : int;
   max_targets_per_cycle : int;
   jobs : int option;
+  batch : int option;
   preflight : bool;
 }
 
@@ -40,6 +41,7 @@ let default_config ~chain_len =
     stagnation_limit = 25;
     max_targets_per_cycle = 25;
     jobs = None;
+    batch = None;
     preflight = false;
   }
 
@@ -96,30 +98,48 @@ let wanted_candidates = function
   | Policy.Random_order | Policy.Hardness_order -> 1
   | Policy.Most_faults k | Policy.Weighted k -> max 1 k
 
-(* Greedy score of a candidate: how many uncaught faults its vector
-   differentiates, estimated on a fixed random sample of f_u (full
-   classification per candidate would dominate the runtime on big circuits);
-   [Weighted] sums SCOAP hardness instead of counting. *)
+(* Greedy scores of a cycle's candidates: how many uncaught faults each
+   candidate's vector differentiates, estimated on a fixed random sample of
+   f_u (full classification per candidate would dominate the runtime on big
+   circuits); [Weighted] sums SCOAP hardness instead of counting. All
+   candidates are screened in one [detected_matrix] call, so the cone order
+   and injection tables are built once per cycle and the pool's vector-batch
+   axis applies. A fault counts as differentiated iff its detection flag is
+   set — exactly the [outcome <> Same] criterion of per-candidate scoring,
+   so the scores (and therefore the selected candidate and every downstream
+   byte) are unchanged. *)
 let sample_size = 512
 
-let score ~sim ~machine ~hardness selection ~sample cand =
+let score_candidates ~sim ~machine ~hardness selection ~sample candidates =
   match selection with
-  | Policy.Random_order | Policy.Hardness_order -> 0
+  | Policy.Random_order | Policy.Hardness_order -> List.map (fun _ -> 0) candidates
   | Policy.Most_faults _ | Policy.Weighted _ ->
-      let applied, _ = Tvs_scan.Chain.shift (Cycle.good_contents machine) ~fresh:cand.fresh in
       let faults = Array.map snd sample in
-      let r = Tvs_fault.Fault_sim.run_batch sim ~pi:cand.pi ~state:applied ~faults in
-      let total = ref 0 in
-      Array.iteri
-        (fun k outcome ->
-          match outcome with
-          | Tvs_fault.Fault_sim.Same -> ()
-          | Tvs_fault.Fault_sim.Po_detected | Tvs_fault.Fault_sim.Capture_differs _ -> (
-              match selection with
-              | Policy.Weighted _ -> total := !total + hardness.(fst sample.(k))
-              | Policy.Random_order | Policy.Hardness_order | Policy.Most_faults _ -> incr total))
-        r.Tvs_fault.Fault_sim.outcomes;
-      !total
+      let vectors =
+        Array.of_list
+          (List.map
+             (fun cand ->
+               let applied, _ =
+                 Tvs_scan.Chain.shift (Cycle.good_contents machine) ~fresh:cand.fresh
+               in
+               (cand.pi, applied))
+             candidates)
+      in
+      let matrix = Tvs_fault.Fault_sim.detected_matrix sim ~vectors faults in
+      List.mapi
+        (fun i _ ->
+          let flags = matrix.(i) in
+          let total = ref 0 in
+          Array.iteri
+            (fun k hit ->
+              if hit then
+                match selection with
+                | Policy.Weighted _ -> total := !total + hardness.(fst sample.(k))
+                | Policy.Random_order | Policy.Hardness_order | Policy.Most_faults _ ->
+                    incr total)
+            flags;
+          !total)
+        candidates
 
 (* Everything the main loop mutates, beyond what the caller's inputs
    determine: enough to continue an interrupted run bit-identically. *)
@@ -159,8 +179,8 @@ let run ?config ?(fallback = [||]) ?resume ?checkpoint ~rng ctx ~faults =
           (Printf.sprintf "preflight lint failed on %s: %d error(s), first: [%s] %s"
              (Circuit.name c) (List.length errs) first.rule first.message)
   end;
-  let machine = Cycle.create ~scheme:cfg.scheme ?jobs:cfg.jobs c ~faults in
-  let sim = Tvs_fault.Fault_sim.create ?jobs:cfg.jobs c in
+  let machine = Cycle.create ~scheme:cfg.scheme ?jobs:cfg.jobs ?batch:cfg.batch c ~faults in
+  let sim = Tvs_fault.Fault_sim.create ?jobs:cfg.jobs ?batch:cfg.batch c in
   let hardness =
     let guide = Podem.scoap ctx in
     Array.map (fun f -> Scoap.fault_hardness guide f) faults
@@ -283,9 +303,9 @@ let run ?config ?(fallback = [||]) ?resume ?checkpoint ~rng ctx ~faults =
                   Array.init k (fun i -> (uncaught.(i), faults.(uncaught.(i))))
                 in
                 let scored =
-                  List.map
-                    (fun cand ->
-                      (score ~sim ~machine ~hardness cfg.selection ~sample cand, cand))
+                  List.map2
+                    (fun sc cand -> (sc, cand))
+                    (score_candidates ~sim ~machine ~hardness cfg.selection ~sample candidates)
                     candidates
                 in
                 List.fold_left
@@ -331,7 +351,7 @@ let run ?config ?(fallback = [||]) ?resume ?checkpoint ~rng ctx ~faults =
          append any fallback vector that detects a still-missing fault. *)
       let aborted = ref gen.Generator.aborted in
       if !aborted <> [] && Array.length fallback > 0 then begin
-        let sim = Tvs_fault.Fault_sim.create ?jobs:cfg.jobs c in
+        let sim = Tvs_fault.Fault_sim.create ?jobs:cfg.jobs ?batch:cfg.batch c in
         let missing = ref !aborted in
         (* Accumulate appended vectors in reverse and splice once at the end:
            list append inside the loop is quadratic in the fallback count. *)

@@ -24,33 +24,77 @@ type fanout = { pool : Pool.t; slots : slot array }
 
 type t = {
   circuit : Circuit.t;
+  soa : Tvs_sim.Soa.t;  (* flat gate tables, shared read-only by every slot *)
   par : Parallel.t;
   ev : Event.t Lazy.t;
   mode : mode;
   jobs : int;
+  batch : int;  (* vectors per pool chunk in multi-vector screening *)
   mutable fanout : fanout option;
+  (* One-entry memos of the per-chunk injection lists and their compiled
+     plans for the last fault array screened through this context (see
+     [ordered_injections] / [ordered_plans]). *)
+  mutable inj_memo : (Fault.t array * Parallel.injection list array) option;
+  mutable plan_memo : (Fault.t array * Tvs_sim.Inject.plan array) option;
 }
 
-let create ?(mode = Event_driven) ?jobs circuit =
+let batch_override = ref None
+
+let set_default_batch b =
+  if b < 1 then invalid_arg "Fault_sim.set_default_batch: batch must be >= 1";
+  batch_override := Some b
+
+let default_batch () =
+  match !batch_override with
+  | Some b -> b
+  | None -> (
+      match Sys.getenv_opt "TVS_BATCH" with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some b when b >= 1 -> b
+          | Some _ | None -> 16)
+      | None -> 16)
+
+let create ?(mode = Event_driven) ?jobs ?batch circuit =
   let jobs = max 1 (match jobs with Some j -> j | None -> Pool.default_jobs ()) in
+  let batch = max 1 (match batch with Some b -> b | None -> default_batch ()) in
+  let soa = Tvs_sim.Soa.create circuit in
   {
     circuit;
-    par = Parallel.create circuit;
-    ev = lazy (Event.create circuit);
+    soa;
+    par = Parallel.create ~soa circuit;
+    ev = lazy (Event.create ~soa circuit);
     mode;
     jobs;
+    batch;
     fanout = None;
+    inj_memo = None;
+    plan_memo = None;
   }
 
-let of_parallel ?jobs par =
+let of_parallel ?jobs ?batch par =
   let circuit = Parallel.circuit par in
   let jobs = max 1 (match jobs with Some j -> j | None -> Pool.default_jobs ()) in
-  { circuit; par; ev = lazy (Event.create circuit); mode = Event_driven; jobs; fanout = None }
+  let batch = max 1 (match batch with Some b -> b | None -> default_batch ()) in
+  let soa = Parallel.soa par in
+  {
+    circuit;
+    soa;
+    par;
+    ev = lazy (Event.create ~soa circuit);
+    mode = Event_driven;
+    jobs;
+    batch;
+    fanout = None;
+    inj_memo = None;
+    plan_memo = None;
+  }
 
 let circuit t = t.circuit
 let parallel t = t.par
 let mode t = t.mode
 let jobs t = t.jobs
+let batch t = t.batch
 
 type counters = {
   mutable full_runs : int;
@@ -168,6 +212,41 @@ let chunk_order c faults =
 
 let broadcast_words arr = Array.map (fun b -> if b then Lanes.all_mask else 0) arr
 
+(* Per-chunk injection lists for [faults] under [order]. The lane assignment
+   [i + 1] is a pure function of (faults, order), and [chunk_order] is
+   deterministic per physical fault array, so repeated screens of the same
+   array — the shape of every stitching cycle and of multi-vector batches —
+   reuse one set of lists instead of rebuilding them per chunk per vector.
+   Always built (and memoized) on the submitter before any fan-out; pool
+   workers only read the lists. *)
+let ordered_injections t (faults : Fault.t array) order =
+  match t.inj_memo with
+  | Some (prev, lists) when prev == faults -> lists
+  | Some _ | None ->
+      let n = Array.length faults in
+      let lists =
+        Array.init (num_chunks n) (fun ci ->
+            let pos = ci * chunk_size in
+            let len = min chunk_size (n - pos) in
+            List.init len (fun i -> Fault.to_injection faults.(order.(pos + i)) ~lane:(i + 1)))
+      in
+      t.inj_memo <- Some (faults, lists);
+      lists
+
+(* Event-path counterpart: the same per-chunk lists, compiled once into
+   {!Tvs_sim.Inject.plan}s. Replaying a plan costs a few dozen array writes
+   where reinstalling the list costs a validated, allocating walk per chunk
+   per vector — the dominant fixed cost of event-driven screening. Compiled
+   on the submitter (before any fan-out) and shared read-only. *)
+let ordered_plans t (faults : Fault.t array) order =
+  match t.plan_memo with
+  | Some (prev, plans) when prev == faults -> plans
+  | Some _ | None ->
+      let ev0 = Lazy.force t.ev in
+      let plans = Array.map (Event.compile ev0) (ordered_injections t faults order) in
+      t.plan_memo <- Some (faults, plans);
+      plans
+
 (* --- pool fan-out ----------------------------------------------------- *)
 
 let fanout_ctx t =
@@ -178,7 +257,11 @@ let fanout_ctx t =
       let slots =
         Array.init (Pool.jobs pool) (fun i ->
             if i = 0 then { s_par = t.par; s_ev = t.ev }
-            else { s_par = Parallel.create t.circuit; s_ev = lazy (Event.create t.circuit) })
+            else
+              {
+                s_par = Parallel.create ~soa:t.soa t.circuit;
+                s_ev = lazy (Event.create ~soa:t.soa t.circuit);
+              })
       in
       let fo = { pool; slots } in
       t.fanout <- Some fo;
@@ -216,8 +299,24 @@ let run_event_chunks t ~nchunks f =
     r
   in
   let out =
-    if t.jobs = 1 || nchunks <= 1 then
-      Array.init nchunks (fun ci -> tally ev0 (f ev0 ci))
+    if t.jobs = 1 || nchunks <= 1 then begin
+      (* Accumulate the tallies locally and flush once: the registry merges
+         shards by summation, so totals equal the per-chunk flushes of the
+         fan-out path below for every jobs value. *)
+      let events = ref 0 and evals = ref 0 in
+      let out =
+        Array.init nchunks (fun ci ->
+            let r = f ev0 ci in
+            events := !events + Event.last_events ev0;
+            evals := !evals + Event.last_evals ev0;
+            r)
+      in
+      Metrics.add m_event_runs nchunks;
+      Metrics.add m_events_fired !events;
+      Metrics.add m_gate_evals !evals;
+      Metrics.add m_gates_skipped ((nchunks * Event.full_evals ev0) - !evals);
+      out
+    end
     else begin
       let fo = fanout_ctx t in
       (* Fresh per submission: a slot's baseline is only valid for this
@@ -299,14 +398,11 @@ let run_batch_event t ~pi ~state ~faults =
   let good = { po = Event.good_po ev0; capture = Event.good_capture ev0 } in
   let n = Array.length faults in
   let order = chunk_order t.circuit faults in
+  let plans = ordered_plans t faults order in
   let chunk_out =
     run_event_chunks t ~nchunks:(num_chunks n) (fun ev ci ->
-        let pos = ci * chunk_size in
-        let len = min chunk_size (n - pos) in
-        let injections =
-          List.init len (fun i -> Fault.to_injection faults.(order.(pos + i)) ~lane:(i + 1))
-        in
-        outcomes_of_run (Event.run ev ~injections ()) ~nfaults:len)
+        let len = min chunk_size (n - (ci * chunk_size)) in
+        outcomes_of_run (Event.run ev ~plan:plans.(ci) ()) ~nfaults:len)
   in
   let outcomes = Array.make n Same in
   Array.iteri
@@ -323,6 +419,7 @@ let run_per_state_event t ~pi ~good_state ~faults ~states =
   let n = Array.length faults in
   let nflops = Array.length good_state in
   let order = chunk_order t.circuit faults in
+  let plans = ordered_plans t faults order in
   let chunk_out =
     run_event_chunks t ~nchunks:(num_chunks n) (fun ev ci ->
         let pos = ci * chunk_size in
@@ -335,10 +432,7 @@ let run_per_state_event t ~pi ~good_state ~faults ~states =
               done;
               !w)
         in
-        let injections =
-          List.init len (fun i -> Fault.to_injection faults.(order.(pos + i)) ~lane:(i + 1))
-        in
-        outcomes_of_run (Event.run ev ~states:state_words ~injections ()) ~nfaults:len)
+        outcomes_of_run (Event.run ev ~states:state_words ~plan:plans.(ci) ()) ~nfaults:len)
   in
   let outcomes = Array.make n Same in
   Array.iteri
@@ -381,45 +475,135 @@ let detected_faults t ~pi ~state faults =
     ~args:[ ("faults", string_of_int (Array.length faults)) ]
   @@ fun () ->
   let n = Array.length faults in
-  let flags_of_run (r : Parallel.result) ~nfaults =
-    let used = Lanes.mask (nfaults + 1) in
-    let diff = diff_mask r.po used lor diff_mask r.capture used in
-    Array.init nfaults (fun i -> Lanes.get diff (i + 1))
-  in
   let flags = Array.make n false in
+  let order = chunk_order t.circuit faults in
+  let scatter chunk_out =
+    Array.iteri
+      (fun ci diff ->
+        let pos = ci * chunk_size in
+        let len = min chunk_size (n - pos) in
+        for i = 0 to len - 1 do
+          if Lanes.get diff (i + 1) then flags.(order.(pos + i)) <- true
+        done)
+      chunk_out
+  in
   (match t.mode with
   | Full ->
+      let inj = ordered_injections t faults order in
       let pi_words = broadcast_words pi in
       let state_words = broadcast_words state in
-      let chunk_out =
-        run_full_chunks t ~nchunks:(num_chunks n) (fun par ci ->
-            let pos = ci * chunk_size in
-            let len = min chunk_size (n - pos) in
-            let injections =
-              List.init len (fun i -> Fault.to_injection faults.(pos + i) ~lane:(i + 1))
-            in
-            let r = Parallel.run par ~pi:pi_words ~state:state_words ~injections in
-            flags_of_run r ~nfaults:len)
-      in
-      Array.iteri
-        (fun ci out -> Array.blit out 0 flags (ci * chunk_size) (Array.length out))
-        chunk_out
+      scatter
+        (run_full_chunks t ~nchunks:(num_chunks n) (fun par ci ->
+             let len = min chunk_size (n - (ci * chunk_size)) in
+             let r = Parallel.run par ~pi:pi_words ~state:state_words ~injections:inj.(ci) in
+             let used = Lanes.mask (len + 1) in
+             diff_mask r.po used lor diff_mask r.capture used))
   | Event_driven ->
+      let plans = ordered_plans t faults order in
       let ev0 = Lazy.force t.ev in
       Event.set_stimulus ev0 ~pi ~state;
-      let order = chunk_order t.circuit faults in
-      let chunk_out =
-        run_event_chunks t ~nchunks:(num_chunks n) (fun ev ci ->
-            let pos = ci * chunk_size in
-            let len = min chunk_size (n - pos) in
-            let injections =
-              List.init len (fun i -> Fault.to_injection faults.(order.(pos + i)) ~lane:(i + 1))
-            in
-            flags_of_run (Event.run ev ~injections ()) ~nfaults:len)
-      in
-      Array.iteri
-        (fun ci out ->
-          let pos = ci * chunk_size in
-          Array.iteri (fun i d -> flags.(order.(pos + i)) <- d) out)
-        chunk_out);
+      scatter
+        (run_event_chunks t ~nchunks:(num_chunks n) (fun ev ci ->
+             let len = min chunk_size (n - (ci * chunk_size)) in
+             Event.run_diff ev ~plan:plans.(ci) ~used:(Lanes.mask (len + 1)) ())));
   flags
+
+(* Multi-vector screening. The pool axis here is *vector batches* of size
+   [t.batch], not 62-fault chunks: one pool submission covers the whole
+   vector set, the cone order and injection lists are built once and shared
+   read-only, and each vector's full stimulus pass is private to the slot
+   that screens it (no baseline adoption traffic). Results are keyed by
+   batch index and every vector's work is identical no matter which slot
+   runs it, so the matrix — and the merged stable counters — are
+   byte-identical for every [jobs] and every [batch] setting. *)
+let detected_matrix t ~vectors faults =
+  Metrics.incr m_batches;
+  Trace.with_span "faultsim.detected_matrix"
+    ~args:
+      [
+        ("vectors", string_of_int (Array.length vectors));
+        ("faults", string_of_int (Array.length faults));
+      ]
+  @@ fun () ->
+  let nvec = Array.length vectors in
+  let n = Array.length faults in
+  if nvec = 0 then [||]
+  else begin
+    let nchunks = num_chunks n in
+    let order = chunk_order t.circuit faults in
+    (* Built (or memo-fetched) on the submitter before any fan-out: pool
+       workers only read them. Each mode builds just its own shape. *)
+    let inj = match t.mode with Full -> ordered_injections t faults order | Event_driven -> [||] in
+    let plans =
+      match t.mode with Event_driven -> ordered_plans t faults order | Full -> [||]
+    in
+    let scatter diff ~pos ~len flags =
+      for i = 0 to len - 1 do
+        if Lanes.get diff (i + 1) then flags.(order.(pos + i)) <- true
+      done
+    in
+    let screen_event ev (pi, state) =
+      Event.set_stimulus ev ~pi ~state;
+      let flags = Array.make n false in
+      let events = ref 0 and evals = ref 0 in
+      for ci = 0 to nchunks - 1 do
+        let pos = ci * chunk_size in
+        let len = min chunk_size (n - pos) in
+        let diff = Event.run_diff ev ~plan:plans.(ci) ~used:(Lanes.mask (len + 1)) () in
+        events := !events + Event.last_events ev;
+        evals := !evals + Event.last_evals ev;
+        scatter diff ~pos ~len flags
+      done;
+      (* One flush per vector: shard merge is a sum, so totals match a
+         per-chunk flush exactly, for every jobs and batch value. *)
+      Metrics.add m_event_runs nchunks;
+      Metrics.add m_events_fired !events;
+      Metrics.add m_gate_evals !evals;
+      Metrics.add m_gates_skipped ((nchunks * Event.full_evals ev) - !evals);
+      Metrics.add m_chunks nchunks;
+      flags
+    in
+    let screen_full par (pi, state) =
+      let pi_words = broadcast_words pi in
+      let state_words = broadcast_words state in
+      let flags = Array.make n false in
+      for ci = 0 to nchunks - 1 do
+        let pos = ci * chunk_size in
+        let len = min chunk_size (n - pos) in
+        let r = Parallel.run par ~pi:pi_words ~state:state_words ~injections:inj.(ci) in
+        let used = Lanes.mask (len + 1) in
+        scatter (diff_mask r.po used lor diff_mask r.capture used) ~pos ~len flags
+      done;
+      Metrics.add m_full_runs nchunks;
+      Metrics.add m_chunks nchunks;
+      flags
+    in
+    let screen slot v =
+      match t.mode with
+      | Event_driven -> screen_event (Lazy.force slot.s_ev) v
+      | Full -> screen_full slot.s_par v
+    in
+    let bsize = t.batch in
+    let nbatches = (nvec + bsize - 1) / bsize in
+    let screen_batch slot bi =
+      let pos = bi * bsize in
+      let len = min bsize (nvec - pos) in
+      Array.init len (fun k -> screen slot vectors.(pos + k))
+    in
+    let out =
+      if t.jobs = 1 || nbatches <= 1 then begin
+        let slot0 = { s_par = t.par; s_ev = t.ev } in
+        Array.init nbatches (screen_batch slot0)
+      end
+      else begin
+        let fo = fanout_ctx t in
+        Pool.parallel_map_chunks fo.pool ~n:nbatches (fun ~slot bi ->
+            screen_batch fo.slots.(slot) bi)
+      end
+    in
+    let matrix = Array.make nvec [||] in
+    Array.iteri
+      (fun bi batch -> Array.iteri (fun k flags -> matrix.((bi * bsize) + k) <- flags) batch)
+      out;
+    matrix
+  end

@@ -45,14 +45,25 @@ type t
     engine plus a lazily-built {!Tvs_sim.Event} engine (and, when [jobs > 1],
     per-domain copies of both). Not thread-safe. *)
 
-val create : ?mode:mode -> ?jobs:int -> Tvs_netlist.Circuit.t -> t
+val create : ?mode:mode -> ?jobs:int -> ?batch:int -> Tvs_netlist.Circuit.t -> t
 (** [jobs] is the fan-out width (clamped to at least 1); defaults to
     {!Tvs_util.Pool.default_jobs}. Batches too small to chunk always run
-    inline on the caller's domain. *)
+    inline on the caller's domain. [batch] is the number of vectors per pool
+    chunk in {!detected_matrix} (clamped to at least 1); defaults to
+    {!default_batch}. Like [jobs], [batch] is a scheduling knob only: it
+    never changes any result. *)
 
-val of_parallel : ?jobs:int -> Tvs_sim.Parallel.t -> t
+val of_parallel : ?jobs:int -> ?batch:int -> Tvs_sim.Parallel.t -> t
 (** Wrap an existing broadcast engine (event-driven mode). The event engine
     is built lazily on first use. *)
+
+val set_default_batch : int -> unit
+(** Process-wide default for [?batch] (the [--batch] CLI flag lands here).
+    Raises [Invalid_argument] if the value is < 1. *)
+
+val default_batch : unit -> int
+(** The default vector-batch size: {!set_default_batch}'s value if set, else
+    the [TVS_BATCH] environment variable, else 16. *)
 
 val circuit : t -> Tvs_netlist.Circuit.t
 
@@ -64,6 +75,9 @@ val mode : t -> mode
 
 val jobs : t -> int
 (** Fan-out width this context was created with. *)
+
+val batch : t -> int
+(** Vector-batch size this context was created with. *)
 
 (** Cumulative work counters across all contexts. The numbers live in the
     [faultsim.*] counters of the {!Tvs_obs.Metrics} registry (per-domain
@@ -109,3 +123,17 @@ val detects : t -> pi:bool array -> state:bool array -> Fault.t -> bool
 
 val detected_faults : t -> pi:bool array -> state:bool array -> Fault.t array -> bool array
 (** Full-observability detection flags for a whole fault list. *)
+
+val detected_matrix :
+  t -> vectors:(bool array * bool array) array -> Fault.t array -> bool array array
+(** [detected_matrix t ~vectors faults] screens every [(pi, state)] vector
+    against the whole fault list: row [v] equals
+    [detected_faults t ~pi ~state faults] for vector [v].
+
+    This is the batched form of per-vector screening: the cone order and
+    per-chunk injection tables are built once for the entire call, and the
+    domain-pool axis is vector batches of size {!batch} rather than 62-fault
+    chunks — so one pool submission amortizes fan-out overhead across the
+    whole vector set. Rows are merged by batch index and each vector's work
+    is slot-independent, making the matrix byte-identical for every [jobs]
+    and [batch] value. *)

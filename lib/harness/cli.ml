@@ -39,6 +39,18 @@ let check_jobs j =
   if j >= 1 then Ok j
   else Error (Printf.sprintf "--jobs must be at least 1 (got %d)" j)
 
+let check_batch b =
+  if b >= 1 then Ok b
+  else Error (Printf.sprintf "--batch must be at least 1 (got %d)" b)
+
+let check_scale f =
+  if f > 0.0 && f <= 1.0 then Ok f
+  else
+    Error
+      (Printf.sprintf
+         "--scale must be in (0, 1]: got %g (1.0 = full-size profiles; smaller values shrink them)"
+         f)
+
 let check_out_file ~flag path =
   if String.length path = 0 then Error (Printf.sprintf "%s needs a non-empty file name" flag)
   else if Sys.file_exists path && Sys.is_directory path then

@@ -37,14 +37,15 @@ type run_summary = {
    [baseline_detection] consults it. Keys are content digests of the inputs
    that determine the result — circuit structure plus engine configuration
    plus the label that seeds the RNG — so a changed netlist or option can
-   never replay a stale row, while [jobs] (results are jobs-invariant) and
-   the host are free to differ between the writing and the reading run. *)
+   never replay a stale row, while [jobs] and [batch] (results are
+   invariant to both) and the host are free to differ between the writing
+   and the reading run. *)
 
 let active_cache : Cache.t option ref = ref None
 let set_cache c = active_cache := c
 let cache () = !active_cache
 
-let config_for ?scheme ?shift ?selection ?jobs ?preflight (prep : Prep.t) =
+let config_for ?scheme ?shift ?selection ?jobs ?batch ?preflight (prep : Prep.t) =
   let chain_len = Circuit.num_flops prep.circuit in
   let base = Engine.default_config ~chain_len in
   {
@@ -53,6 +54,7 @@ let config_for ?scheme ?shift ?selection ?jobs ?preflight (prep : Prep.t) =
     shift = Option.value ~default:base.Engine.shift shift;
     selection = Option.value ~default:base.Engine.selection selection;
     jobs = (match jobs with Some _ -> jobs | None -> base.Engine.jobs);
+    batch = (match batch with Some _ -> batch | None -> base.Engine.batch);
     preflight = Option.value ~default:base.Engine.preflight preflight;
   }
 
@@ -113,12 +115,12 @@ let lint_report ?options ?lines c =
           Cache.store cache ~kind:lint_kind ~key (fun w -> Tvs_lint.Lint.encode_report w r);
           r)
 
-let run_flow ?scheme ?shift ?selection ?jobs ?preflight ?resume ?checkpoint ~label
+let run_flow ?scheme ?shift ?selection ?jobs ?batch ?preflight ?resume ?checkpoint ~label
     (prep : Prep.t) =
   Tvs_obs.Trace.with_span "flow"
     ~args:[ ("circuit", Circuit.name prep.Prep.circuit); ("label", label) ]
   @@ fun () ->
-  let config = config_for ?scheme ?shift ?selection ?jobs ?preflight prep in
+  let config = config_for ?scheme ?shift ?selection ?jobs ?batch ?preflight prep in
   let key =
     Option.map
       (fun _ ->
@@ -188,11 +190,14 @@ let baseline_detection (prep : Prep.t) =
     @@ fun () ->
     let sim = Fault_sim.create prep.circuit in
     let hit = Array.make (Array.length prep.faults) false in
-    Array.iter
-      (fun (v : Cube.vector) ->
-        let flags = Fault_sim.detected_faults sim ~pi:v.Cube.pi ~state:v.Cube.scan prep.faults in
-        Array.iteri (fun i b -> if b then hit.(i) <- true) flags)
-      prep.baseline.Baseline.vectors;
+    (* One matrix call over the whole baseline set: the cone order and
+       injection tables are built once, and the pool axis (when jobs > 1)
+       is vector batches. *)
+    let vectors =
+      Array.map (fun (v : Cube.vector) -> (v.Cube.pi, v.Cube.scan)) prep.baseline.Baseline.vectors
+    in
+    let matrix = Fault_sim.detected_matrix sim ~vectors prep.faults in
+    Array.iter (fun flags -> Array.iteri (fun i b -> if b then hit.(i) <- true) flags) matrix;
     {
       detected = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 hit;
       faults = Array.length prep.faults;
@@ -506,13 +511,10 @@ let ablations ?(scale = 1.0) ?(circuit = "s953") ?jobs () =
   (* 1. Parallel vs serial fault simulation over the baseline test set. *)
   let sim = Fault_sim.create c in
   let vectors = prep.Prep.baseline.Baseline.vectors in
+  let vec_pairs = Array.map (fun (v : Cube.vector) -> (v.Cube.pi, v.Cube.scan)) vectors in
   let faults = prep.Prep.faults in
   let _, par_time =
-    time_it (fun () ->
-        Array.iter
-          (fun (v : Cube.vector) ->
-            ignore (Fault_sim.detected_faults sim ~pi:v.Cube.pi ~state:v.Cube.scan faults))
-          vectors)
+    time_it (fun () -> ignore (Fault_sim.detected_matrix sim ~vectors:vec_pairs faults))
   in
   let _, ser_time =
     time_it (fun () ->
@@ -536,16 +538,11 @@ let ablations ?(scale = 1.0) ?(circuit = "s953") ?jobs () =
     List.sort_uniq compare
       [ 1; 2; 4; (match jobs with Some j -> max 1 j | None -> Tvs_util.Pool.default_jobs ()) ]
   in
-  let screen_time j =
-    let sim = Fault_sim.create ~jobs:j c in
-    snd
-      (time_it (fun () ->
-           Array.iter
-             (fun (v : Cube.vector) ->
-               ignore (Fault_sim.detected_faults sim ~pi:v.Cube.pi ~state:v.Cube.scan faults))
-             vectors))
+  let screen_time j b =
+    let sim = Fault_sim.create ~jobs:j ~batch:b c in
+    snd (time_it (fun () -> ignore (Fault_sim.detected_matrix sim ~vectors:vec_pairs faults)))
   in
-  let scaling = List.map (fun j -> (j, screen_time j)) jobs_sweep in
+  let scaling = List.map (fun j -> (j, screen_time j 1)) jobs_sweep in
   let base_time = List.assoc 1 scaling in
   Buffer.add_string buf "  domain-pool scaling (wall clock):";
   List.iter
@@ -554,6 +551,17 @@ let ablations ?(scale = 1.0) ?(circuit = "s953") ?jobs () =
         (Printf.sprintf " jobs=%d %.3fs (%.2fx)" j tm
            (if tm > 0.0 then base_time /. tm else nan)))
     scaling;
+  Buffer.add_char buf '\n';
+  (* 1c. Vector-batch size under the widest pool of the sweep: how coarse
+     the vector axis can get before slots idle. Results are identical at
+     every (jobs, batch); only the wall clock moves. *)
+  let widest = List.fold_left max 1 jobs_sweep in
+  let batch_sweep = [ 1; 4; 16 ] in
+  let batch_scaling = List.map (fun b -> (b, screen_time widest b)) batch_sweep in
+  Buffer.add_string buf (Printf.sprintf "  vector-batch scaling (jobs=%d):" widest);
+  List.iter
+    (fun (b, tm) -> Buffer.add_string buf (Printf.sprintf " batch=%d %.3fs" b tm))
+    batch_scaling;
   Buffer.add_char buf '\n';
   (* 2. SCOAP-guided vs naive PODEM backtrace. *)
   let gen_with ~guided ~dropping label =

@@ -1,5 +1,4 @@
 module Circuit = Tvs_netlist.Circuit
-module Gate = Tvs_netlist.Gate
 module Metrics = Tvs_obs.Metrics
 
 (* Work metrics, recorded per run (not per event) so the observation cost is
@@ -14,28 +13,19 @@ let m_full_passes = Metrics.counter "sim.event.full_passes"
 let m_adoptions = Metrics.counter ~stable:false "sim.event.baseline_adoptions"
 let h_disturbed = Metrics.histogram "sim.event.disturbed_nets"
 
-(* Pre-extracted gate table: kind + fanin nets per net, gate-only fanout
-   sinks per net. Avoids constructor matches and tuple traffic on the hot
-   propagation path. *)
+(* All static circuit structure lives in the shared flat {!Soa} table; this
+   record only owns the mutable per-context scratch. *)
 type t = {
-  circuit : Circuit.t;
+  soa : Soa.t;
   good : int array;  (* broadcast fault-free value per net, set by set_stimulus *)
   values : int array;  (* working lane-packed values; equal to [good] between runs *)
   ov : Inject.t;
-  level_of : int array;
-  depth : int;
-  is_gate : bool array;
-  kind_of : Gate.kind array;  (* valid where is_gate *)
-  ins_of : int array array;  (* valid where is_gate; [||] elsewhere *)
-  gate_sinks : int array array;  (* fanout sinks that are gate nets *)
-  flop_d : int array;  (* D net per flop, scan order *)
   (* Per-level pending stacks, capacity = level population. *)
   bucket : int array array;
   bucket_len : int array;
   scheduled : bool array;
   touched : int array;  (* stack of nets whose value deviates from [good] *)
   mutable touched_len : int;
-  num_gates : int;  (* length of the topo order: full-pass evaluation count *)
   mutable good_po : bool array;
   mutable good_capture : bool array;
   mutable stimulus_set : bool;
@@ -43,67 +33,25 @@ type t = {
   mutable last_evals : int;  (* gate evaluations in the last run *)
 }
 
-let create circuit =
+let create ?soa circuit =
+  let soa =
+    match soa with
+    | Some s ->
+        if Soa.circuit s != circuit then invalid_arg "Event.create: soa built for another circuit";
+        s
+    | None -> Soa.create circuit
+  in
   let n = Circuit.num_nets circuit in
-  let depth = Circuit.depth circuit in
-  let level_of = Array.init n (fun net -> Circuit.level circuit net) in
-  let is_gate = Array.make n false in
-  let kind_of = Array.make n Gate.Buf in
-  let ins_of = Array.make n [||] in
-  for net = 0 to n - 1 do
-    match Circuit.driver circuit net with
-    | Circuit.Gate_node (kind, ins) ->
-        is_gate.(net) <- true;
-        kind_of.(net) <- kind;
-        ins_of.(net) <- ins
-    | Circuit.Primary_input | Circuit.Flip_flop _ | Circuit.Const _ -> ()
-  done;
-  let gate_sinks =
-    Array.init n (fun net ->
-        let sinks = Circuit.fanout circuit net in
-        let count = Array.fold_left (fun a (s, _) -> if is_gate.(s) then a + 1 else a) 0 sinks in
-        let out = Array.make count 0 in
-        let k = ref 0 in
-        Array.iter
-          (fun (s, _) ->
-            if is_gate.(s) then begin
-              out.(!k) <- s;
-              incr k
-            end)
-          sinks;
-        out)
-  in
-  let flop_d =
-    Array.map
-      (fun fnet ->
-        match Circuit.driver circuit fnet with
-        | Circuit.Flip_flop d -> d
-        | Circuit.Primary_input | Circuit.Gate_node _ | Circuit.Const _ ->
-            invalid_arg "Event.create: flop list corrupt")
-      (Circuit.flops circuit)
-  in
-  let level_pop = Array.make (depth + 1) 0 in
-  for net = 0 to n - 1 do
-    if is_gate.(net) then level_pop.(level_of.(net)) <- level_pop.(level_of.(net)) + 1
-  done;
   {
-    circuit;
+    soa;
     good = Array.make n 0;
     values = Array.make n 0;
     ov = Inject.create circuit;
-    level_of;
-    depth;
-    is_gate;
-    kind_of;
-    ins_of;
-    gate_sinks;
-    flop_d;
-    bucket = Array.map (fun cap -> Array.make (max cap 1) 0) level_pop;
-    bucket_len = Array.make (depth + 1) 0;
+    bucket = Array.map (fun cap -> Array.make (max cap 1) 0) soa.Soa.level_pop;
+    bucket_len = Array.make (soa.Soa.depth + 1) 0;
     scheduled = Array.make n false;
     touched = Array.make n 0;
     touched_len = 0;
-    num_gates = Array.length (Circuit.topo_order circuit);
     good_po = [||];
     good_capture = [||];
     stimulus_set = false;
@@ -111,43 +59,16 @@ let create circuit =
     last_evals = 0;
   }
 
-let circuit t = t.circuit
+let circuit t = Soa.circuit t.soa
+let soa t = t.soa
 let last_events t = t.last_events
 let last_evals t = t.last_evals
-let full_evals t = t.num_gates
-
-(* Branch-override-free gate evaluation over lane-packed words. *)
-let eval_plain values kind (ins : int array) =
-  let n = Array.length ins in
-  let v =
-    match kind with
-    | Gate.And | Gate.Nand ->
-        let acc = ref Lanes.all_mask in
-        for p = 0 to n - 1 do
-          acc := !acc land Array.unsafe_get values (Array.unsafe_get ins p)
-        done;
-        if kind = Gate.And then !acc else lnot !acc
-    | Gate.Or | Gate.Nor ->
-        let acc = ref 0 in
-        for p = 0 to n - 1 do
-          acc := !acc lor Array.unsafe_get values (Array.unsafe_get ins p)
-        done;
-        if kind = Gate.Or then !acc else lnot !acc
-    | Gate.Xor | Gate.Xnor ->
-        let acc = ref 0 in
-        for p = 0 to n - 1 do
-          acc := !acc lxor Array.unsafe_get values (Array.unsafe_get ins p)
-        done;
-        if kind = Gate.Xor then !acc else lnot !acc
-    | Gate.Not -> lnot values.(ins.(0))
-    | Gate.Buf -> values.(ins.(0))
-  in
-  v land Lanes.all_mask
+let full_evals t = Soa.num_evals t.soa
 
 (* One full fault-free pass; every later [run] against this stimulus only
    re-evaluates what its injections actually disturb. *)
 let set_stimulus t ~pi ~state =
-  let c = t.circuit in
+  let c = circuit t in
   if Array.length pi <> Circuit.num_inputs c then
     invalid_arg "Event.set_stimulus: pi length mismatch";
   if Array.length state <> Circuit.num_flops c then
@@ -161,17 +82,16 @@ let set_stimulus t ~pi ~state =
   t.touched_len <- 0;
   Array.iteri (fun i net -> t.good.(net) <- Lanes.broadcast pi.(i)) (Circuit.inputs c);
   Array.iteri (fun i net -> t.good.(net) <- Lanes.broadcast state.(i)) (Circuit.flops c);
-  Array.iter
-    (fun net ->
-      if t.is_gate.(net) then t.good.(net) <- eval_plain t.good t.kind_of.(net) t.ins_of.(net)
-      else
-        match Circuit.driver c net with
-        | Circuit.Const b -> t.good.(net) <- Lanes.broadcast b
-        | Circuit.Primary_input | Circuit.Flip_flop _ | Circuit.Gate_node _ -> ())
-    (Circuit.topo_order c);
+  let soa = t.soa and good = t.good in
+  let order = soa.Soa.order in
+  (* Consts ride the same kernel (empty XOR fold + inversion word). *)
+  for k = 0 to Array.length order - 1 do
+    let net = Array.unsafe_get order k in
+    Array.unsafe_set good net (Soa.eval soa good net)
+  done;
   Array.blit t.good 0 t.values 0 (Array.length t.good);
   t.good_po <- Array.map (fun net -> t.good.(net) land 1 = 1) (Circuit.outputs c);
-  t.good_capture <- Array.map (fun d -> t.good.(d) land 1 = 1) t.flop_d;
+  t.good_capture <- Array.map (fun d -> t.good.(d) land 1 = 1) soa.Soa.flop_d;
   t.stimulus_set <- true;
   Metrics.incr m_full_passes
 
@@ -181,7 +101,7 @@ let set_stimulus t ~pi ~state =
    fault-free machine once and fan chunks out to per-domain contexts. *)
 let adopt_baseline t ~from =
   if not from.stimulus_set then invalid_arg "Event.adopt_baseline: source has no stimulus";
-  if t.circuit != from.circuit then invalid_arg "Event.adopt_baseline: circuit mismatch";
+  if circuit t != circuit from then invalid_arg "Event.adopt_baseline: circuit mismatch";
   Inject.clear t.ov;
   for k = 0 to t.touched_len - 1 do
     let net = t.touched.(k) in
@@ -198,57 +118,75 @@ let adopt_baseline t ~from =
 let good_po t = t.good_po
 let good_capture t = t.good_capture
 
+(* Unchecked accesses throughout the event machinery: every index is a net
+   or level drawn from the circuit's own CSR tables, and every scratch array
+   was sized from the same circuit in [create]. *)
 let schedule t net =
-  if not t.scheduled.(net) then begin
-    t.scheduled.(net) <- true;
-    let lvl = t.level_of.(net) in
-    let len = t.bucket_len.(lvl) in
-    t.bucket.(lvl).(len) <- net;
-    t.bucket_len.(lvl) <- len + 1
+  if not (Array.unsafe_get t.scheduled net) then begin
+    Array.unsafe_set t.scheduled net true;
+    let lvl = Array.unsafe_get t.soa.Soa.level_of net in
+    let len = Array.unsafe_get t.bucket_len lvl in
+    Array.unsafe_set (Array.unsafe_get t.bucket lvl) len net;
+    Array.unsafe_set t.bucket_len lvl (len + 1)
   end
 
 (* Commit a (possibly) new value for [net]; fire an event iff it changed. *)
 let touch t net v =
-  if v <> t.values.(net) then begin
-    if t.values.(net) = t.good.(net) then begin
-      t.touched.(t.touched_len) <- net;
+  let old = Array.unsafe_get t.values net in
+  if v <> old then begin
+    if old = Array.unsafe_get t.good net then begin
+      Array.unsafe_set t.touched t.touched_len net;
       t.touched_len <- t.touched_len + 1
     end;
-    t.values.(net) <- v;
+    Array.unsafe_set t.values net v;
     t.last_events <- t.last_events + 1;
-    let sinks = t.gate_sinks.(net) in
-    for s = 0 to Array.length sinks - 1 do
-      schedule t sinks.(s)
+    let soa = t.soa in
+    let sb = soa.Soa.sink_base in
+    for s = Array.unsafe_get sb net to Array.unsafe_get sb (net + 1) - 1 do
+      schedule t (Array.unsafe_get soa.Soa.sink s)
     done
   end
 
-let run t ?states ~injections () =
+let compile t injections = Inject.compile t.ov injections
+
+(* Shared front half of [run] and [run_diff]: install overrides, seed lane
+   deviations, and propagate level by level. Leaves the disturbed values, the
+   touched stack and the installed overrides in place for the caller to read;
+   the caller must undo the overrides with [Inject.clear_plan] before
+   [finish]. All validation happens before the install so no exception can
+   leave overrides dangling. *)
+let propagate t ?states ~(plan : Inject.plan) () =
   if not t.stimulus_set then invalid_arg "Event.run: set_stimulus first";
-  let c = t.circuit in
+  let c = circuit t in
+  (match states with
+  | Some words when Array.length words <> Circuit.num_flops c ->
+      invalid_arg "Event.run: states length mismatch"
+  | Some _ | None -> ());
   t.last_events <- 0;
   t.last_evals <- 0;
-  Inject.clear t.ov;
-  Inject.install t.ov injections;
+  Inject.install_plan t.ov plan;
   (* Seed 1: per-lane scan states deviating from the broadcast baseline. *)
   (match states with
   | None -> ()
   | Some words ->
-      if Array.length words <> Circuit.num_flops c then
-        invalid_arg "Event.run: states length mismatch";
       Array.iteri
         (fun i fnet -> touch t fnet (Inject.apply_stem t.ov fnet (words.(i) land Lanes.all_mask)))
         (Circuit.flops c));
-  (* Seed 2: injection sites. Stem masks re-read the current value, so
-     multiple seeds on one net compose; branch overrides fire their sink. *)
-  List.iter
-    (fun (inj : Inject.injection) ->
-      match inj.branch with
-      | None -> touch t inj.stem (Inject.apply_stem t.ov inj.stem t.values.(inj.stem))
-      | Some (sink, _pin) -> if t.is_gate.(sink) then schedule t sink)
-    injections;
+  (* Seed 2: injection sites. Stem masks are pre-merged per unique net, so
+     one touch per entry covers every lane; branch overrides fire their
+     sink (scheduling dedupes, so repeated sinks are free). *)
+  let soa = t.soa in
+  let stems = plan.Inject.stems in
+  for i = 0 to Array.length stems - 1 do
+    let s = Array.unsafe_get stems i in
+    touch t s (Inject.apply_stem t.ov s t.values.(s))
+  done;
+  Array.iter
+    (fun sink -> if soa.Soa.is_gate.(sink) then schedule t sink)
+    plan.Inject.branch_sinks;
   (* Propagate level by level: a gate's fanins are all at strictly lower
      levels, so each pending gate is evaluated exactly once per run. *)
-  for lvl = 0 to t.depth do
+  for lvl = 0 to soa.Soa.depth do
     let pending = t.bucket.(lvl) in
     (* [touch] only schedules at higher levels, so this length is final. *)
     let len = t.bucket_len.(lvl) in
@@ -257,28 +195,75 @@ let run t ?states ~injections () =
       t.scheduled.(net) <- false;
       t.last_evals <- t.last_evals + 1;
       let v =
-        if Inject.sink_flagged t.ov net then
-          Inject.eval_gate t.ov ~values:t.values net t.kind_of.(net) t.ins_of.(net)
-        else eval_plain t.values t.kind_of.(net) t.ins_of.(net)
+        if Inject.sink_flagged t.ov net then Soa.eval_inject soa t.ov t.values net
+        else Soa.eval soa t.values net
       in
       touch t net (Inject.apply_stem t.ov net v)
     done;
     t.bucket_len.(lvl) <- 0
-  done;
-  let po = Array.map (fun net -> t.values.(net)) (Circuit.outputs c) in
-  let flops = Circuit.flops c in
-  let capture =
-    Array.init (Array.length flops) (fun i ->
-        Inject.fetch t.ov ~values:t.values ~sink:flops.(i) ~pin:0 t.flop_d.(i))
-  in
+  done
+
+(* Shared back half: record work metrics and roll the working values back to
+   the baseline for the next run. *)
+let finish t =
   Metrics.incr m_runs;
   Metrics.add m_events t.last_events;
   Metrics.add m_gate_evals t.last_evals;
   Metrics.observe h_disturbed t.touched_len;
-  (* Roll the working values back to the baseline for the next run. *)
   for k = 0 to t.touched_len - 1 do
-    let net = t.touched.(k) in
-    t.values.(net) <- t.good.(net)
+    let net = Array.unsafe_get t.touched k in
+    Array.unsafe_set t.values net (Array.unsafe_get t.good net)
   done;
-  t.touched_len <- 0;
+  t.touched_len <- 0
+
+let run t ?states ~plan () =
+  propagate t ?states ~plan ();
+  let c = circuit t in
+  let po = Array.map (fun net -> t.values.(net)) (Circuit.outputs c) in
+  let flops = Circuit.flops c in
+  let flop_d = t.soa.Soa.flop_d in
+  let capture =
+    Array.init (Array.length flops) (fun i ->
+        Inject.fetch t.ov ~values:t.values ~sink:flops.(i) ~pin:0 flop_d.(i))
+  in
+  Inject.clear_plan t.ov plan;
+  finish t;
   { Parallel.po; capture }
+
+let run_diff t ?states ~(plan : Inject.plan) ~used () =
+  propagate t ?states ~plan ();
+  let soa = t.soa in
+  let diff = ref 0 in
+  (* Only disturbed nets can differ from lane 0, so the observability scan is
+     O(touched), not O(outputs + flops): a touched net contributes its
+     deviation mask once if it is a primary output and once per flop that
+     captures it — unless that flop observes its D net through a branch
+     override, which can create or cancel a lane deviation and is therefore
+     handled explicitly from the injection list below. *)
+  for k = 0 to t.touched_len - 1 do
+    let net = Array.unsafe_get t.touched k in
+    let w = Array.unsafe_get t.values net in
+    let d = (w lxor (-(w land 1) land Lanes.all_mask)) land used in
+    if d <> 0 then begin
+      if Array.unsafe_get soa.Soa.is_po net then diff := !diff lor d;
+      let db = soa.Soa.dflop_base in
+      for j = Array.unsafe_get db net to Array.unsafe_get db (net + 1) - 1 do
+        if not (Inject.sink_flagged t.ov (Array.unsafe_get soa.Soa.dflop j)) then
+          diff := !diff lor d
+      done
+    end
+  done;
+  let bsinks = plan.Inject.branch_sinks in
+  for i = 0 to Array.length bsinks - 1 do
+    let sink = Array.unsafe_get bsinks i in
+    if soa.Soa.is_flop.(sink) then begin
+      let w =
+        Inject.fetch t.ov ~values:t.values ~sink ~pin:plan.Inject.branch_pins.(i)
+          plan.Inject.branch_stems.(i)
+      in
+      diff := !diff lor ((w lxor (-(w land 1) land Lanes.all_mask)) land used)
+    end
+  done;
+  Inject.clear_plan t.ov plan;
+  finish t;
+  !diff

@@ -14,8 +14,17 @@
 
 type t
 
-val create : Tvs_netlist.Circuit.t -> t
+val create : ?soa:Soa.t -> Tvs_netlist.Circuit.t -> t
+(** [?soa] supplies a pre-built flat gate table (it must wrap the same
+    circuit, physically); when omitted one is built. Sharing one {!Soa.t}
+    across the contexts of a fan-out avoids rebuilding the tables per slot.
+
+    Raises [Invalid_argument] if [soa] wraps a different circuit. *)
+
 val circuit : t -> Tvs_netlist.Circuit.t
+
+val soa : t -> Soa.t
+(** The flat gate table this context sweeps over (shared, read-only). *)
 
 val set_stimulus : t -> pi:bool array -> state:bool array -> unit
 (** Evaluate the fault-free machine once for a single-machine stimulus and
@@ -39,16 +48,34 @@ val good_po : t -> bool array
 val good_capture : t -> bool array
 (** Fault-free captured next state of the current stimulus. *)
 
-val run :
-  t -> ?states:int array -> injections:Inject.injection list -> unit -> Parallel.result
-(** [run t ~injections ()] simulates the installed faults against the
-    baseline stimulus (every lane sees the {!set_stimulus} vector).
-    [?states] optionally supplies lane-packed per-flop scan words replacing
-    the baseline state — used when hidden faults evolve divergent states;
-    lane 0 must then carry the baseline (good) state.
+val compile : t -> Inject.injection list -> Inject.plan
+(** {!Inject.compile} against this context's override tables: validates the
+    list once and pre-merges its lane masks. The returned plan is immutable
+    and shared freely across sibling contexts of the same circuit — compile
+    on the submitter, run on any pool slot. *)
 
-    Raises [Invalid_argument] if no stimulus is set or on dimension / lane
-    range errors. *)
+val run : t -> ?states:int array -> plan:Inject.plan -> unit -> Parallel.result
+(** [run t ~plan ()] simulates the compiled faults against the baseline
+    stimulus (every lane sees the {!set_stimulus} vector). [?states]
+    optionally supplies lane-packed per-flop scan words replacing the
+    baseline state — used when hidden faults evolve divergent states; lane 0
+    must then carry the baseline (good) state.
+
+    Raises [Invalid_argument] if no stimulus is set or on dimension
+    mismatches. *)
+
+val run_diff : t -> ?states:int array -> plan:Inject.plan -> used:int -> unit -> int
+(** [run_diff t ~plan ~used ()] simulates exactly like {!run} but
+    returns only the lane-difference mask: the OR, over every primary output
+    and every captured next-state bit, of [(word lxor broadcast(lane0)) land
+    used]. A set bit at lane [l] means lane [l]'s machine is distinguishable
+    from the fault-free lane 0 at some observation point — precisely the
+    detection criterion used by screening.
+
+    Equivalent to running {!run} and folding the result through the lane
+    difference masks, but allocation-free: the observability scan walks only
+    the disturbed nets, so its cost follows cone activity rather than the
+    output and flop counts. *)
 
 val last_events : t -> int
 (** Net-value changes fired by the last {!run}. *)

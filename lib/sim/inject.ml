@@ -92,11 +92,82 @@ let install t injections =
           else t.branch_clear.(slot) <- t.branch_clear.(slot) lor bit)
     injections
 
-let apply_stem t net v = v land lnot t.stem_clear.(net) lor t.stem_set.(net)
+type plan = {
+  stems : Circuit.net array;
+  stem_set_m : int array;
+  stem_clear_m : int array;
+  flag_sinks : Circuit.net array;
+  slots : int array;
+  slot_set_m : int array;
+  slot_clear_m : int array;
+  branch_stems : Circuit.net array;
+  branch_sinks : Circuit.net array;
+  branch_pins : int array;
+}
+
+(* Reuse [install]'s merge-and-validate logic: install into [t], snapshot the
+   touched cells with their merged masks, then undo. [t] is only a scratch
+   here — its tables are byte-identical before and after. *)
+let compile t injections =
+  install t injections;
+  let stems = Array.of_list t.touched_stems in
+  let plan =
+    {
+      stems;
+      stem_set_m = Array.map (fun n -> t.stem_set.(n)) stems;
+      stem_clear_m = Array.map (fun n -> t.stem_clear.(n)) stems;
+      flag_sinks = Array.of_list t.touched_sinks;
+      slots = Array.of_list t.touched_slots;
+      slot_set_m = Array.of_list (List.map (fun s -> t.branch_set.(s)) t.touched_slots);
+      slot_clear_m = Array.of_list (List.map (fun s -> t.branch_clear.(s)) t.touched_slots);
+      branch_stems =
+        Array.of_list
+          (List.filter_map (fun i -> Option.map (fun _ -> i.stem) i.branch) injections);
+      branch_sinks =
+        Array.of_list (List.filter_map (fun i -> Option.map fst i.branch) injections);
+      branch_pins =
+        Array.of_list (List.filter_map (fun i -> Option.map snd i.branch) injections);
+    }
+  in
+  clear t;
+  plan
+
+let install_plan t p =
+  let stems = p.stems in
+  for i = 0 to Array.length stems - 1 do
+    let n = Array.unsafe_get stems i in
+    t.stem_set.(n) <- Array.unsafe_get p.stem_set_m i;
+    t.stem_clear.(n) <- Array.unsafe_get p.stem_clear_m i
+  done;
+  Array.iter (fun s -> t.sink_flagged.(s) <- true) p.flag_sinks;
+  let slots = p.slots in
+  for i = 0 to Array.length slots - 1 do
+    let s = Array.unsafe_get slots i in
+    t.branch_set.(s) <- Array.unsafe_get p.slot_set_m i;
+    t.branch_clear.(s) <- Array.unsafe_get p.slot_clear_m i
+  done
+
+let clear_plan t p =
+  Array.iter
+    (fun n ->
+      t.stem_set.(n) <- 0;
+      t.stem_clear.(n) <- 0)
+    p.stems;
+  Array.iter (fun s -> t.sink_flagged.(s) <- false) p.flag_sinks;
+  Array.iter
+    (fun s ->
+      t.branch_set.(s) <- 0;
+      t.branch_clear.(s) <- 0)
+    p.slots
+
+(* Hot path of both simulators; [net] always comes from the circuit's own
+   tables, so the bounds checks are elided. *)
+let apply_stem t net v =
+  v land lnot (Array.unsafe_get t.stem_clear net) lor Array.unsafe_get t.stem_set net
+
+let sink_flagged t sink = Array.unsafe_get t.sink_flagged sink
 
 let stem_overridden t net = t.stem_set.(net) lor t.stem_clear.(net) <> 0
-
-let sink_flagged t sink = t.sink_flagged.(sink)
 
 (* Value of [src] as seen by pin [pin] of consumer [sink]. *)
 let fetch t ~values ~sink ~pin src =

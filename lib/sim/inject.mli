@@ -27,6 +27,38 @@ val install : t -> injection list -> unit
 (** Raises [Invalid_argument] on a lane outside [0, Lanes.width) or a branch
     pin outside the sink's fanin range. *)
 
+type plan = private {
+  stems : Tvs_netlist.Circuit.net array;  (** unique stem-faulted nets *)
+  stem_set_m : int array;  (** merged force-to-1 mask per entry of [stems] *)
+  stem_clear_m : int array;  (** merged force-to-0 mask per entry of [stems] *)
+  flag_sinks : Tvs_netlist.Circuit.net array;  (** unique branch-override sinks *)
+  slots : int array;  (** unique overridden (sink, pin) slots *)
+  slot_set_m : int array;
+  slot_clear_m : int array;
+  branch_stems : Tvs_netlist.Circuit.net array;  (** one row per branch injection *)
+  branch_sinks : Tvs_netlist.Circuit.net array;
+  branch_pins : int array;
+}
+(** A compiled injection list: the exact override-table writes an {!install}
+    of the list would perform, deduplicated and with lane masks pre-merged.
+    Compiling once and replaying with {!install_plan}/{!clear_plan} turns the
+    per-run injection cost from a list walk with per-entry allocation and
+    validation into a few dozen array writes — the difference dominates
+    event-driven screening, where cone activity is small but every chunk of
+    every vector reinstalls the same 62 overrides. Immutable after
+    {!compile}; safe to share read-only across domains. *)
+
+val compile : t -> injection list -> plan
+(** Validates like {!install} (raising [Invalid_argument] on a bad lane or
+    pin) and leaves [t]'s override tables unchanged. *)
+
+val install_plan : t -> plan -> unit
+(** Requires [t] to hold no overrides (the state {!clear}/{!clear_plan}
+    leave behind); callers must pair every [install_plan] with a
+    {!clear_plan} of the same plan. *)
+
+val clear_plan : t -> plan -> unit
+
 val apply_stem : t -> Tvs_netlist.Circuit.net -> int -> int
 (** Apply the net's stem force masks to a lane-packed value. *)
 

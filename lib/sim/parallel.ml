@@ -10,47 +10,55 @@ type injection = Inject.injection = {
 type result = { po : int array; capture : int array }
 
 type t = {
-  circuit : Circuit.t;
+  soa : Soa.t;
   values : int array;  (* lane-packed value per net *)
   ov : Inject.t;
 }
 
-let create circuit =
-  let n = Circuit.num_nets circuit in
-  { circuit; values = Array.make n 0; ov = Inject.create circuit }
+let create ?soa circuit =
+  let soa =
+    match soa with
+    | Some s ->
+        if Soa.circuit s != circuit then invalid_arg "Parallel.create: soa built for another circuit";
+        s
+    | None -> Soa.create circuit
+  in
+  { soa; values = Array.make (Circuit.num_nets circuit) 0; ov = Inject.create circuit }
 
-let circuit t = t.circuit
+let circuit t = Soa.circuit t.soa
+let soa t = t.soa
 
 let run t ~pi ~state ~injections =
-  let c = t.circuit in
+  let c = circuit t in
   if Array.length pi <> Circuit.num_inputs c then invalid_arg "Parallel.run: pi length mismatch";
   if Array.length state <> Circuit.num_flops c then invalid_arg "Parallel.run: state length mismatch";
   Inject.clear t.ov;
   Inject.install t.ov injections;
-  let apply_stem net v = Inject.apply_stem t.ov net v in
-  Array.iteri (fun i net -> t.values.(net) <- apply_stem net (pi.(i) land Lanes.all_mask)) (Circuit.inputs c);
+  let soa = t.soa and ov = t.ov and values = t.values in
   Array.iteri
-    (fun i net -> t.values.(net) <- apply_stem net (state.(i) land Lanes.all_mask))
+    (fun i net -> values.(net) <- Inject.apply_stem ov net (pi.(i) land Lanes.all_mask))
+    (Circuit.inputs c);
+  Array.iteri
+    (fun i net -> values.(net) <- Inject.apply_stem ov net (state.(i) land Lanes.all_mask))
     (Circuit.flops c);
-  Array.iter
-    (fun net ->
-      let v =
-        match Circuit.driver c net with
-        | Circuit.Gate_node (kind, ins) -> Inject.eval_gate t.ov ~values:t.values net kind ins
-        | Circuit.Const b -> Lanes.broadcast b
-        | Circuit.Primary_input | Circuit.Flip_flop _ -> t.values.(net)
-      in
-      t.values.(net) <- apply_stem net v)
-    (Circuit.topo_order c);
-  let po = Array.map (fun net -> t.values.(net)) (Circuit.outputs c) in
+  (* One cache-friendly sweep over the flat order: gate and const nets only,
+     every fanin already evaluated. Branch overrides are rare, so the flagged
+     check keeps the per-pin fetch off the common path. *)
+  let order = soa.Soa.order in
+  for k = 0 to Array.length order - 1 do
+    let net = Array.unsafe_get order k in
+    let v =
+      if Inject.sink_flagged ov net then Soa.eval_inject soa ov values net
+      else Soa.eval soa values net
+    in
+    values.(net) <- Inject.apply_stem ov net v
+  done;
+  let po = Array.map (fun net -> values.(net)) (Circuit.outputs c) in
+  let flops = Circuit.flops c in
+  let flop_d = soa.Soa.flop_d in
   let capture =
-    Array.map
-      (fun fnet ->
-        match Circuit.driver c fnet with
-        | Circuit.Flip_flop d -> Inject.fetch t.ov ~values:t.values ~sink:fnet ~pin:0 d
-        | Circuit.Primary_input | Circuit.Gate_node _ | Circuit.Const _ ->
-            invalid_arg "Parallel.run: flop list corrupt")
-      (Circuit.flops c)
+    Array.init (Array.length flops) (fun i ->
+        Inject.fetch ov ~values ~sink:flops.(i) ~pin:0 flop_d.(i))
   in
   { po; capture }
 

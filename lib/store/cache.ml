@@ -53,9 +53,13 @@ let find t ~kind ~key f =
         Some v
     | Error _ ->
         (* Torn write, bit rot, or a schema change that kept the file name:
-           drop the entry and recompute. *)
-        (try Sys.remove path with Sys_error _ -> ());
-        Metrics.incr m_evictions;
+           drop the entry and recompute. The eviction counter records files
+           this call actually removed — if a concurrent reader already
+           unlinked the entry (the remove raises), the eviction was theirs
+           and this read tallies only its miss. *)
+        (match Sys.remove path with
+        | () -> Metrics.incr m_evictions
+        | exception Sys_error _ -> ());
         Metrics.incr m_misses;
         None
 

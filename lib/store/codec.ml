@@ -121,7 +121,13 @@ let write_file_atomic path data =
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  Sys.rename tmp path
+  (* The rename can also fail (permissions, a concurrent reader's directory
+     scan on some platforms, target replaced by a directory); never leave
+     the temp file behind in that case either. *)
+  try Sys.rename tmp path
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 let to_file ~kind path f = write_file_atomic path (encode ~kind f)
 

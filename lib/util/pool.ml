@@ -1,9 +1,11 @@
-(* A fixed-size domain pool. Domains are spawned once and reused across
-   submissions: between jobs they park on a condition variable, so an idle
-   pool costs nothing but memory. Work is distributed by an atomic chunk
-   counter (workers race to claim the next index); results land in a slot
-   array indexed by chunk, which makes the output order — and therefore
-   everything merged from it — independent of scheduling. *)
+(* A fixed-size domain pool. Domains are spawned lazily — on the first
+   submission that actually fans out — and then reused across submissions:
+   between jobs they park on a condition variable, so an idle pool costs
+   nothing but memory, and a pool whose every submission runs inline (jobs=1
+   or single-chunk work) never spawns at all. Work is distributed by an
+   atomic chunk counter (workers race to claim the next index); results land
+   in a slot array indexed by chunk, which makes the output order — and
+   therefore everything merged from it — independent of scheduling. *)
 
 type t = {
   jobs : int;  (* total parallelism, submitter included *)
@@ -15,6 +17,7 @@ type t = {
   mutable busy_workers : int;  (* workers still inside the current job *)
   mutable submitting : bool;  (* re-entrance guard *)
   mutable stop : bool;
+  mutable spawned : bool;  (* workers exist; flipped once, submitter-side *)
   mutable domains : unit Domain.t list;
 }
 
@@ -64,24 +67,34 @@ let rec worker_loop t ~slot ~seen_epoch =
 
 let create ?jobs () =
   let jobs = max 1 (match jobs with Some j -> j | None -> default_jobs ()) in
-  let t =
-    {
-      jobs;
-      mutex = Mutex.create ();
-      work = Condition.create ();
-      finished = Condition.create ();
-      task = None;
-      epoch = 0;
-      busy_workers = 0;
-      submitting = false;
-      stop = false;
-      domains = [];
-    }
-  in
-  t.domains <-
-    List.init (jobs - 1) (fun i ->
-        Domain.spawn (fun () -> worker_loop t ~slot:(i + 1) ~seen_epoch:0));
-  t
+  {
+    jobs;
+    mutex = Mutex.create ();
+    work = Condition.create ();
+    finished = Condition.create ();
+    task = None;
+    epoch = 0;
+    busy_workers = 0;
+    submitting = false;
+    stop = false;
+    spawned = false;
+    domains = [];
+  }
+
+(* First real fan-out: bring the workers up. Runs on the submitter with the
+   [submitting] guard already held, so the flag and list are single-writer;
+   workers start at the current epoch so solo submissions that happened
+   before the spawn are not mistaken for pending work. *)
+let ensure_spawned t =
+  if not t.spawned then begin
+    t.spawned <- true;
+    let epoch = t.epoch in
+    t.domains <-
+      List.init (t.jobs - 1) (fun i ->
+          Domain.spawn (fun () -> worker_loop t ~slot:(i + 1) ~seen_epoch:epoch))
+  end
+
+let num_spawned t = List.length t.domains
 
 let shutdown t =
   Mutex.lock t.mutex;
@@ -122,6 +135,7 @@ let parallel_map_chunks t ~n f =
     in
     if solo then sequential_map n f
     else begin
+      ensure_spawned t;
       let results = Array.make n None in
       let next = Atomic.make 0 in
       let error = Atomic.make None in

@@ -1,7 +1,9 @@
 (** Fixed-size domain pool for deterministic chunked fan-out.
 
-    Domains are spawned once per pool and reused: between submissions they
-    park on a condition variable. A submission hands the pool a number of
+    Domains are spawned lazily — on the first submission that actually fans
+    out — and reused: between submissions they park on a condition variable,
+    and a pool whose submissions all run inline never spawns any. A
+    submission hands the pool a number of
     independent chunks; workers (plus the submitting domain itself, as slot
     0) claim chunk indices from an atomic counter and write results into a
     per-chunk slot array, so the returned array — and anything merged from it
@@ -14,10 +16,12 @@
 type t
 
 val create : ?jobs:int -> unit -> t
-(** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs] is the total
-    parallelism including the submitter; clamped to at least 1, so [jobs:1]
-    spawns nothing and every submission runs inline). Default:
-    {!default_jobs}. *)
+(** [create ~jobs ()] sizes the pool for [jobs - 1] worker domains ([jobs]
+    is the total parallelism including the submitter; clamped to at least 1,
+    so [jobs:1] spawns nothing and every submission runs inline). The
+    workers are not spawned here: they come up on the first submission that
+    fans out, so a pool whose work always fits one chunk costs nothing.
+    Default: {!default_jobs}. *)
 
 val shared : jobs:int -> t
 (** The process-wide pool of the given size, created on first use and reused
@@ -38,7 +42,13 @@ val parallel_map_chunks : t -> n:int -> (slot:int -> int -> 'a) -> 'a array
 
     If any [f] raises, remaining chunks are drained without running and the
     first exception is re-raised in the submitter with its backtrace.
-    Runs inline on the submitter when [jobs = 1] or [n <= 1]. *)
+    Runs inline on the submitter — without spawning or waking any worker —
+    when [jobs = 1] or [n <= 1]. *)
+
+val num_spawned : t -> int
+(** Worker domains currently alive: [0] until the first fanned-out
+    submission (or forever, if none ever fans out), [jobs - 1] after.
+    Exposed for tests and observability. *)
 
 val shutdown : t -> unit
 (** Stop and join the worker domains. Subsequent submissions run inline on

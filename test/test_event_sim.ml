@@ -4,6 +4,7 @@
 
 module Circuit = Tvs_netlist.Circuit
 module Gate = Tvs_netlist.Gate
+module Fault = Tvs_fault.Fault
 module Fault_gen = Tvs_fault.Fault_gen
 module Fault_sim = Tvs_fault.Fault_sim
 module Profiles = Tvs_circuits.Profiles
@@ -49,6 +50,79 @@ let batch_equal (a : Fault_sim.batch_result) (b : Fault_sim.batch_result) =
   frame_equal a.Fault_sim.good b.Fault_sim.good
   && Array.length a.Fault_sim.outcomes = Array.length b.Fault_sim.outcomes
   && Array.for_all2 outcome_equal a.Fault_sim.outcomes b.Fault_sim.outcomes
+
+(* 0. Ground truth: a naive single-fault bool-level simulator in the legacy
+   per-gate-record style — it walks [Circuit.driver] nodes directly, knowing
+   nothing of the flat SoA tables, lane packing, injection plans or diff
+   masks the production paths share. Agreement across arbitrary circuits and
+   fault mixes checks the whole packed stack end to end. *)
+let ref_frame c ~fault ~pi ~state =
+  let values = Array.make (Circuit.num_nets c) false in
+  let stem_override net =
+    match fault with
+    | Some { Fault.branch = None; stem; stuck } when stem = net -> Some stuck
+    | Some _ | None -> None
+  in
+  let read ~sink ~pin src =
+    match fault with
+    | Some { Fault.branch = Some (s, p); stuck; _ } when s = sink && p = pin -> stuck
+    | Some _ | None -> values.(src)
+  in
+  let set net v =
+    values.(net) <- (match stem_override net with Some b -> b | None -> v)
+  in
+  Array.iteri (fun i net -> set net pi.(i)) (Circuit.inputs c);
+  Array.iteri (fun i net -> set net state.(i)) (Circuit.flops c);
+  Array.iter
+    (fun net ->
+      match Circuit.driver c net with
+      | Circuit.Const b -> set net b
+      | Circuit.Gate_node (kind, ins) ->
+          let inb p = read ~sink:net ~pin:p ins.(p) in
+          let fold op seed =
+            let acc = ref seed in
+            Array.iteri (fun p _ -> acc := op !acc (inb p)) ins;
+            !acc
+          in
+          let v =
+            match kind with
+            | Gate.And -> fold ( && ) true
+            | Gate.Nand -> not (fold ( && ) true)
+            | Gate.Or -> fold ( || ) false
+            | Gate.Nor -> not (fold ( || ) false)
+            | Gate.Xor -> fold ( <> ) false
+            | Gate.Xnor -> not (fold ( <> ) false)
+            | Gate.Not -> not (inb 0)
+            | Gate.Buf -> inb 0
+          in
+          set net v
+      | Circuit.Primary_input | Circuit.Flip_flop _ -> ())
+    (Circuit.topo_order c);
+  let po = Array.map (fun net -> values.(net)) (Circuit.outputs c) in
+  let capture =
+    Array.map
+      (fun fnet ->
+        match Circuit.driver c fnet with
+        | Circuit.Flip_flop d -> read ~sink:fnet ~pin:0 d
+        | Circuit.Primary_input | Circuit.Gate_node _ | Circuit.Const _ -> assert false)
+      (Circuit.flops c)
+  in
+  (po, capture)
+
+let qcheck_reference_equivalence =
+  QCheck.Test.make ~name:"packed paths equal naive reference" ~count:40
+    QCheck.(pair (int_range 0 32) small_int)
+    (fun (i, seed) ->
+      let c = tiny_circuit i in
+      let rng = Rng.create (Int64.of_int seed) in
+      let faults = random_faults rng c in
+      let pi, state = random_stimulus rng c in
+      let good = ref_frame c ~fault:None ~pi ~state in
+      let expect = Array.map (fun f -> ref_frame c ~fault:(Some f) ~pi ~state <> good) faults in
+      List.for_all
+        (fun mode ->
+          Fault_sim.detected_faults (Fault_sim.create ~mode c) ~pi ~state faults = expect)
+        [ Fault_sim.Event_driven; Fault_sim.Full ])
 
 (* 1. run_batch: event-driven outcomes (including Capture_differs payloads)
    are bit-exact with the full path on arbitrary circuits and fault mixes. *)
@@ -196,6 +270,89 @@ let test_counters_merge_across_jobs () =
     [ Fault_sim.Event_driven; Fault_sim.Full ];
   Fault_sim.reset_counters ()
 
+(* --- multi-vector screening -------------------------------------------- *)
+
+let random_vectors rng c n = Array.init n (fun _ -> random_stimulus rng c)
+
+(* 7. detected_matrix's contract: row [v] equals a detected_faults screen of
+   vector [v], on both execution paths. *)
+let qcheck_matrix_equals_per_vector =
+  QCheck.Test.make ~name:"detected_matrix rows equal detected_faults" ~count:25
+    QCheck.(pair (int_range 0 32) small_int)
+    (fun (i, seed) ->
+      let c = tiny_circuit i in
+      let rng = Rng.create (Int64.of_int seed) in
+      let faults = random_faults rng c in
+      let vectors = random_vectors rng c (1 + Rng.int rng 9) in
+      List.for_all
+        (fun mode ->
+          let sim = Fault_sim.create ~mode c in
+          let matrix = Fault_sim.detected_matrix sim ~vectors faults in
+          Array.length matrix = Array.length vectors
+          && Array.for_all2
+               (fun row (pi, state) -> row = Fault_sim.detected_faults sim ~pi ~state faults)
+               matrix vectors)
+        [ Fault_sim.Event_driven; Fault_sim.Full ])
+
+(* 8. The batch knob, like jobs, is a pure scheduling choice: every
+   (jobs, batch) combination returns the byte-identical matrix. batch=3
+   leaves a ragged final batch; batch=16 swallows the set whole. *)
+let qcheck_batch_and_jobs_invariance =
+  QCheck.Test.make ~name:"batch=1 equals batch=16 across jobs" ~count:15
+    QCheck.(pair (int_range 0 24) small_int)
+    (fun (i, seed) ->
+      let c = tiny_circuit i in
+      let rng = Rng.create (Int64.of_int seed) in
+      let faults = random_faults rng c in
+      let vectors = random_vectors rng c (2 + Rng.int rng 14) in
+      List.for_all
+        (fun mode ->
+          let screen jobs batch =
+            Fault_sim.detected_matrix (Fault_sim.create ~mode ~jobs ~batch c) ~vectors faults
+          in
+          let base = screen 1 1 in
+          List.for_all
+            (fun (jobs, batch) -> screen jobs batch = base)
+            [ (1, 16); (4, 1); (4, 3); (2, 16) ])
+        [ Fault_sim.Event_driven; Fault_sim.Full ])
+
+let test_matrix_empty_vectors () =
+  let c = tiny_circuit 3 in
+  let faults = Fault_gen.collapsed c in
+  let sim = Fault_sim.create c in
+  Alcotest.(check int)
+    "no vectors, no rows" 0
+    (Array.length (Fault_sim.detected_matrix sim ~vectors:[||] faults))
+
+(* 9. Work counters are batch- and jobs-invariant: per-vector work is fixed,
+   shards merge by summation, and the batch axis only regroups it. *)
+let test_counters_merge_across_batch () =
+  let c = Synth.generate_named "s444" in
+  let faults = Fault_gen.collapsed c in
+  let rng = Rng.create 7L in
+  let vectors = Array.init 11 (fun _ -> random_stimulus rng c) in
+  List.iter
+    (fun mode ->
+      let tally jobs batch =
+        let sim = Fault_sim.create ~mode ~jobs ~batch c in
+        Fault_sim.reset_counters ();
+        let matrix = Fault_sim.detected_matrix sim ~vectors faults in
+        (matrix, counters_snapshot ())
+      in
+      let matrix1, ctr1 = tally 1 1 in
+      List.iter
+        (fun (jobs, batch) ->
+          let matrixj, ctrj = tally jobs batch in
+          Alcotest.(check bool)
+            (Printf.sprintf "matrix identical at jobs=%d batch=%d" jobs batch)
+            true (matrix1 = matrixj);
+          Alcotest.(check bool)
+            (Printf.sprintf "counters identical at jobs=%d batch=%d" jobs batch)
+            true (ctr1 = ctrj))
+        [ (1, 16); (2, 4); (4, 1); (4, 16) ])
+    [ Fault_sim.Event_driven; Fault_sim.Full ];
+  Fault_sim.reset_counters ()
+
 (* --- cone index -------------------------------------------------------- *)
 
 (* c = (a AND b); d = NOT c; flop f captures d; PO = c. *)
@@ -252,6 +409,7 @@ let () =
     [
       ( "equivalence",
         [
+          QCheck_alcotest.to_alcotest qcheck_reference_equivalence;
           QCheck_alcotest.to_alcotest qcheck_run_batch_equivalence;
           QCheck_alcotest.to_alcotest qcheck_run_per_state_equivalence;
           QCheck_alcotest.to_alcotest qcheck_detected_equivalence;
@@ -262,6 +420,14 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_jobs_equivalence;
           Alcotest.test_case "counters merge identically across jobs" `Quick
             test_counters_merge_across_jobs;
+        ] );
+      ( "matrix",
+        [
+          QCheck_alcotest.to_alcotest qcheck_matrix_equals_per_vector;
+          QCheck_alcotest.to_alcotest qcheck_batch_and_jobs_invariance;
+          Alcotest.test_case "empty vector set" `Quick test_matrix_empty_vectors;
+          Alcotest.test_case "counters merge identically across batch" `Quick
+            test_counters_merge_across_batch;
         ] );
       ( "cones",
         [

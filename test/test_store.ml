@@ -319,6 +319,44 @@ let test_cache_corrupt_entry_evicted () =
   Alcotest.(check bool) "restored entry hits" true
     (Cache.find c ~kind:"TEST" ~key Wire.read_varint = Some 8)
 
+(* Regression: a corrupt entry read twice evicts exactly once — the second
+   read takes the missing-file path (one more miss, no double eviction),
+   which is also what a reader that lost the unlink race to a concurrent
+   process observes. And no [write_file_atomic] temp file may survive in the
+   cache directory, even when the final rename fails. *)
+let test_cache_corrupt_entry_read_twice () =
+  let c = fresh_cache_dir () in
+  let key = Digest.of_string "corrupt-twice" in
+  Cache.store c ~kind:"TEST" ~key (fun w -> Wire.write_varint w 7);
+  let path = Cache.entry_path c ~kind:"TEST" ~key in
+  let oc = open_out_bin path in
+  output_string oc "seeded corruption";
+  close_out oc;
+  let e0 = Cache.evictions () and m0 = Cache.misses () in
+  Alcotest.(check bool) "first read misses" true
+    (Cache.find c ~kind:"TEST" ~key Wire.read_varint = None);
+  Alcotest.(check bool) "second read misses" true
+    (Cache.find c ~kind:"TEST" ~key Wire.read_varint = None);
+  Alcotest.(check int) "exactly one eviction" (e0 + 1) (Cache.evictions ());
+  Alcotest.(check int) "both reads count as misses" (m0 + 2) (Cache.misses ());
+  (* write_file_atomic temp names look like "<entry>.tmp.<pid>". *)
+  let is_tmp f =
+    let needle = ".tmp." in
+    let nl = String.length needle and fl = String.length f in
+    let rec go i = i + nl <= fl && (String.sub f i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let leftovers = List.filter is_tmp (Array.to_list (Sys.readdir (Cache.dir c))) in
+  Alcotest.(check (list string)) "no temp files left behind" [] leftovers;
+  (* Rename failure (here: the entry path is suddenly a directory) must
+     propagate — and still not leave the temp file behind. *)
+  Unix.mkdir path 0o755;
+  (match Cache.store c ~kind:"TEST" ~key (fun w -> Wire.write_varint w 9) with
+  | () -> Alcotest.fail "store into a directory-shadowed entry succeeded"
+  | exception Sys_error _ -> ());
+  let leftovers = List.filter is_tmp (Array.to_list (Sys.readdir (Cache.dir c))) in
+  Alcotest.(check (list string)) "no temp files after failed rename" [] leftovers
+
 let test_cache_open_dir_rejects_file () =
   let path = Filename.temp_file "tvs-notdir" "" in
   (match Cache.open_dir path with
@@ -357,6 +395,8 @@ let () =
           Alcotest.test_case "hit, miss and key sensitivity" `Quick
             test_cache_hit_miss_and_key_sensitivity;
           Alcotest.test_case "corrupt entry evicted" `Quick test_cache_corrupt_entry_evicted;
+          Alcotest.test_case "corrupt entry read twice evicts once" `Quick
+            test_cache_corrupt_entry_read_twice;
           Alcotest.test_case "open_dir rejects a file" `Quick test_cache_open_dir_rejects_file;
         ] );
     ]

@@ -185,6 +185,26 @@ let test_pool_shutdown_inline () =
       Alcotest.(check int) "index" i v)
     out
 
+(* Lazy spawning: creating a pool costs no domains; single-chunk and jobs=1
+   submissions run in place on the caller forever; the first submission that
+   actually fans out spawns jobs - 1 workers, once. *)
+let test_pool_lazy_spawn () =
+  let p = Pool.create ~jobs:4 () in
+  Alcotest.(check int) "create spawns nothing" 0 (Pool.num_spawned p);
+  let out = Pool.parallel_map_chunks p ~n:1 (fun ~slot i -> (slot, i)) in
+  Alcotest.(check int) "single chunk runs inline" 0 (fst out.(0));
+  Alcotest.(check int) "still no domains" 0 (Pool.num_spawned p);
+  let out = Pool.parallel_map_chunks p ~n:16 (fun ~slot:_ i -> i * 2) in
+  Alcotest.(check (array int)) "fan-out results" (Array.init 16 (fun i -> i * 2)) out;
+  Alcotest.(check int) "first fan-out spawns jobs-1" 3 (Pool.num_spawned p);
+  ignore (Pool.parallel_map_chunks p ~n:16 (fun ~slot:_ i -> i));
+  Alcotest.(check int) "spawn happens once" 3 (Pool.num_spawned p);
+  Pool.shutdown p;
+  let p1 = Pool.create ~jobs:1 () in
+  ignore (Pool.parallel_map_chunks p1 ~n:32 (fun ~slot:_ i -> i));
+  Alcotest.(check int) "jobs=1 never spawns" 0 (Pool.num_spawned p1);
+  Pool.shutdown p1
+
 let test_pool_default_jobs_override () =
   let saved = Pool.default_jobs () in
   Fun.protect
@@ -253,6 +273,7 @@ let () =
             test_pool_exception_propagation;
           Alcotest.test_case "reuse across submissions" `Quick test_pool_reuse_across_submissions;
           Alcotest.test_case "inline after shutdown" `Quick test_pool_shutdown_inline;
+          Alcotest.test_case "lazy domain spawn" `Quick test_pool_lazy_spawn;
           Alcotest.test_case "default-jobs override" `Quick test_pool_default_jobs_override;
         ] );
       ("clock", [ Alcotest.test_case "time_it wall clock" `Quick test_clock_time_it ]);
