@@ -6,6 +6,7 @@
      atpg      traditional full-shift test generation (baseline)
      faultsim  fault-simulate a circuit's baseline test set
      stitch    run the stitched flow and report compression
+     serve     persistent stitching daemon (Unix/TCP socket, JSONL frames)
      table     regenerate a paper table (1-5)
      ablation  run the design-choice ablations
      fig1      print the worked-example walkthrough *)
@@ -331,28 +332,24 @@ let faultsim_cmd =
   Cmd.v (Cmd.info "faultsim" ~doc:"Fault-simulate the baseline test set")
     Term.(const run $ obs_term $ cache_term $ circuit_arg $ scale_arg $ jobs_arg $ batch_arg)
 
+(* Scheme and selection share their vocabulary with the serve protocol's job
+   fields through Tvs_harness.Cli, so the CLI and a serve client can never
+   drift apart. *)
 let scheme_arg =
   let doc = "Observation scheme: nxor, vxor or hxor:<taps>." in
-  let parse s =
-    match Xor_scheme.of_string s with
-    | Some v -> Ok v
-    | None -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+  let scheme_conv =
+    Arg.conv ~docv:"SCHEME"
+      ( (fun s -> msg_of_string_error (Tvs_harness.Cli.parse_scheme s)),
+        fun fmt s -> Format.pp_print_string fmt (Xor_scheme.to_string s) )
   in
-  let scheme_conv = Arg.conv ~docv:"SCHEME" (parse, fun fmt s -> Format.pp_print_string fmt (Xor_scheme.to_string s)) in
   Arg.(value & opt scheme_conv Xor_scheme.Nxor & info [ "scheme" ] ~docv:"SCHEME" ~doc)
 
 let selection_arg =
   let doc = "Vector selection: random, hardness, most-faults or weighted." in
-  let parse = function
-    | "random" -> Ok Policy.Random_order
-    | "hardness" -> Ok Policy.Hardness_order
-    | "most-faults" -> Ok (Policy.Most_faults 5)
-    | "weighted" -> Ok (Policy.Weighted 5)
-    | s -> Error (`Msg (Printf.sprintf "unknown selection %S" s))
-  in
   let sel_conv =
     Arg.conv ~docv:"SEL"
-      (parse, fun fmt s -> Format.pp_print_string fmt (Policy.describe_selection s))
+      ( (fun s -> msg_of_string_error (Tvs_harness.Cli.parse_selection s)),
+        fun fmt s -> Format.pp_print_string fmt (Policy.describe_selection s) )
   in
   Arg.(value & opt sel_conv (Policy.Most_faults 5) & info [ "selection" ] ~docv:"SEL" ~doc)
 
@@ -360,20 +357,13 @@ let shift_arg =
   let doc = "Fixed shift size per cycle; omit for the variable policy." in
   Arg.(value & opt (some int) None & info [ "shift" ] ~docv:"S" ~doc)
 
-(* Shared by [stitch] and [resume]: the two must print byte-identical
-   summaries for the same run (CI diffs a resumed run against an
-   uninterrupted one on exactly this block). *)
+(* Shared by [stitch], [resume] and the serve daemon's done events: all must
+   produce byte-identical summaries for the same run (CI diffs a resumed run
+   and a served response against an uninterrupted run on exactly this
+   block). *)
 let print_stitch_summary prep scheme selection (r : Experiments.run_summary) =
-  Printf.printf "circuit     : %s\n" (Circuit.name prep.Prep.circuit);
-  Printf.printf "scheme      : %s\n" (Xor_scheme.to_string scheme);
-  Printf.printf "selection   : %s\n" (Policy.describe_selection selection);
-  Printf.printf "aTV         : %d\n" r.Experiments.atv;
-  Printf.printf "TV          : %d\n" r.Experiments.tv;
-  Printf.printf "extra       : %d\n" r.Experiments.ex;
-  Printf.printf "peak hidden : %d\n" r.Experiments.peak_hidden;
-  Printf.printf "m (memory)  : %.2f\n" r.Experiments.m;
-  Printf.printf "t (time)    : %.2f\n" r.Experiments.t;
-  Printf.printf "coverage    : %.4f\n" r.Experiments.coverage
+  print_string
+    (Experiments.render_summary ~circuit:(Circuit.name prep.Prep.circuit) ~scheme ~selection r)
 
 let checkpoint_file_arg =
   let doc = "Save an engine checkpoint to $(docv) periodically (atomic temp+rename writes)." in
@@ -688,6 +678,72 @@ let fig1_cmd =
   Cmd.v (Cmd.info "fig1" ~doc:"Print the Section 3 worked example (Table 1)")
     Term.(const run $ obs_term)
 
+let serve_cmd =
+  let socket_arg =
+    let doc = "Listen on a Unix-domain socket at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let port_arg =
+    let doc = "Listen on 127.0.0.1 at TCP port $(docv)." in
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let state_arg =
+    let doc =
+      "State directory for crash recovery (created if missing): large jobs checkpoint here, \
+       inline netlists are persisted here, and $(b,*.ckpt) files found at startup are resumed \
+       before the server accepts connections."
+    in
+    Arg.(value & opt (some string) None & info [ "state" ] ~docv:"DIR" ~doc)
+  in
+  let threshold_arg =
+    let doc =
+      "Minimum collapsed-fault count for a job to checkpoint at all (smaller jobs rerun cheaper \
+       than they checkpoint). Needs $(b,--state)."
+    in
+    Arg.(value & opt int 1000 & info [ "checkpoint-threshold" ] ~docv:"N" ~doc)
+  in
+  let run () () socket port state every threshold jobs batch =
+    set_jobs jobs;
+    set_batch batch;
+    let listen =
+      match (socket, port) with
+      | Some path, None -> Tvs_serve.Server.Unix_socket path
+      | None, Some port -> Tvs_serve.Server.Tcp port
+      | Some _, Some _ ->
+          prerr_endline "tvs: serve takes --socket or --port, not both";
+          exit Cmd.Exit.cli_error
+      | None, None ->
+          prerr_endline "tvs: serve needs --socket PATH or --port PORT";
+          exit Cmd.Exit.cli_error
+    in
+    if threshold < 0 then begin
+      prerr_endline "tvs: --checkpoint-threshold must be >= 0";
+      exit Cmd.Exit.cli_error
+    end;
+    match
+      Tvs_serve.Server.run ?state_dir:state ~checkpoint_every:every
+        ~checkpoint_threshold:threshold
+        ~on_ready:(fun () -> Printf.eprintf "tvs serve: listening\n%!")
+        listen
+    with
+    | Ok () -> ()
+    | Error msg ->
+        prerr_endline ("tvs: " ^ msg);
+        exit Cmd.Exit.some_error
+    | exception Failure msg ->
+        prerr_endline ("tvs: " ^ msg);
+        exit Cmd.Exit.some_error
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Persistent stitching daemon: accepts jobs over a Unix or TCP socket (length-delimited \
+          JSONL frames), dedupes identical jobs through the result cache, checkpoints large jobs \
+          for restart recovery, and streams progress events")
+    Term.(
+      const run $ obs_term $ cache_term $ socket_arg $ port_arg $ state_arg
+      $ checkpoint_every_arg $ threshold_arg $ jobs_arg $ batch_arg)
+
 (* --version: the code generation (git revision when available) plus the two
    on-disk schema versions a deployment cares about — the store frame schema
    (checkpoints, cache entries) and the bench report JSON schema. *)
@@ -701,4 +757,4 @@ let () =
     Cmd.info "tvs" ~version:version_string
       ~doc:"Virtual test compression through test vector stitching (DATE 2003 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ stats_cmd; lint_cmd; atpg_cmd; faultsim_cmd; stitch_cmd; resume_cmd; table_cmd; ablation_cmd; misr_cmd; comparison_cmd; diagnosis_cmd; randtest_cmd; export_cmd; fig1_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ stats_cmd; lint_cmd; atpg_cmd; faultsim_cmd; stitch_cmd; resume_cmd; serve_cmd; table_cmd; ablation_cmd; misr_cmd; comparison_cmd; diagnosis_cmd; randtest_cmd; export_cmd; fig1_cmd ]))

@@ -48,11 +48,8 @@ let default_batch () =
   match !batch_override with
   | Some b -> b
   | None -> (
-      match Sys.getenv_opt "TVS_BATCH" with
-      | Some s -> (
-          match int_of_string_opt (String.trim s) with
-          | Some b when b >= 1 -> b
-          | Some _ | None -> 16)
+      match Tvs_util.Env.positive_int ~fallback:"16" "TVS_BATCH" with
+      | Some b -> b
       | None -> 16)
 
 let create ?(mode = Event_driven) ?jobs ?batch circuit =

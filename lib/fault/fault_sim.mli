@@ -63,7 +63,9 @@ val set_default_batch : int -> unit
 
 val default_batch : unit -> int
 (** The default vector-batch size: {!set_default_batch}'s value if set, else
-    the [TVS_BATCH] environment variable, else 16. *)
+    the [TVS_BATCH] environment variable, else 16. A set but non-positive or
+    unparseable [TVS_BATCH] falls back to 16 and warns through
+    {!Tvs_util.Env}. *)
 
 val circuit : t -> Tvs_netlist.Circuit.t
 

@@ -31,6 +31,36 @@ let load_circuit ?(scale = 1.0) spec =
           with Failure msg | Sys_error msg ->
             Error (Printf.sprintf "cannot load %S: %s" path msg)))
 
+(* The scheme/selection vocabularies are shared verbatim between the [tvs]
+   CLI flags and the serve protocol's job fields, so a job submitted over
+   the socket accepts exactly the strings the command line does. *)
+let parse_scheme s =
+  match Tvs_scan.Xor_scheme.of_string s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "unknown scheme %S" s)
+
+let parse_selection = function
+  | "random" -> Ok Tvs_core.Policy.Random_order
+  | "hardness" -> Ok Tvs_core.Policy.Hardness_order
+  | "most-faults" -> Ok (Tvs_core.Policy.Most_faults 5)
+  | "weighted" -> Ok (Tvs_core.Policy.Weighted 5)
+  | s -> Error (Printf.sprintf "unknown selection %S" s)
+
+let check_shift s =
+  if s >= 1 then Ok s else Error (Printf.sprintf "shift must be at least 1 (got %d)" s)
+
+(* Inline netlists are named by the content digest of their raw text, so an
+   identical text always builds a digest-identical circuit (the serve dedupe
+   key), and a copy persisted to [inline-<hex>.bench] parses back — via the
+   file's basename — to the same circuit name. *)
+let inline_name text = "inline-" ^ Tvs_store.Digest.to_hex (Tvs_store.Digest.of_string text)
+
+let inline_circuit text =
+  match Tvs_netlist.Bench_format.parse_string ~name:(inline_name text) text with
+  | c -> Ok c
+  | exception Tvs_netlist.Bench_format.Parse_error (line, msg) ->
+      Error (Printf.sprintf "inline netlist, line %d: %s" line msg)
+
 let check_table n =
   if n >= 1 && n <= 5 then Ok n
   else Error (Printf.sprintf "no table %d in the paper (tables are numbered 1-5)" n)

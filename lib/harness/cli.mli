@@ -13,6 +13,27 @@ val load_circuit :
 (** Validate [spec] and build the circuit. [scale] (default 1.0) applies to
     profile circuits only. *)
 
+val parse_scheme : string -> (Tvs_scan.Xor_scheme.t, string) result
+(** ["nxor"] | ["vxor"] | ["hxor:<taps>"] — the [--scheme] vocabulary,
+    shared with the serve protocol's ["scheme"] job field. *)
+
+val parse_selection : string -> (Tvs_core.Policy.selection, string) result
+(** ["random"] | ["hardness"] | ["most-faults"] | ["weighted"] — the
+    [--selection] vocabulary, shared with the serve protocol. *)
+
+val check_shift : int -> (int, string) result
+(** Fixed shift size: at least 1. *)
+
+val inline_name : string -> string
+(** The circuit name given to an inline [.bench] text: ["inline-<hex>"] of
+    the text's content digest, so identical texts name (and digest)
+    identically, and a copy saved as [<name>.bench] reparses to the same
+    circuit. *)
+
+val inline_circuit : string -> (Tvs_netlist.Circuit.t, string) result
+(** Parse an inline [.bench] text (a serve-protocol job with a ["bench"]
+    field), named by {!inline_name}. [Error] carries the source line. *)
+
 val check_table : int -> (int, string) result
 (** The paper has tables 1-5. *)
 

@@ -60,6 +60,23 @@ let config_for ?scheme ?shift ?selection ?jobs ?batch ?preflight (prep : Prep.t)
 
 let summary_kind = "EXPR"
 
+(* The one-shot CLI's [stitch]/[resume] summary block, built here so the
+   serve daemon's responses are byte-identical to the CLI's stdout by
+   construction (CI diffs exactly that). *)
+let render_summary ~circuit ~scheme ~selection (r : run_summary) =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "circuit     : %s\n" circuit;
+  Printf.bprintf b "scheme      : %s\n" (Xor_scheme.to_string scheme);
+  Printf.bprintf b "selection   : %s\n" (Policy.describe_selection selection);
+  Printf.bprintf b "aTV         : %d\n" r.atv;
+  Printf.bprintf b "TV          : %d\n" r.tv;
+  Printf.bprintf b "extra       : %d\n" r.ex;
+  Printf.bprintf b "peak hidden : %d\n" r.peak_hidden;
+  Printf.bprintf b "m (memory)  : %.2f\n" r.m;
+  Printf.bprintf b "t (time)    : %.2f\n" r.t;
+  Printf.bprintf b "coverage    : %.4f\n" r.coverage;
+  Buffer.contents b
+
 let write_summary w s =
   Wire.write_varint w s.atv;
   Wire.write_varint w s.tv;

@@ -17,6 +17,21 @@ type run_summary = {
   peak_hidden : int;
 }
 
+val summary_kind : string
+(** Cache frame kind of stored run summaries (["EXPR"]); exposed so the
+    serve daemon can probe {!Tvs_store.Cache.entry_path} for dedupe. *)
+
+val render_summary :
+  circuit:string ->
+  scheme:Tvs_scan.Xor_scheme.t ->
+  selection:Tvs_core.Policy.selection ->
+  run_summary ->
+  string
+(** Exactly the summary block [tvs stitch]/[tvs resume] print: the serve
+    daemon and the loadgen verifier both render through this, which is what
+    makes "server response byte-identical to the one-shot CLI" hold by
+    construction. *)
+
 val set_cache : Tvs_store.Cache.t option -> unit
 (** Install (or clear) the process-wide result cache that {!run_flow} and
     {!baseline_detection} consult — set from the drivers' [--cache DIR]. *)

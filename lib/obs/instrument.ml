@@ -1,10 +1,23 @@
 module Pool = Tvs_util.Pool
 
+let env_installed = Atomic.make false
+
+let install_env_warning_counter () =
+  if not (Atomic.exchange env_installed true) then begin
+    let invalid = Metrics.counter ~stable:false "util.env.invalid" in
+    (* Knobs are read during CLI/server startup, possibly before this hook
+       exists: backfill whatever was already warned about so the counter
+       agrees with stderr. *)
+    Metrics.add invalid (Tvs_util.Env.warning_count ());
+    Tvs_util.Env.set_warning_hook (Some (fun ~key:_ ~value:_ -> Metrics.incr invalid))
+  end
+
 let installed = Atomic.make false
 
 let us s = int_of_float (s *. 1e6)
 
 let install_pool_probe () =
+  install_env_warning_counter ();
   if not (Atomic.exchange installed true) then begin
     let submissions = Metrics.counter ~stable:false "pool.submissions" in
     let chunks = Metrics.counter ~stable:false "pool.chunks" in

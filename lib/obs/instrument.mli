@@ -12,4 +12,10 @@ val install_pool_probe : unit -> unit
 (** Route {!Tvs_util.Pool} probe events into metrics:
     [pool.submissions] / [pool.chunks] (counters), [pool.chunk_wait_us] /
     [pool.chunk_busy_us] (histograms, microseconds) and [pool.slot<i>.busy_us]
-    (per-slot counters). Idempotent. *)
+    (per-slot counters). Also installs the {!install_env_warning_counter}
+    hook. Idempotent. *)
+
+val install_env_warning_counter : unit -> unit
+(** Route {!Tvs_util.Env} misconfiguration warnings (a set but unparseable
+    [TVS_JOBS]/[TVS_BATCH]) into the [util.env.invalid] counter, backfilling
+    warnings emitted before installation. Idempotent. *)

@@ -1,0 +1,158 @@
+module Json = Tvs_obs.Json
+module Cli = Tvs_harness.Cli
+
+(* Generous for netlists (s38584 is ~1 MB of .bench text) while still
+   bounding what one frame can make the server buffer. *)
+let max_frame = 16 * 1024 * 1024
+
+let write_frame oc j =
+  let s = Json.to_string j in
+  output_string oc (string_of_int (String.length s));
+  output_char oc '\n';
+  output_string oc s;
+  output_char oc '\n';
+  flush oc
+
+let read_frame ic =
+  match input_line ic with
+  | exception End_of_file -> None
+  | line -> (
+      match int_of_string_opt (String.trim line) with
+      | None -> Some (Error (Printf.sprintf "bad frame length %S" line))
+      | Some n when n < 0 || n > max_frame ->
+          Some (Error (Printf.sprintf "frame length %d out of range [0, %d]" n max_frame))
+      | Some n -> (
+          match really_input_string ic n with
+          | exception End_of_file -> Some (Error "truncated frame payload")
+          | payload -> (
+              match input_char ic with
+              | exception End_of_file -> Some (Error "missing frame terminator")
+              | '\n' ->
+                  Some (Result.map_error (fun m -> "bad JSON payload: " ^ m) (Json.parse payload))
+              | _ -> Some (Error "missing frame terminator"))))
+
+type source = Spec of string | Bench of string
+
+type job = {
+  source : source;
+  scale : float;
+  scheme : Tvs_scan.Xor_scheme.t;
+  selection : Tvs_core.Policy.selection;
+  shift : int option;
+  label : string;
+}
+
+let default_job source =
+  {
+    source;
+    scale = 1.0;
+    scheme = Tvs_scan.Xor_scheme.Nxor;
+    selection = Tvs_core.Policy.Most_faults 5;
+    shift = None;
+    label = "cli";
+  }
+
+type request = Submit of job | Status | Metrics | Ping | Shutdown
+
+let ( let* ) = Result.bind
+
+(* Optional typed field accessors: absent fields succeed as [None], present
+   fields of the wrong type are errors (a misspelled value must never be
+   silently defaulted — that is exactly the TVS_JOBS lesson). *)
+let opt_string k j =
+  match Json.member k j with
+  | None -> Ok None
+  | Some (Json.Str s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" k)
+
+let opt_number k j =
+  match Json.member k j with
+  | None -> Ok None
+  | Some (Json.Int i) -> Ok (Some (float_of_int i))
+  | Some (Json.Float f) -> Ok (Some f)
+  | Some _ -> Error (Printf.sprintf "field %S must be a number" k)
+
+let opt_int k j =
+  match Json.member k j with
+  | None -> Ok None
+  | Some (Json.Int i) -> Ok (Some i)
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" k)
+
+let job_of_json j =
+  let* spec = opt_string "spec" j in
+  let* bench = opt_string "bench" j in
+  let* source =
+    match (spec, bench) with
+    | Some s, None -> Ok (Spec s)
+    | None, Some b -> Ok (Bench b)
+    | Some _, Some _ -> Error "job has both \"spec\" and \"bench\"; give exactly one"
+    | None, None -> Error "job needs a \"spec\" (circuit name/path) or \"bench\" (inline netlist)"
+  in
+  let* scale = opt_number "scale" j in
+  let* scale =
+    match scale with None -> Ok 1.0 | Some f -> Cli.check_scale f
+  in
+  let* scheme = opt_string "scheme" j in
+  let* scheme =
+    match scheme with None -> Ok Tvs_scan.Xor_scheme.Nxor | Some s -> Cli.parse_scheme s
+  in
+  let* selection = opt_string "selection" j in
+  let* selection =
+    match selection with
+    | None -> Ok (Tvs_core.Policy.Most_faults 5)
+    | Some s -> Cli.parse_selection s
+  in
+  let* shift = opt_int "shift" j in
+  let* shift =
+    match shift with
+    | None -> Ok None
+    | Some s -> Result.map Option.some (Cli.check_shift s)
+  in
+  let* label = opt_string "label" j in
+  let label = Option.value ~default:"cli" label in
+  Ok { source; scale; scheme; selection; shift; label }
+
+let request_of_json j =
+  match Json.member "verb" j with
+  | None -> Error "request needs a \"verb\" field"
+  | Some (Json.Str "submit") -> Result.map (fun job -> Submit job) (job_of_json j)
+  | Some (Json.Str "status") -> Ok Status
+  | Some (Json.Str "metrics") -> Ok Metrics
+  | Some (Json.Str "ping") -> Ok Ping
+  | Some (Json.Str "shutdown") -> Ok Shutdown
+  | Some (Json.Str v) ->
+      Error
+        (Printf.sprintf "unknown verb %S (expected submit, status, metrics, ping or shutdown)" v)
+  | Some _ -> Error "\"verb\" must be a string"
+
+let json_of_job (job : job) =
+  let source_fields =
+    match job.source with
+    | Spec s -> [ ("spec", Json.Str s) ]
+    | Bench b -> [ ("bench", Json.Str b) ]
+  in
+  Json.Obj
+    (("verb", Json.Str "submit")
+     :: source_fields
+    @ [
+        ("scale", Json.Float job.scale);
+        ("scheme", Json.Str (Tvs_scan.Xor_scheme.to_string job.scheme));
+        ( "selection",
+          Json.Str
+            (match job.selection with
+            | Tvs_core.Policy.Random_order -> "random"
+            | Tvs_core.Policy.Hardness_order -> "hardness"
+            | Tvs_core.Policy.Most_faults _ -> "most-faults"
+            | Tvs_core.Policy.Weighted _ -> "weighted") );
+      ]
+    @ (match job.shift with None -> [] | Some s -> [ ("shift", Json.Int s) ])
+    @ [ ("label", Json.Str job.label) ])
+
+let json_of_request = function
+  | Submit job -> json_of_job job
+  | Status -> Json.Obj [ ("verb", Json.Str "status") ]
+  | Metrics -> Json.Obj [ ("verb", Json.Str "metrics") ]
+  | Ping -> Json.Obj [ ("verb", Json.Str "ping") ]
+  | Shutdown -> Json.Obj [ ("verb", Json.Str "shutdown") ]
+
+let event name fields = Json.Obj (("event", Json.Str name) :: fields)

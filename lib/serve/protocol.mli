@@ -1,0 +1,60 @@
+(** The [tvs serve] wire protocol: length-delimited JSONL frames.
+
+    One frame is the decimal byte length of a compact JSON document, a
+    newline, the document, a newline:
+    {v
+      47
+      {"verb":"submit","spec":"s444","scale":1.0,...}
+    v}
+    The explicit length keeps framing independent of the payload (an inline
+    netlist may be arbitrary text) while staying trivially implementable
+    from any language — and greppable on the wire.
+
+    Requests carry a ["verb"]: [submit] (a job), [status], [metrics],
+    [ping], [shutdown]. Responses are events: [queued], [started],
+    [checkpoint], [done], [error], [status], [metrics], [pong],
+    [shutting-down]. Job events carry the submission ["id"], and [done]
+    additionally the run summary plus ["output"] — the exact bytes the
+    one-shot [tvs stitch] would print for the same job.
+
+    Job fields reuse the CLI vocabulary verbatim ({!Tvs_harness.Cli}):
+    ["spec"] is a profile name / s27 / fig1 / server-side [.bench] path
+    (alternatively ["bench"] is an inline netlist text), and ["scale"],
+    ["scheme"], ["selection"], ["shift"], ["label"] mirror the [stitch]
+    flags. Absent fields take the CLI defaults; present-but-malformed
+    fields are errors, never silent defaults. *)
+
+val max_frame : int
+(** Upper bound on a frame's payload bytes (16 MiB). *)
+
+val write_frame : out_channel -> Tvs_obs.Json.t -> unit
+(** Write one frame and flush. Raises [Sys_error] when the peer is gone. *)
+
+val read_frame : in_channel -> (Tvs_obs.Json.t, string) result option
+(** [None] on clean end-of-stream before a frame starts; [Some (Error _)]
+    on framing or JSON damage (the stream is not recoverable past it). *)
+
+type source =
+  | Spec of string  (** circuit spec resolved server-side, as on the CLI *)
+  | Bench of string  (** inline [.bench] text, named by its content digest *)
+
+type job = {
+  source : source;
+  scale : float;
+  scheme : Tvs_scan.Xor_scheme.t;
+  selection : Tvs_core.Policy.selection;
+  shift : int option;  (** fixed shift size; [None] = variable policy *)
+  label : string;  (** engine RNG label; the CLI uses ["cli"] *)
+}
+
+val default_job : source -> job
+(** A job with every option at its [tvs stitch] default. *)
+
+type request = Submit of job | Status | Metrics | Ping | Shutdown
+
+val request_of_json : Tvs_obs.Json.t -> (request, string) result
+val json_of_job : job -> Tvs_obs.Json.t
+val json_of_request : request -> Tvs_obs.Json.t
+
+val event : string -> (string * Tvs_obs.Json.t) list -> Tvs_obs.Json.t
+(** [event name fields] is [{"event": name, ...fields}]. *)

@@ -1,0 +1,553 @@
+(* The stitching daemon behind [tvs serve].
+
+   Shape: the main thread owns the listening socket; every accepted
+   connection gets a reader thread that parses frames and answers the cheap
+   verbs (status/metrics/ping) in place; submitted jobs go into one FIFO
+   drained by a single scheduler thread. Jobs execute one at a time — the
+   engine already fans out across the shared domain pool internally, so
+   running two engines at once would fight over cores and break nothing
+   but throughput — and stream their lifecycle (queued/started/checkpoint/
+   done) back over the submitting connection.
+
+   Durability: identical jobs dedupe through the content-addressed result
+   cache when one is installed ([tvs serve --cache], the same directory the
+   one-shot CLI uses). With a state directory, jobs at or above the fault
+   threshold checkpoint periodically; on restart the server scans the
+   directory and finishes interrupted work before accepting traffic, so a
+   SIGTERM mid-job costs at most [checkpoint_every] cycles of recompute and
+   the result still lands in the cache for the client's retry. *)
+
+module Cli = Tvs_harness.Cli
+module Experiments = Tvs_harness.Experiments
+module Prep = Tvs_harness.Prep
+module Circuit = Tvs_netlist.Circuit
+module Policy = Tvs_core.Policy
+module Cache = Tvs_store.Cache
+module Checkpoint = Tvs_store.Checkpoint
+module Store_digest = Tvs_store.Digest
+module Metrics = Tvs_obs.Metrics
+module Json = Tvs_obs.Json
+module Clock = Tvs_util.Clock
+
+(* Traffic-shaped, so never part of the stable snapshot. *)
+let m_submitted = Metrics.counter ~stable:false "serve.jobs.submitted"
+let m_completed = Metrics.counter ~stable:false "serve.jobs.completed"
+let m_failed = Metrics.counter ~stable:false "serve.jobs.failed"
+let m_deduped = Metrics.counter ~stable:false "serve.jobs.deduped"
+let m_recovered = Metrics.counter ~stable:false "serve.jobs.recovered"
+let m_connections = Metrics.counter ~stable:false "serve.connections"
+let m_protocol_errors = Metrics.counter ~stable:false "serve.protocol.errors"
+let m_queue_peak = Metrics.gauge ~stable:false "serve.queue.peak"
+
+type listen = Unix_socket of string | Tcp of int
+
+(* One client connection. Events for a job are written by the scheduler
+   thread while the reader thread answers status verbs, so writes are
+   serialized by [wlock]; a peer that vanished flips [alive] and later
+   events are dropped (the job itself keeps running — its result is still
+   worth caching). *)
+type conn = { oc : out_channel; wlock : Mutex.t; mutable alive : bool }
+
+let send conn j =
+  Mutex.protect conn.wlock (fun () ->
+      if conn.alive then
+        try Protocol.write_frame conn.oc j
+        with Sys_error _ -> conn.alive <- false)
+
+type pending = {
+  id : int;
+  job : Protocol.job;
+  reply : conn option;  (* [None]: recovery job replayed from a checkpoint *)
+  resume : (Checkpoint.t * string) option;  (* checkpoint and its path *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : pending Queue.t;
+  mutable next_id : int;
+  mutable running : bool;
+  mutable stopping : bool;
+  started_at : float;  (* Clock.now at startup, for status uptime *)
+  state_dir : string option;
+  checkpoint_every : int;
+  checkpoint_threshold : int;
+  (* Scheduler-thread state: preparation is expensive and deterministic, so
+     it is memoized per circuit digest; [seen] remembers result keys served
+     this process lifetime for the dedupe counter and the [cached] flag. *)
+  preps : (string, Prep.t) Hashtbl.t;
+  seen : (string, unit) Hashtbl.t;
+  wake_r : Unix.file_descr;  (* self-pipe: shutdown verb wakes the accept loop *)
+  wake_w : Unix.file_descr;
+}
+
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_text_atomic path text =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc text);
+  try Sys.rename tmp path
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
+(* --- job execution (scheduler thread only) ------------------------------ *)
+
+let prep_for t circuit =
+  let key = Store_digest.to_hex (Store_digest.circuit circuit) in
+  match Hashtbl.find_opt t.preps key with
+  | Some prep -> prep
+  | None ->
+      (* A server fed an unbounded stream of distinct circuits must not
+         hold every preparation forever. *)
+      if Hashtbl.length t.preps >= 64 then Hashtbl.reset t.preps;
+      let prep = Prep.of_circuit circuit in
+      Hashtbl.add t.preps key prep;
+      prep
+
+(* Resolve the job's circuit plus the spec string a checkpoint would record
+   (what [resolve]-on-restart feeds back to [Cli.load_circuit]). Inline
+   netlists are persisted into the state directory under their
+   content-digest name, so a checkpoint of an inline job survives the
+   client: the restarted server reloads the text from disk. *)
+let resolve t (job : Protocol.job) =
+  match job.source with
+  | Protocol.Spec s ->
+      Result.map (fun c -> (c, s)) (Cli.load_circuit ~scale:job.scale s)
+  | Protocol.Bench text -> (
+      match Cli.inline_circuit text with
+      | Error _ as e -> e
+      | Ok c ->
+          let spec =
+            match t.state_dir with
+            | None -> "<inline>"
+            | Some dir ->
+                let path = Filename.concat dir (Cli.inline_name text ^ ".bench") in
+                if not (Sys.file_exists path) then write_text_atomic path text;
+                path
+          in
+          Ok (c, spec))
+
+let json_of_summary (s : Experiments.run_summary) =
+  Json.Obj
+    [
+      ("atv", Json.Int s.Experiments.atv);
+      ("tv", Json.Int s.Experiments.tv);
+      ("ex", Json.Int s.Experiments.ex);
+      ("peak_hidden", Json.Int s.Experiments.peak_hidden);
+      ("m", Json.Float s.Experiments.m);
+      ("t", Json.Float s.Experiments.t);
+      ("coverage", Json.Float s.Experiments.coverage);
+    ]
+
+(* Run one job to completion. [emit] streams protocol events (dropped for
+   recovery jobs). Returns the done-event fields or an error message. *)
+let run_job t (p : pending) emit =
+  match resolve t p.job with
+  | Error msg -> Error msg
+  | Ok (circuit, spec) -> (
+      let job = p.job in
+      let prep = prep_for t circuit in
+      let shift_policy = Option.map (fun s -> Policy.Fixed s) job.shift in
+      let config =
+        Experiments.config_for ~scheme:job.scheme ?shift:shift_policy ~selection:job.selection
+          prep
+      in
+      let circuit_digest = Store_digest.circuit circuit in
+      let config_digest = Store_digest.config ~config ~label:job.label in
+      let key = Store_digest.combine circuit_digest config_digest in
+      let key_hex = Store_digest.to_hex key in
+      (* Verify a recovery checkpoint the way [tvs resume] does: continuing
+         into a different circuit or configuration would produce silently
+         wrong results. *)
+      let verified =
+        match p.resume with
+        | None -> Ok ()
+        | Some (ck, path) ->
+            if not (Store_digest.equal circuit_digest ck.Checkpoint.circuit_digest) then
+              Error
+                (Printf.sprintf
+                   "checkpoint %S: circuit digest mismatch — %S no longer builds the circuit it \
+                    was checkpointed on"
+                   path spec)
+            else if not (Store_digest.equal config_digest ck.Checkpoint.config_digest) then
+              Error
+                (Printf.sprintf
+                   "checkpoint %S: configuration digest mismatch — written by a build with \
+                    different engine options"
+                   path)
+            else Ok ()
+      in
+      match verified with
+      | Error _ as e -> e
+      | Ok () -> (
+          let deduped =
+            Hashtbl.mem t.seen key_hex
+            ||
+            match Experiments.cache () with
+            | Some c ->
+                Sys.file_exists (Cache.entry_path c ~kind:Experiments.summary_kind ~key)
+            | None -> false
+          in
+          (* Already-cached jobs skip checkpointing so [run_flow] can serve
+             them straight from the cache; fresh big jobs checkpoint into the
+             state directory for crash recovery. *)
+          let ckpt_path =
+            match (t.state_dir, p.resume) with
+            | _, Some (_, path) -> Some path
+            | Some dir, None
+              when (not deduped) && Array.length prep.Prep.faults >= t.checkpoint_threshold ->
+                Some (Filename.concat dir ("job-" ^ key_hex ^ ".ckpt"))
+            | _ -> None
+          in
+          let checkpoint =
+            Option.map
+              (fun path ->
+                ( t.checkpoint_every,
+                  fun snapshot ->
+                    Checkpoint.save path
+                      {
+                        Checkpoint.spec;
+                        scale = job.scale;
+                        scheme = job.scheme;
+                        selection = job.selection;
+                        shift = job.shift;
+                        label = job.label;
+                        circuit_digest;
+                        config_digest;
+                        snapshot;
+                      };
+                    emit "checkpoint" [] ))
+              ckpt_path
+          in
+          let resume = Option.map (fun (ck, _) -> ck.Checkpoint.snapshot) p.resume in
+          match
+            Experiments.run_flow ~scheme:job.scheme ?shift:shift_policy
+              ~selection:job.selection ?resume ?checkpoint ~label:job.label prep
+          with
+          | exception Failure msg -> Error msg
+          | exception (Invalid_argument _ as e) -> Error (Printexc.to_string e)
+          | summary ->
+              Hashtbl.replace t.seen key_hex ();
+              Option.iter
+                (fun path -> try Sys.remove path with Sys_error _ -> ())
+                ckpt_path;
+              let output =
+                Experiments.render_summary ~circuit:(Circuit.name circuit) ~scheme:job.scheme
+                  ~selection:job.selection summary
+              in
+              Ok
+                ( deduped,
+                  [
+                    ("cached", Json.Bool deduped);
+                    ("summary", json_of_summary summary);
+                    ("output", Json.Str output);
+                  ] )))
+
+let execute t (p : pending) =
+  let emit name fields =
+    match p.reply with
+    | Some conn -> send conn (Protocol.event name (("id", Json.Int p.id) :: fields))
+    | None -> ()
+  in
+  emit "started" [];
+  (* One pathological job (degenerate circuit, engine invariant violation)
+     must never take the scheduler thread down with it — every client after
+     it would hang forever. *)
+  match (try run_job t p emit with e -> Error ("job raised: " ^ Printexc.to_string e)) with
+  | Ok (deduped, fields) ->
+      Metrics.incr m_completed;
+      if deduped then Metrics.incr m_deduped;
+      if p.resume <> None then Metrics.incr m_recovered;
+      emit "done" fields
+  | Error msg ->
+      Metrics.incr m_failed;
+      (* A recovery job that cannot be replayed (deleted .bench, changed
+         build) would fail identically on every restart: drop its file. *)
+      (match p.resume with
+      | Some (_, path) ->
+          Printf.eprintf "tvs serve: abandoning checkpoint %s: %s\n%!" path msg;
+          (try Sys.remove path with Sys_error _ -> ())
+      | None -> ());
+      emit "error" [ ("message", Json.Str msg) ]
+
+let rec scheduler_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.nonempty t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex (* stopping, drained *)
+  else begin
+    let p = Queue.pop t.queue in
+    t.running <- true;
+    Mutex.unlock t.mutex;
+    execute t p;
+    Mutex.lock t.mutex;
+    t.running <- false;
+    Mutex.unlock t.mutex;
+    scheduler_loop t
+  end
+
+(* --- connection handling (one reader thread per client) ----------------- *)
+
+let enqueue t (p : pending) =
+  Mutex.lock t.mutex;
+  Queue.push p t.queue;
+  Metrics.observe_max m_queue_peak (Queue.length t.queue);
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+let status_json t =
+  Mutex.lock t.mutex;
+  let depth = Queue.length t.queue and running = t.running and stopping = t.stopping in
+  Mutex.unlock t.mutex;
+  Protocol.event "status"
+    [
+      ("queue", Json.Int depth);
+      ("running", Json.Bool running);
+      ("draining", Json.Bool stopping);
+      ("submitted", Json.Int (Metrics.counter_value m_submitted));
+      ("completed", Json.Int (Metrics.counter_value m_completed));
+      ("failed", Json.Int (Metrics.counter_value m_failed));
+      ("deduped", Json.Int (Metrics.counter_value m_deduped));
+      ("recovered", Json.Int (Metrics.counter_value m_recovered));
+      ("uptime_s", Json.Float (Clock.now () -. t.started_at));
+    ]
+
+let metrics_json () =
+  let value_fields = function
+    | Metrics.Counter_v v -> [ ("kind", Json.Str "counter"); ("value", Json.Int v) ]
+    | Metrics.Gauge_v v -> [ ("kind", Json.Str "gauge"); ("value", Json.Int v) ]
+    | Metrics.Histogram_v { count; sum; buckets } ->
+        [
+          ("kind", Json.Str "histogram");
+          ("count", Json.Int count);
+          ("sum", Json.Int sum);
+          ("buckets", Json.Arr (Array.to_list (Array.map (fun b -> Json.Int b) buckets)));
+        ]
+  in
+  Protocol.event "metrics"
+    [
+      ( "metrics",
+        Json.Arr
+          (List.map
+             (fun (name, v) -> Json.Obj (("name", Json.Str name) :: value_fields v))
+             (Metrics.snapshot ~all:true ())) );
+    ]
+
+let wake_accept_loop t = ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1)
+
+let handle_request t conn = function
+  | Protocol.Status -> send conn (status_json t)
+  | Protocol.Metrics -> send conn (metrics_json ())
+  | Protocol.Ping -> send conn (Protocol.event "pong" [])
+  | Protocol.Shutdown ->
+      send conn (Protocol.event "shutting-down" []);
+      Mutex.lock t.mutex;
+      t.stopping <- true;
+      Condition.broadcast t.nonempty;
+      Mutex.unlock t.mutex;
+      wake_accept_loop t
+  | Protocol.Submit job ->
+      let rejected =
+        Mutex.protect t.mutex (fun () ->
+            if t.stopping then true
+            else begin
+              t.next_id <- t.next_id + 1;
+              false
+            end)
+      in
+      if rejected then
+        send conn
+          (Protocol.event "error" [ ("message", Json.Str "server is draining; job rejected") ])
+      else begin
+        let id = t.next_id in
+        Metrics.incr m_submitted;
+        (* The queued event is written before the job becomes visible to the
+           scheduler, so each job's events arrive in lifecycle order. *)
+        send conn (Protocol.event "queued" [ ("id", Json.Int id) ]);
+        enqueue t { id; job; reply = Some conn; resume = None }
+      end
+
+let handle_conn t fd =
+  Metrics.incr m_connections;
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let conn = { oc; wlock = Mutex.create (); alive = true } in
+  let rec loop () =
+    match Protocol.read_frame ic with
+    | None -> ()
+    | Some (Error msg) ->
+        (* Framing is byte-positional: past one bad frame the stream cannot
+           be trusted, so report and drop the connection. *)
+        Metrics.incr m_protocol_errors;
+        send conn (Protocol.event "error" [ ("message", Json.Str msg) ])
+    | Some (Ok j) ->
+        (match Protocol.request_of_json j with
+        | Error msg ->
+            Metrics.incr m_protocol_errors;
+            send conn (Protocol.event "error" [ ("message", Json.Str msg) ])
+        | Ok req -> handle_request t conn req);
+        loop ()
+  in
+  (try loop () with Sys_error _ | End_of_file -> ());
+  Mutex.protect conn.wlock (fun () -> conn.alive <- false);
+  close_out_noerr oc
+
+(* --- recovery ----------------------------------------------------------- *)
+
+let scan_recovery t dir =
+  let files = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.sort compare files;
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".ckpt" then begin
+        let path = Filename.concat dir f in
+        match Checkpoint.load path with
+        | Error e ->
+            Printf.eprintf "tvs serve: dropping unreadable checkpoint %s: %s\n%!" path
+              (Tvs_store.Codec.error_to_string e);
+            (try Sys.remove path with Sys_error _ -> ())
+        | Ok ck ->
+            let job =
+              {
+                Protocol.source = Protocol.Spec ck.Checkpoint.spec;
+                scale = ck.Checkpoint.scale;
+                scheme = ck.Checkpoint.scheme;
+                selection = ck.Checkpoint.selection;
+                shift = ck.Checkpoint.shift;
+                label = ck.Checkpoint.label;
+              }
+            in
+            Mutex.protect t.mutex (fun () -> t.next_id <- t.next_id + 1);
+            enqueue t { id = t.next_id; job; reply = None; resume = Some (ck, path) }
+      end)
+    files
+
+(* --- listening sockets -------------------------------------------------- *)
+
+let bind_listen = function
+  | Tcp port ->
+      if port < 1 || port > 65535 then Error (Printf.sprintf "invalid port %d" port)
+      else begin
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        match Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+        | exception Unix.Unix_error (err, _, _) ->
+            Unix.close fd;
+            Error (Printf.sprintf "cannot bind 127.0.0.1:%d: %s" port (Unix.error_message err))
+        | () ->
+            Unix.listen fd 64;
+            Ok (fd, fun () -> (try Unix.close fd with Unix.Unix_error _ -> ()))
+      end
+  | Unix_socket path ->
+      if String.length path = 0 then Error "--socket needs a non-empty path"
+      else begin
+        (* A leftover socket file from a killed server must not block
+           restart, but clobbering a live server would be worse: probe with
+           a connect first. *)
+        (if Sys.file_exists path then begin
+           let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+           let live =
+             match Unix.connect probe (Unix.ADDR_UNIX path) with
+             | () -> true
+             | exception Unix.Unix_error (_, _, _) -> false
+           in
+           Unix.close probe;
+           if live then failwith (Printf.sprintf "socket %S: a server is already listening" path)
+           else try Unix.unlink path with Unix.Unix_error (_, _, _) -> ()
+         end);
+        match
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          (match Unix.bind fd (Unix.ADDR_UNIX path) with
+          | exception e ->
+              Unix.close fd;
+              raise e
+          | () -> ());
+          Unix.listen fd 64;
+          fd
+        with
+        | exception Failure msg -> Error msg
+        | exception Unix.Unix_error (err, _, _) ->
+            Error (Printf.sprintf "cannot bind %S: %s" path (Unix.error_message err))
+        | fd ->
+            let cleaned = Atomic.make false in
+            Ok
+              ( fd,
+                fun () ->
+                  if not (Atomic.exchange cleaned true) then begin
+                    (try Unix.close fd with Unix.Unix_error _ -> ());
+                    try Unix.unlink path with Unix.Unix_error _ -> ()
+                  end )
+      end
+
+(* --- entry point -------------------------------------------------------- *)
+
+let run ?state_dir ?(checkpoint_every = 4) ?(checkpoint_threshold = 1000) ?on_ready listen =
+  if checkpoint_every < 1 then invalid_arg "Server.run: checkpoint_every must be >= 1";
+  if checkpoint_threshold < 0 then invalid_arg "Server.run: checkpoint_threshold must be >= 0";
+  (* A client that disconnects mid-stream must not kill the process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* SIGTERM/SIGINT exit immediately: periodic checkpoints are already on
+     disk (atomic temp+rename, so a kill mid-save is harmless) and the
+     at_exit below removes the socket file. Restarting resumes the work. *)
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Stdlib.exit 0));
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> Stdlib.exit 130));
+  Tvs_obs.Instrument.install_pool_probe ();
+  match bind_listen listen with
+  | Error _ as e -> e
+  | Ok (fd, cleanup) ->
+      at_exit cleanup;
+      let wake_r, wake_w = Unix.pipe () in
+      let t =
+        {
+          mutex = Mutex.create ();
+          nonempty = Condition.create ();
+          queue = Queue.create ();
+          next_id = 0;
+          running = false;
+          stopping = false;
+          started_at = Clock.now ();
+          state_dir;
+          checkpoint_every;
+          checkpoint_threshold;
+          preps = Hashtbl.create 8;
+          seen = Hashtbl.create 64;
+          wake_r;
+          wake_w;
+        }
+      in
+      (match state_dir with
+      | Some dir ->
+          mkdir_p dir;
+          scan_recovery t dir
+      | None -> ());
+      let scheduler = Thread.create scheduler_loop t in
+      Option.iter (fun f -> f ()) on_ready;
+      let rec accept_loop () =
+        let stopping = Mutex.protect t.mutex (fun () -> t.stopping) in
+        if not stopping then begin
+          match Unix.select [ fd; t.wake_r ] [] [] (-1.0) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+          | readable, _, _ ->
+              if List.mem t.wake_r readable then () (* shutdown verb *)
+              else begin
+                (match Unix.accept fd with
+                | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
+                | cfd, _ -> ignore (Thread.create (handle_conn t) cfd));
+                accept_loop ()
+              end
+        end
+      in
+      accept_loop ();
+      (* Graceful drain: no new connections, scheduler finishes the queue. *)
+      Thread.join scheduler;
+      cleanup ();
+      (try Unix.close wake_r with Unix.Unix_error _ -> ());
+      (try Unix.close wake_w with Unix.Unix_error _ -> ());
+      Ok ()

@@ -1,4 +1,7 @@
-let now = Unix.gettimeofday
+external monotonic : unit -> float = "tvs_clock_monotonic_s"
+
+let now = monotonic
+let wall = Unix.gettimeofday
 
 let time_it f =
   let t0 = now () in

@@ -1,14 +1,25 @@
-(** Wall-clock timing.
+(** Timing sources.
 
-    [Sys.time] reports summed CPU seconds across every running domain, which
-    silently inflates measurements the moment work fans out over a domain
-    pool; all run-time and speedup numbers in the harness use this wall clock
-    instead. *)
+    Two clocks with distinct jobs. {!now} is the OS monotonic clock: it
+    never steps backwards, so every duration computed from it (trace spans,
+    bench timings, pool probe wait/busy readings) is non-negative even on a
+    server that runs across NTP corrections — exactly where
+    [Unix.gettimeofday] deltas go negative. {!wall} is calendar time, for
+    report timestamps only.
+
+    [Sys.time] is avoided throughout: it reports summed CPU seconds across
+    every running domain, which silently inflates measurements the moment
+    work fans out over a domain pool. *)
 
 val now : unit -> float
-(** Seconds since the epoch, sub-microsecond resolution
-    ([Unix.gettimeofday]). *)
+(** Monotonic seconds on an arbitrary epoch ([CLOCK_MONOTONIC],
+    sub-microsecond resolution). Only differences are meaningful; use
+    {!wall} for timestamps. *)
+
+val wall : unit -> float
+(** Seconds since the Unix epoch ([Unix.gettimeofday]). Steps with NTP and
+    manual clock changes — never subtract two readings to time anything. *)
 
 val time_it : (unit -> 'a) -> 'a * float
 (** [time_it f] runs [f ()] and returns its result with the elapsed
-    wall-clock seconds. *)
+    monotonic seconds (always [>= 0]). *)

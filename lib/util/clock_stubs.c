@@ -1,0 +1,28 @@
+/* Monotonic clock stub for Tvs_util.Clock.
+ *
+ * CLOCK_MONOTONIC never steps (NTP slews it but cannot jump it), so
+ * durations measured against it are always non-negative — unlike
+ * gettimeofday, whose steps corrupt long-running servers' trace spans and
+ * bench timings. The epoch is arbitrary (typically boot time).
+ */
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value tvs_clock_monotonic_s(value unit)
+{
+  (void)unit;
+#ifdef CLOCK_MONOTONIC
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec / 1e9);
+#endif
+  /* No monotonic source (should not happen on any supported platform):
+     degrade to the wall clock rather than failing. */
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec / 1e6);
+  }
+}

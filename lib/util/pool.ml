@@ -35,11 +35,8 @@ let default_jobs () =
   match !override with
   | Some j -> j
   | None -> (
-      match Sys.getenv_opt "TVS_JOBS" with
-      | Some s -> (
-          match int_of_string_opt (String.trim s) with
-          | Some j when j >= 1 -> j
-          | Some _ | None -> hardware_jobs ())
+      match Env.positive_int ~fallback:"the hardware core count" "TVS_JOBS" with
+      | Some j -> j
       | None -> hardware_jobs ())
 
 (* Worker body for slot [slot] (1 .. jobs-1). Parks until the epoch moves,
@@ -96,13 +93,23 @@ let ensure_spawned t =
 
 let num_spawned t = List.length t.domains
 
+(* Respawn-safe: once the workers are joined the stop/spawned flags are
+   reset, so the next fanned-out submission brings a fresh crew up. This
+   matters for the [shared] registry — shutdown used to leave the dead pool
+   registered, silently degrading every later [shared ~jobs] caller's
+   submissions to solo — and equally for any retained handle (a long-lived
+   fault-sim context on a server). *)
 let shutdown t =
   Mutex.lock t.mutex;
   t.stop <- true;
   Condition.broadcast t.work;
   Mutex.unlock t.mutex;
   List.iter Domain.join t.domains;
-  t.domains <- []
+  t.domains <- [];
+  Mutex.lock t.mutex;
+  t.stop <- false;
+  t.spawned <- false;
+  Mutex.unlock t.mutex
 
 let sequential_map n f = Array.init n (fun i -> f ~slot:0 i)
 

@@ -51,14 +51,21 @@ val num_spawned : t -> int
     Exposed for tests and observability. *)
 
 val shutdown : t -> unit
-(** Stop and join the worker domains. Subsequent submissions run inline on
-    the submitter. Only needed by tests; shared pools live with the
+(** Stop and join the worker domains, then reset the pool so it is usable
+    again: the next submission that fans out respawns a fresh crew, exactly
+    as after {!create}. In particular a pool obtained from {!shared} keeps
+    working for later callers after an intermediate shutdown — it is never
+    left as a dead registry entry whose submissions silently degrade to
+    solo. Only needed by tests and servers; shared pools live with the
     process. *)
 
 val default_jobs : unit -> int
 (** The jobs knob's default: {!set_default_jobs} if called, else the
-    [TVS_JOBS] environment variable (ignored unless a positive integer), else
-    [Domain.recommended_domain_count () - 1] clamped to at least 1. *)
+    [TVS_JOBS] environment variable, else
+    [Domain.recommended_domain_count () - 1] clamped to at least 1. A set
+    but non-positive or unparseable [TVS_JOBS] falls back to the hardware
+    default and warns through {!Env} — a misconfigured deployment is never
+    silent. *)
 
 val set_default_jobs : int -> unit
 (** Process-wide override of {!default_jobs} (the [--jobs] CLI flag).

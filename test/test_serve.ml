@@ -1,0 +1,409 @@
+(* The serve daemon: wire protocol (framing + request parsing) and the full
+   server loop — submit/dedupe/status/metrics/shutdown over a real Unix
+   socket, plus checkpoint recovery at startup. The server runs in-process
+   on a thread; the engine itself fans out across domains as usual. *)
+
+module Protocol = Tvs_serve.Protocol
+module Server = Tvs_serve.Server
+module Json = Tvs_obs.Json
+module Cli = Tvs_harness.Cli
+module Experiments = Tvs_harness.Experiments
+module Prep = Tvs_harness.Prep
+module Circuit = Tvs_netlist.Circuit
+module Cache = Tvs_store.Cache
+module Checkpoint = Tvs_store.Checkpoint
+module Digest = Tvs_store.Digest
+module Policy = Tvs_core.Policy
+module Xor_scheme = Tvs_scan.Xor_scheme
+
+(* --- framing ---------------------------------------------------------- *)
+
+(* A pipe stands in for the socket: write_frame into one end, read_frame
+   from the other. Frames under test are far below the pipe buffer, so the
+   single-threaded round-trip cannot block. *)
+let over_pipe writer =
+  let r, w = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr w and ic = Unix.in_channel_of_descr r in
+  writer oc;
+  close_out oc;
+  let collect = ref [] in
+  let rec drain () =
+    match Protocol.read_frame ic with
+    | None -> ()
+    | Some f ->
+        collect := f :: !collect;
+        drain ()
+  in
+  drain ();
+  close_in ic;
+  List.rev !collect
+
+let test_frame_roundtrip () =
+  let docs =
+    [
+      Json.Obj [ ("verb", Json.Str "ping") ];
+      Json.Obj [ ("text", Json.Str "line one\nline two\n") ];
+      Json.Arr [ Json.Int 1; Json.Float 2.5; Json.Bool false; Json.Null ];
+    ]
+  in
+  let got = over_pipe (fun oc -> List.iter (Protocol.write_frame oc) docs) in
+  Alcotest.(check int) "frame count" (List.length docs) (List.length got);
+  List.iter2
+    (fun want got ->
+      match got with
+      | Ok j -> Alcotest.(check string) "round-trips" (Json.to_string want) (Json.to_string j)
+      | Error m -> Alcotest.failf "frame error: %s" m)
+    docs got
+
+let test_frame_damage () =
+  (* Only the first read matters: past a framing error the stream is dead
+     by contract, so the helper does not drain. *)
+  let feed raw =
+    let r, w = Unix.pipe () in
+    let oc = Unix.out_channel_of_descr w and ic = Unix.in_channel_of_descr r in
+    output_string oc raw;
+    close_out oc;
+    let res = Protocol.read_frame ic in
+    close_in ic;
+    match res with
+    | Some v -> v
+    | None -> Alcotest.fail "expected a frame result, got end-of-stream"
+  in
+  (match feed "nonsense\n{}\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad length accepted");
+  (match feed "5\n{}\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated payload accepted");
+  (match feed "2\n{}X" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing terminator accepted");
+  (match feed "7\nnot-js\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad JSON accepted");
+  match feed (Printf.sprintf "%d\n{}\n" (Protocol.max_frame + 1)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized frame accepted"
+
+(* --- request parsing -------------------------------------------------- *)
+
+let parse_request s =
+  match Json.parse s with
+  | Ok j -> Protocol.request_of_json j
+  | Error m -> Alcotest.failf "test JSON does not parse: %s" m
+
+let test_request_verbs () =
+  (match parse_request {|{"verb":"ping"}|} with
+  | Ok Protocol.Ping -> ()
+  | _ -> Alcotest.fail "ping");
+  (match parse_request {|{"verb":"status"}|} with
+  | Ok Protocol.Status -> ()
+  | _ -> Alcotest.fail "status");
+  (match parse_request {|{"verb":"metrics"}|} with
+  | Ok Protocol.Metrics -> ()
+  | _ -> Alcotest.fail "metrics");
+  (match parse_request {|{"verb":"shutdown"}|} with
+  | Ok Protocol.Shutdown -> ()
+  | _ -> Alcotest.fail "shutdown");
+  (match parse_request {|{"verb":"frobnicate"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown verb accepted");
+  match parse_request {|{"spec":"fig1"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing verb accepted"
+
+let test_submit_defaults () =
+  match parse_request {|{"verb":"submit","spec":"fig1"}|} with
+  | Ok (Protocol.Submit job) ->
+      Alcotest.(check bool) "spec source" true (job.Protocol.source = Protocol.Spec "fig1");
+      Alcotest.(check (float 0.0)) "scale default" 1.0 job.Protocol.scale;
+      Alcotest.(check bool) "scheme default" true (job.Protocol.scheme = Xor_scheme.Nxor);
+      Alcotest.(check bool) "selection default" true
+        (job.Protocol.selection = Policy.Most_faults 5);
+      Alcotest.(check bool) "shift default" true (job.Protocol.shift = None);
+      Alcotest.(check string) "label default" "cli" job.Protocol.label
+  | _ -> Alcotest.fail "minimal submit rejected"
+
+let test_submit_full_roundtrip () =
+  let job =
+    {
+      Protocol.source = Protocol.Spec "s27";
+      scale = 0.5;
+      scheme = Xor_scheme.Vxor;
+      selection = Policy.Hardness_order;
+      shift = Some 3;
+      label = "soak";
+    }
+  in
+  match Protocol.request_of_json (Protocol.json_of_job job) with
+  | Ok (Protocol.Submit job') ->
+      Alcotest.(check bool) "job round-trips through its own JSON" true (job = job')
+  | _ -> Alcotest.fail "round-trip rejected"
+
+let test_submit_rejects_malformed () =
+  let bad =
+    [
+      ("no source", {|{"verb":"submit"}|});
+      ("both sources", {|{"verb":"submit","spec":"fig1","bench":"INPUT(a)"}|});
+      ("scale type", {|{"verb":"submit","spec":"fig1","scale":"big"}|});
+      ("scale range", {|{"verb":"submit","spec":"fig1","scale":2.0}|});
+      ("scheme vocabulary", {|{"verb":"submit","spec":"fig1","scheme":"xor9"}|});
+      ("selection vocabulary", {|{"verb":"submit","spec":"fig1","selection":"best"}|});
+      ("shift range", {|{"verb":"submit","spec":"fig1","shift":0}|});
+      ("shift type", {|{"verb":"submit","spec":"fig1","shift":"wide"}|});
+      ("label type", {|{"verb":"submit","spec":"fig1","label":7}|});
+    ]
+  in
+  List.iter
+    (fun (what, raw) ->
+      match parse_request raw with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s: malformed submit accepted" what)
+    bad
+
+(* --- the server ------------------------------------------------------- *)
+
+let fresh_dir () =
+  let path = Filename.temp_file "tvs-serve" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+(* Start a server on a Unix socket in a fresh temp dir, run [f] against it,
+   then shut it down through the protocol and check the run result. *)
+let with_server ?state_dir f =
+  let dir = fresh_dir () in
+  let sock = Filename.concat dir "sock" in
+  let ready = Atomic.make false in
+  let outcome = ref (Error "server never returned") in
+  let th =
+    Thread.create
+      (fun () ->
+        outcome :=
+          Server.run ?state_dir ~checkpoint_every:1 ~checkpoint_threshold:0
+            ~on_ready:(fun () -> Atomic.set ready true)
+            (Server.Unix_socket sock))
+      ()
+  in
+  while not (Atomic.get ready) do
+    Thread.yield ()
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      (* Idempotent: a test that already sent shutdown just gets a refused
+         connection here. *)
+      (try
+         let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+         (try
+            Unix.connect fd (Unix.ADDR_UNIX sock);
+            let oc = Unix.out_channel_of_descr fd in
+            Protocol.write_frame oc (Protocol.json_of_request Protocol.Shutdown);
+            close_out_noerr oc
+          with Unix.Unix_error _ -> Unix.close fd)
+       with Unix.Unix_error _ -> ());
+      Thread.join th;
+      match !outcome with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "server run failed: %s" m)
+    (fun () -> f sock)
+
+let connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let next_event ic =
+  match Protocol.read_frame ic with
+  | Some (Ok j) -> j
+  | Some (Error m) -> Alcotest.failf "frame error from server: %s" m
+  | None -> Alcotest.fail "server closed the stream mid-conversation"
+
+let event_name j =
+  match Json.member "event" j with Some (Json.Str s) -> s | _ -> "<unnamed>"
+
+let str_field k j = match Json.member k j with Some (Json.Str s) -> Some s | _ -> None
+let bool_field k j = match Json.member k j with Some (Json.Bool b) -> Some b | _ -> None
+
+(* Submit and read this job's lifecycle through to done/error. *)
+let submit_and_wait ic oc job =
+  Protocol.write_frame oc (Protocol.json_of_job job);
+  let rec wait () =
+    let j = next_event ic in
+    match event_name j with
+    | "done" -> Ok j
+    | "error" -> Error (Option.value ~default:"?" (str_field "message" j))
+    | "queued" | "started" | "checkpoint" -> wait ()
+    | other -> Alcotest.failf "unexpected event %S" other
+  in
+  wait ()
+
+(* What `tvs stitch fig1` prints — the byte-exact reference. *)
+let expected_fig1 =
+  lazy
+    (let c = Result.get_ok (Cli.load_circuit "fig1") in
+     let prep = Prep.of_circuit c in
+     let r = Experiments.run_flow ~label:"cli" prep in
+     Experiments.render_summary ~circuit:(Circuit.name c) ~scheme:Xor_scheme.Nxor
+       ~selection:(Policy.Most_faults 5) r)
+
+let test_server_end_to_end () =
+  let cache_dir = fresh_dir () in
+  Experiments.set_cache (Some (Result.get_ok (Cache.open_dir cache_dir)));
+  Fun.protect
+    ~finally:(fun () -> Experiments.set_cache None)
+    (fun () ->
+      with_server (fun sock ->
+          let ic, oc = connect sock in
+          (* ping *)
+          Protocol.write_frame oc (Protocol.json_of_request Protocol.Ping);
+          Alcotest.(check string) "pong" "pong" (event_name (next_event ic));
+          (* first submission computes, byte-identical to the one-shot CLI *)
+          (match submit_and_wait ic oc (Protocol.default_job (Protocol.Spec "fig1")) with
+          | Error m -> Alcotest.failf "job failed: %s" m
+          | Ok j ->
+              Alcotest.(check string) "output matches tvs stitch" (Lazy.force expected_fig1)
+                (Option.value ~default:"" (str_field "output" j)));
+          (* identical job dedupes through the cache *)
+          (match submit_and_wait ic oc (Protocol.default_job (Protocol.Spec "fig1")) with
+          | Error m -> Alcotest.failf "repeat failed: %s" m
+          | Ok j ->
+              Alcotest.(check (option bool)) "repeat flagged cached" (Some true)
+                (bool_field "cached" j);
+              Alcotest.(check string) "repeat output still identical"
+                (Lazy.force expected_fig1)
+                (Option.value ~default:"" (str_field "output" j)));
+          (* a bad spec fails the job, not the connection or the server *)
+          (match
+             submit_and_wait ic oc (Protocol.default_job (Protocol.Spec "no-such-circuit"))
+           with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "nonexistent spec served");
+          (* a submit-level parse error keeps the connection alive too *)
+          Protocol.write_frame oc
+            (Json.Obj [ ("verb", Json.Str "submit"); ("spec", Json.Int 3) ]);
+          Alcotest.(check string) "parse error reported" "error"
+            (event_name (next_event ic));
+          (* status and metrics still answer on the same connection *)
+          Protocol.write_frame oc (Protocol.json_of_request Protocol.Status);
+          let s = next_event ic in
+          Alcotest.(check string) "status event" "status" (event_name s);
+          Alcotest.(check bool) "status reports queue depth" true
+            (match Json.member "queue" s with Some (Json.Int _) -> true | _ -> false);
+          Protocol.write_frame oc (Protocol.json_of_request Protocol.Metrics);
+          let m = next_event ic in
+          Alcotest.(check string) "metrics event" "metrics" (event_name m);
+          Alcotest.(check bool) "metrics carries the registry" true
+            (match Json.member "metrics" m with Some (Json.Arr (_ :: _)) -> true | _ -> false);
+          close_out_noerr oc))
+
+let test_server_inline_bench () =
+  (* A self-contained sequential netlist: inline jobs must work without any
+     file on the server side. *)
+  let text = "INPUT(a)\nOUTPUT(y)\nf = DFF(g)\ng = NAND(a, f)\ny = NOT(f)\n" in
+  let expected =
+    let c = Result.get_ok (Cli.inline_circuit text) in
+    let prep = Prep.of_circuit c in
+    let r = Experiments.run_flow ~label:"cli" prep in
+    Experiments.render_summary ~circuit:(Circuit.name c) ~scheme:Xor_scheme.Nxor
+      ~selection:(Policy.Most_faults 5) r
+  in
+  with_server (fun sock ->
+      let ic, oc = connect sock in
+      (match submit_and_wait ic oc (Protocol.default_job (Protocol.Bench text)) with
+      | Error m -> Alcotest.failf "inline job failed: %s" m
+      | Ok j ->
+          Alcotest.(check string) "inline output matches in-process run" expected
+            (Option.value ~default:"" (str_field "output" j)));
+      (* Malformed inline text is a job error with a line number. *)
+      (match submit_and_wait ic oc (Protocol.default_job (Protocol.Bench "y = NOT(\n")) with
+      | Error m -> Alcotest.(check bool) "names the line" true (String.length m > 0)
+      | Ok _ -> Alcotest.fail "malformed netlist served");
+      close_out_noerr oc)
+
+(* Crash recovery: a checkpoint left behind by a killed server is replayed
+   at startup — digest-verified — and its result lands in the cache, so the
+   client's retry is a dedupe hit with the exact one-shot bytes. *)
+let test_server_recovery () =
+  let state_dir = fresh_dir () and cache_dir = fresh_dir () in
+  let c = Result.get_ok (Cli.load_circuit "fig1") in
+  let prep = Prep.of_circuit c in
+  (* Capture a genuine first-cycle snapshot the way a dying server would
+     have left it. *)
+  let snap = ref None in
+  ignore
+    (Experiments.run_flow
+       ~checkpoint:(1, fun s -> if !snap = None then snap := Some s)
+       ~label:"cli" prep);
+  let snapshot =
+    match !snap with Some s -> s | None -> Alcotest.fail "no snapshot captured"
+  in
+  let config = Experiments.config_for prep in
+  Checkpoint.save
+    (Filename.concat state_dir "job-interrupted.ckpt")
+    {
+      Checkpoint.spec = "fig1";
+      scale = 1.0;
+      scheme = Xor_scheme.Nxor;
+      selection = Policy.Most_faults 5;
+      shift = None;
+      label = "cli";
+      circuit_digest = Digest.circuit c;
+      config_digest = Digest.config ~config ~label:"cli";
+      snapshot;
+    };
+  (* And one damaged file, which startup must drop instead of crash on. *)
+  let oc = open_out_bin (Filename.concat state_dir "job-damaged.ckpt") in
+  output_string oc "not a checkpoint";
+  close_out oc;
+  Experiments.set_cache (Some (Result.get_ok (Cache.open_dir cache_dir)));
+  Fun.protect
+    ~finally:(fun () -> Experiments.set_cache None)
+    (fun () ->
+      with_server ~state_dir (fun sock ->
+          let ic, oc = connect sock in
+          (* The recovery job was queued before on_ready; once it finishes,
+             the same submission must be served from the cache. *)
+          let rec await_idle () =
+            Protocol.write_frame oc (Protocol.json_of_request Protocol.Status);
+            let s = next_event ic in
+            let queue = match Json.member "queue" s with Some (Json.Int n) -> n | _ -> -1 in
+            if queue = 0 && bool_field "running" s = Some false then ()
+            else begin
+              Thread.yield ();
+              await_idle ()
+            end
+          in
+          await_idle ();
+          Alcotest.(check bool) "resumed checkpoint removed" false
+            (Sys.file_exists (Filename.concat state_dir "job-interrupted.ckpt"));
+          Alcotest.(check bool) "damaged checkpoint dropped" false
+            (Sys.file_exists (Filename.concat state_dir "job-damaged.ckpt"));
+          (match submit_and_wait ic oc (Protocol.default_job (Protocol.Spec "fig1")) with
+          | Error m -> Alcotest.failf "post-recovery job failed: %s" m
+          | Ok j ->
+              Alcotest.(check (option bool)) "served from the recovered result" (Some true)
+                (bool_field "cached" j);
+              Alcotest.(check string) "recovered output byte-identical"
+                (Lazy.force expected_fig1)
+                (Option.value ~default:"" (str_field "output" j)));
+          close_out_noerr oc))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "frame damage detected" `Quick test_frame_damage;
+          Alcotest.test_case "request verbs" `Quick test_request_verbs;
+          Alcotest.test_case "submit defaults" `Quick test_submit_defaults;
+          Alcotest.test_case "submit full round-trip" `Quick test_submit_full_roundtrip;
+          Alcotest.test_case "malformed submits rejected" `Quick test_submit_rejects_malformed;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "end to end over a Unix socket" `Quick test_server_end_to_end;
+          Alcotest.test_case "inline netlist jobs" `Quick test_server_inline_bench;
+          Alcotest.test_case "checkpoint recovery at startup" `Quick test_server_recovery;
+        ] );
+    ]

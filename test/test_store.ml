@@ -357,6 +357,87 @@ let test_cache_corrupt_entry_read_twice () =
   let leftovers = List.filter is_tmp (Array.to_list (Sys.readdir (Cache.dir c))) in
   Alcotest.(check (list string)) "no temp files after failed rename" [] leftovers
 
+(* --- cross-process contention ---------------------------------------- *)
+
+(* Children must not replay the parent's buffered output or at_exit hooks
+   (alcotest owns both), so they leave through Unix._exit with a bare
+   status code. *)
+let fork_child f =
+  match Unix.fork () with
+  | 0 -> (
+      match f () with code -> Unix._exit code | exception _ -> Unix._exit 99)
+  | pid -> pid
+
+let wait_status pid =
+  match Unix.waitpid [] pid with _, Unix.WEXITED c -> c | _ -> 98
+
+let is_tmp_file f =
+  let needle = ".tmp." in
+  let nl = String.length needle and fl = String.length f in
+  let rec go i = i + nl <= fl && (String.sub f i nl = needle || go (i + 1)) in
+  go 0
+
+(* The serve daemon and any number of one-shot CLI runs share one cache
+   directory, so store/find must be safe across processes, not just across
+   domains: a reader racing a writer on the same key sees either absence or
+   one complete value — never a torn frame (the CRC turns a torn read into
+   an eviction, and the entry was stored moments ago) — and the temp+rename
+   protocol leaves no .tmp.<pid> litter behind. *)
+let test_cache_cross_process_contention () =
+  let c = fresh_cache_dir () in
+  let key = Digest.of_string "contended-key" in
+  let rounds = 300 in
+  let writer =
+    fork_child (fun () ->
+        for _ = 1 to rounds do
+          Cache.store c ~kind:"TEST" ~key (fun w -> Wire.write_varint w 777)
+        done;
+        0)
+  in
+  let reader =
+    fork_child (fun () ->
+        (* The fork inherits the parent's counter shards, so only the delta
+           accumulated by this child's own reads matters. *)
+        let e0 = Cache.evictions () in
+        let bad = ref 0 in
+        for _ = 1 to rounds do
+          match Cache.find c ~kind:"TEST" ~key Wire.read_varint with
+          | None | Some 777 -> ()
+          | Some _ -> incr bad
+        done;
+        if !bad > 0 then 1 else if Cache.evictions () > e0 then 2 else 0)
+  in
+  Alcotest.(check int) "writer exits cleanly" 0 (wait_status writer);
+  Alcotest.(check int) "reader saw only absent-or-complete values" 0 (wait_status reader);
+  let leftovers = List.filter is_tmp_file (Array.to_list (Sys.readdir (Cache.dir c))) in
+  Alcotest.(check (list string)) "no temp files leaked" [] leftovers;
+  Alcotest.(check bool) "final entry intact" true
+    (Cache.find c ~kind:"TEST" ~key Wire.read_varint = Some 777)
+
+(* Two processes racing to evict the same corrupt entry: unlink is atomic,
+   so exactly one of them may count the eviction — the loser takes the
+   missing-file miss path. The children report their local eviction delta
+   through their exit status. *)
+let test_cache_cross_process_eviction_once () =
+  let c = fresh_cache_dir () in
+  let key = Digest.of_string "races-to-evict" in
+  Cache.store c ~kind:"TEST" ~key (fun w -> Wire.write_varint w 7);
+  let path = Cache.entry_path c ~kind:"TEST" ~key in
+  let oc = open_out_bin path in
+  output_string oc "seeded corruption";
+  close_out oc;
+  let racer () =
+    fork_child (fun () ->
+        let e0 = Cache.evictions () in
+        if Cache.find c ~kind:"TEST" ~key Wire.read_varint <> None then 97
+        else Cache.evictions () - e0)
+  in
+  let a = racer () and b = racer () in
+  let ea = wait_status a and eb = wait_status b in
+  Alcotest.(check bool) "both read a miss" true (ea < 90 && eb < 90);
+  Alcotest.(check int) "eviction counted exactly once across processes" 1 (ea + eb);
+  Alcotest.(check bool) "entry gone" false (Sys.file_exists path)
+
 let test_cache_open_dir_rejects_file () =
   let path = Filename.temp_file "tvs-notdir" "" in
   (match Cache.open_dir path with
@@ -397,6 +478,10 @@ let () =
           Alcotest.test_case "corrupt entry evicted" `Quick test_cache_corrupt_entry_evicted;
           Alcotest.test_case "corrupt entry read twice evicts once" `Quick
             test_cache_corrupt_entry_read_twice;
+          Alcotest.test_case "cross-process store/find contention" `Quick
+            test_cache_cross_process_contention;
+          Alcotest.test_case "cross-process eviction counted once" `Quick
+            test_cache_cross_process_eviction_once;
           Alcotest.test_case "open_dir rejects a file" `Quick test_cache_open_dir_rejects_file;
         ] );
     ]

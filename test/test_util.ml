@@ -1,10 +1,11 @@
-(* Unit tests for Tvs_util: deterministic RNG, the table renderer, the wall
-   clock and the domain pool. *)
+(* Unit tests for Tvs_util: deterministic RNG, the table renderer, the
+   clocks, the environment knobs and the domain pool. *)
 
 module Rng = Tvs_util.Rng
 module Table = Tvs_util.Table
 module Pool = Tvs_util.Pool
 module Clock = Tvs_util.Clock
+module Env = Tvs_util.Env
 
 let test_rng_deterministic () =
   let a = Rng.create 42L and b = Rng.create 42L in
@@ -175,15 +176,41 @@ let test_pool_reuse_across_submissions () =
   done;
   Pool.shutdown p
 
-let test_pool_shutdown_inline () =
+(* Regression: shutdown used to leave the pool permanently dead (stop flag
+   set, spawned flag set), so the next fan-out silently degraded to the
+   submitter alone. A shut-down pool must behave exactly like a fresh one:
+   the next fanned-out submission respawns a full crew. *)
+let test_pool_shutdown_respawn () =
   let p = Pool.create ~jobs:4 () in
+  ignore (Pool.parallel_map_chunks p ~n:16 (fun ~slot:_ i -> i));
+  Alcotest.(check int) "crew up" 3 (Pool.num_spawned p);
   Pool.shutdown p;
-  let out = Pool.parallel_map_chunks p ~n:5 (fun ~slot i -> (slot, i)) in
-  Array.iteri
-    (fun i (slot, v) ->
-      Alcotest.(check int) "inline after shutdown" 0 slot;
-      Alcotest.(check int) "index" i v)
-    out
+  Alcotest.(check int) "crew joined" 0 (Pool.num_spawned p);
+  let out = Pool.parallel_map_chunks p ~n:16 (fun ~slot:_ i -> i * 3) in
+  Alcotest.(check (array int)) "results correct after respawn"
+    (Array.init 16 (fun i -> i * 3))
+    out;
+  Alcotest.(check int) "fresh crew respawned" 3 (Pool.num_spawned p);
+  Pool.shutdown p;
+  (* A submission that stays inline after shutdown spawns nothing. *)
+  let out = Pool.parallel_map_chunks p ~n:1 (fun ~slot i -> (slot, i)) in
+  Alcotest.(check int) "single chunk inline" 0 (fst out.(0));
+  Alcotest.(check int) "no spawn for inline work" 0 (Pool.num_spawned p)
+
+(* Regression: the shared registry handed out shut-down pools. A server that
+   shuts the shared pool down between requests must get a working pool from
+   the registry afterwards, not a dead entry. *)
+let test_pool_shutdown_shared () =
+  let p = Pool.shared ~jobs:2 in
+  ignore (Pool.parallel_map_chunks p ~n:8 (fun ~slot:_ i -> i));
+  Pool.shutdown p;
+  let p' = Pool.shared ~jobs:2 in
+  let out = Pool.parallel_map_chunks p' ~n:8 (fun ~slot:_ i -> i + 100) in
+  Alcotest.(check (array int)) "shared pool works after shutdown"
+    (Array.init 8 (fun i -> i + 100))
+    out;
+  Alcotest.(check int) "shared crew respawned" 1 (Pool.num_spawned p');
+  Pool.shutdown p'
 
 (* Lazy spawning: creating a pool costs no domains; single-chunk and jobs=1
    submissions run in place on the caller forever; the first submission that
@@ -220,7 +247,77 @@ let test_clock_time_it () =
   let v, dt = Clock.time_it (fun () -> 42) in
   Alcotest.(check int) "value passed through" 42 v;
   Alcotest.(check bool) "non-negative duration" true (dt >= 0.0);
-  Alcotest.(check bool) "monotonic now" true (Clock.now () <= Clock.now ())
+  (* Sequence the reads explicitly: OCaml evaluates operator arguments
+     right-to-left, so [now () <= now ()] would compare them backwards. *)
+  let a = Clock.now () in
+  let b = Clock.now () in
+  Alcotest.(check bool) "monotonic now" true (a <= b)
+
+(* Regression: [now] used to read the wall clock, so an NTP step or DST
+   shift mid-run produced negative durations in the pool probe and trace
+   spans. The monotonic clock may never step backwards between reads. *)
+let test_clock_monotonic () =
+  let prev = ref (Clock.now ()) in
+  for _ = 1 to 10_000 do
+    let t = Clock.now () in
+    Alcotest.(check bool) "never steps back" true (t >= !prev);
+    prev := t
+  done;
+  let _, dt = Clock.time_it (fun () -> Sys.opaque_identity (Array.init 4096 Fun.id)) in
+  Alcotest.(check bool) "timed work is non-negative" true (dt >= 0.0)
+
+let test_clock_wall () =
+  (* [wall] stays on the Unix epoch for human-facing timestamps; [now] makes
+     no epoch promise, so the two are distinct accessors on purpose. *)
+  let w = Clock.wall () in
+  Alcotest.(check bool) "epoch seconds" true (w > 1.0e9);
+  let w' = Unix.gettimeofday () in
+  Alcotest.(check bool) "agrees with gettimeofday" true (Float.abs (w' -. w) < 60.0)
+
+(* ------------------------------------------------------------------ *)
+(* Environment knobs. *)
+
+let test_env_unset_is_silent () =
+  let before = Env.warning_count () in
+  Alcotest.(check (option int)) "unset is None" None (Env.positive_int "TVS_TEST_NEVER_SET");
+  Alcotest.(check int) "no warning for unset" before (Env.warning_count ())
+
+let test_env_valid_parses () =
+  Unix.putenv "TVS_TEST_VALID" "  12 ";
+  let before = Env.warning_count () in
+  Alcotest.(check (option int)) "parses with whitespace" (Some 12)
+    (Env.positive_int "TVS_TEST_VALID");
+  Alcotest.(check int) "no warning" before (Env.warning_count ())
+
+(* Regression: a malformed TVS_JOBS used to be silently swallowed by
+   [int_of_string_opt], running the deployment at the wrong parallelism with
+   no trace. Bad values must warn — once per distinct value, so hot paths
+   that re-read the knob do not spam — and fire the installable hook that
+   tvs_obs routes into the [util.env.invalid] counter. *)
+let test_env_invalid_warns_once () =
+  let hooked = ref [] in
+  Env.set_warning_hook (Some (fun ~key ~value -> hooked := (key, value) :: !hooked));
+  Fun.protect
+    ~finally:(fun () -> Env.set_warning_hook None)
+    (fun () ->
+      let before = Env.warning_count () in
+      Unix.putenv "TVS_JOBS" "sixteen";
+      Alcotest.(check (option int)) "bad TVS_JOBS falls back" None
+        (Env.positive_int ~fallback:"the hardware core count" "TVS_JOBS");
+      Alcotest.(check int) "warned once" (before + 1) (Env.warning_count ());
+      ignore (Env.positive_int "TVS_JOBS");
+      ignore (Env.positive_int "TVS_JOBS");
+      Alcotest.(check int) "same value deduped" (before + 1) (Env.warning_count ());
+      Unix.putenv "TVS_JOBS" "0";
+      Alcotest.(check (option int)) "non-positive falls back" None (Env.positive_int "TVS_JOBS");
+      Alcotest.(check int) "changed bad value warns again" (before + 2) (Env.warning_count ());
+      Alcotest.(check (list (pair string string)))
+        "hook saw each fresh value"
+        [ ("TVS_JOBS", "0"); ("TVS_JOBS", "sixteen") ]
+        !hooked;
+      (* Leave the knob valid so later reads in this process stay silent. *)
+      Unix.putenv "TVS_JOBS" "1";
+      Alcotest.(check (option int)) "valid again" (Some 1) (Env.positive_int "TVS_JOBS"))
 
 let qcheck_int_in_bounds =
   QCheck.Test.make ~name:"Rng.int always lands in [0, bound)" ~count:500
@@ -272,9 +369,21 @@ let () =
           Alcotest.test_case "exceptions reach the submitter" `Quick
             test_pool_exception_propagation;
           Alcotest.test_case "reuse across submissions" `Quick test_pool_reuse_across_submissions;
-          Alcotest.test_case "inline after shutdown" `Quick test_pool_shutdown_inline;
+          Alcotest.test_case "shutdown then respawn" `Quick test_pool_shutdown_respawn;
+          Alcotest.test_case "shared pool survives shutdown" `Quick test_pool_shutdown_shared;
           Alcotest.test_case "lazy domain spawn" `Quick test_pool_lazy_spawn;
           Alcotest.test_case "default-jobs override" `Quick test_pool_default_jobs_override;
         ] );
-      ("clock", [ Alcotest.test_case "time_it wall clock" `Quick test_clock_time_it ]);
+      ( "clock",
+        [
+          Alcotest.test_case "time_it" `Quick test_clock_time_it;
+          Alcotest.test_case "now is monotonic" `Quick test_clock_monotonic;
+          Alcotest.test_case "wall stays on the epoch" `Quick test_clock_wall;
+        ] );
+      ( "env",
+        [
+          Alcotest.test_case "unset is silent" `Quick test_env_unset_is_silent;
+          Alcotest.test_case "valid value parses" `Quick test_env_valid_parses;
+          Alcotest.test_case "bad value warns once per value" `Quick test_env_invalid_warns_once;
+        ] );
     ]
