@@ -9,6 +9,8 @@
      serve     persistent stitching daemon (Unix/TCP socket, JSONL frames)
      table     regenerate a paper table (1-5)
      ablation  run the design-choice ablations
+     emit      render a circuit as structural Verilog
+     xcheck    cross-validate against an external Verilog simulator
      fig1      print the worked-example walkthrough *)
 
 module Circuit = Tvs_netlist.Circuit
@@ -272,14 +274,18 @@ let lint_cmd =
           rules
       in
       let options = { Lint.rules; sat_faults; sat_decisions = sat_budget; shift } in
-      (* .bench files are linted from source so statement-level defects
-         (syntax, cycles, duplicate/undefined nets) become diagnostics with
-         line numbers instead of load errors; built-in circuits have no
-         source text and go through the (cacheable) circuit-level path. *)
+      (* Netlist files (.bench or structural Verilog) are linted from source
+         so statement-level defects (syntax, cycles, duplicate/undefined
+         nets) become diagnostics with line numbers in the original file;
+         built-in circuits have no source text and go through the
+         (cacheable) circuit-level path. *)
       let report =
         if Sys.file_exists spec then
           let text = In_channel.with_open_bin spec In_channel.input_all in
-          Lint.run_source ~options ~name:Filename.(remove_extension (basename spec)) text
+          Lint.run_source ~options
+            ~format:(Tvs_verilog.Loader.detect ~path:spec text)
+            ~name:Filename.(remove_extension (basename spec))
+            text
         else Experiments.lint_report ~options (load_circuit ~scale spec)
       in
       (match format with
@@ -673,6 +679,135 @@ let export_cmd =
       const run $ obs_term $ circuit_arg $ scale_arg $ scheme_arg $ selection_arg $ shift_arg
       $ jobs_arg $ out_arg)
 
+let emit_cmd =
+  let out_arg =
+    let doc = "Output Verilog file (default: standard output)." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"OUT" ~doc)
+  in
+  let scan_flag =
+    let doc =
+      "Emit the scan-inserted view: flip-flops become tvs_sdff cells chained from a new scan_in \
+       port to a new scan_out port, as a DFT tool would hand to the tester."
+    in
+    Arg.(value & flag & info [ "scan" ] ~doc)
+  in
+  let cells_arg =
+    let doc = "Also write the behavioural tvs cell models (tvs_dff/tvs_sdff/tvs_mux2) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "cells" ] ~docv:"FILE" ~doc)
+  in
+  let run () spec scale scan cells out =
+    let c = load_circuit ~scale spec in
+    let e =
+      try Tvs_verilog.Emitter.emit ~scan c
+      with Invalid_argument msg ->
+        prerr_endline ("tvs: " ^ msg);
+        exit Cmd.Exit.cli_error
+    in
+    (match out with
+    | None -> print_string e.Tvs_verilog.Emitter.text
+    | Some path ->
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc e.Tvs_verilog.Emitter.text);
+        Printf.eprintf "tvs: wrote %s (module %s)\n" path e.Tvs_verilog.Emitter.module_name);
+    Option.iter
+      (fun path ->
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc Tvs_verilog.Emitter.cell_models);
+        Printf.eprintf "tvs: wrote %s (cell models)\n" path)
+      cells
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Render a circuit as structural Verilog (optionally scan-inserted)")
+    Term.(const run $ obs_term $ circuit_arg $ scale_arg $ scan_flag $ cells_arg $ out_arg)
+
+let xcheck_cmd =
+  let workdir_arg =
+    let doc =
+      "Directory for the generated design/testbench/simulator artifacts (default: a fresh \
+       directory under the system temp dir, printed and kept for inspection)."
+    in
+    Arg.(value & opt (some string) None & info [ "workdir" ] ~docv:"DIR" ~doc)
+  in
+  let require_flag =
+    let doc =
+      "Fail (exit 1) when no external simulator is installed, instead of skipping. CI sets this \
+       so the cross-check can never silently stop running."
+    in
+    Arg.(value & flag & info [ "require" ] ~doc)
+  in
+  let run () spec scale scheme selection shift jobs workdir require =
+    set_jobs jobs;
+    let prep = prep_of ~scale spec in
+    let c = prep.Prep.circuit in
+    (* Sequential circuits replay the exact stitched schedule the engine
+       produced (the same assembly [tvs export] writes to the ATE program);
+       combinational circuits apply the baseline vectors. Either way the
+       external simulator sees the stimulus the flow would really apply. *)
+    let program =
+      if Circuit.num_flops c > 0 then begin
+        let chain_len = Circuit.num_flops c in
+        let base = Tvs_core.Engine.default_config ~chain_len in
+        let config =
+          {
+            base with
+            Tvs_core.Engine.scheme;
+            selection;
+            shift =
+              (match shift with Some s -> Policy.Fixed s | None -> base.Tvs_core.Engine.shift);
+            jobs;
+          }
+        in
+        let r =
+          Tvs_core.Engine.run ~config ~fallback:prep.Prep.baseline.Baseline.vectors
+            ~rng:(Tvs_util.Rng.of_string (Circuit.name c ^ ":xcheck")) prep.Prep.ctx
+            ~faults:prep.Prep.testable
+        in
+        let stitched =
+          Tvs_scan.Tester_format.of_stitched ~chain_len ~npi:(Circuit.num_inputs c)
+            ~vectors:r.Tvs_core.Engine.stimuli ()
+        in
+        let extra_ops =
+          List.concat_map
+            (fun (v : Cube.vector) ->
+              Tvs_scan.Protocol.load_ops ~fresh:v.Cube.scan
+              @ [ Tvs_scan.Protocol.Capture v.Cube.pi ])
+            r.Tvs_core.Engine.extra_stimuli
+        in
+        Tvs_verilog.Xcheck.Scan (stitched.Tvs_scan.Tester_format.ops @ extra_ops)
+      end
+      else
+        Tvs_verilog.Xcheck.Comb
+          (Array.to_list
+             (Array.map (fun (v : Cube.vector) -> v.Cube.pi) prep.Prep.baseline.Baseline.vectors))
+    in
+    match Tvs_verilog.Xcheck.run ?workdir c program with
+    | Tvs_verilog.Xcheck.Agree { observations } ->
+        Printf.printf "xcheck %s: PASS — external simulation agrees on %d observation(s)\n"
+          (Circuit.name c) observations
+    | Tvs_verilog.Xcheck.Disagree { index; internal_; external_ } ->
+        Printf.printf
+          "xcheck %s: FAIL — divergence at observation %d: internal %S, external %S\n"
+          (Circuit.name c) index internal_ external_;
+        exit 1
+    | Tvs_verilog.Xcheck.Skipped reason ->
+        if require then begin
+          Printf.eprintf "tvs: xcheck skipped but --require was given: %s\n" reason;
+          exit 1
+        end
+        else Printf.printf "xcheck %s: SKIP — %s\n" (Circuit.name c) reason
+    | Tvs_verilog.Xcheck.Tool_error msg ->
+        prerr_endline ("tvs: xcheck tool failure: " ^ msg);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "xcheck"
+       ~doc:
+         "Cross-validate the internal simulator against iverilog: emit Verilog plus a \
+          self-checking testbench for the stitched program and compare traces")
+    Term.(
+      const run $ obs_term $ circuit_arg $ scale_arg $ scheme_arg $ selection_arg $ shift_arg
+      $ jobs_arg $ workdir_arg $ require_flag)
+
 let fig1_cmd =
   let run () = print_string (Experiments.table1 ()) in
   Cmd.v (Cmd.info "fig1" ~doc:"Print the Section 3 worked example (Table 1)")
@@ -757,4 +892,4 @@ let () =
     Cmd.info "tvs" ~version:version_string
       ~doc:"Virtual test compression through test vector stitching (DATE 2003 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ stats_cmd; lint_cmd; atpg_cmd; faultsim_cmd; stitch_cmd; resume_cmd; serve_cmd; table_cmd; ablation_cmd; misr_cmd; comparison_cmd; diagnosis_cmd; randtest_cmd; export_cmd; fig1_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ stats_cmd; lint_cmd; atpg_cmd; faultsim_cmd; stitch_cmd; resume_cmd; serve_cmd; table_cmd; ablation_cmd; misr_cmd; comparison_cmd; diagnosis_cmd; randtest_cmd; export_cmd; emit_cmd; xcheck_cmd; fig1_cmd ]))

@@ -1,0 +1,18 @@
+// Deliberately defective netlist for exercising `tvs lint` on Verilog
+// input: a multiply-driven net (TVS-N010), a reference to a net nothing
+// defines (TVS-N009) and a combinational cycle (TVS-N001), each reported
+// with the line number you are looking at.
+//
+//   tvs lint examples/verilog/defective.v --fail-on error   # exits 1
+module defective (a, b, clk, y);
+  input a, b, clk;
+  output y;
+  wire u, v, loop1, loop2;
+
+  and g1 (u, a, b);
+  and g2 (u, b, ghost);      // u driven twice; "ghost" is never defined
+  or  g3 (loop1, loop2, a);  // loop1 and loop2 feed each other:
+  and g4 (loop2, loop1, b);  //   a combinational cycle, no flop in between
+  xor g5 (y, u, loop1);
+  tvs_dff ff (.q(v), .d(y), .clk(clk));
+endmodule

@@ -1,0 +1,26 @@
+// s27 (ISCAS89) as a post-DFT structural netlist: the three flip-flops are
+// scan cells (sdff) already chained scan_input -> ff1 -> ff2 -> ff3. The
+// frontend keeps the functional data path and drops the scan pins (clk, se,
+// si), so this parses to the same circuit as the built-in `s27` spec and
+// the pure clock/scan-enable/scan-in ports do not become primary inputs.
+module s27 (CK, scan_enable, scan_input, G0, G1, G2, G3, G17);
+  input CK, scan_enable, scan_input;
+  input G0, G1, G2, G3;
+  output G17;
+  wire G5, G6, G7, G8, G9, G10, G11, G12, G13, G14, G15, G16;
+
+  sdff ff1 (.q(G5), .d(G10), .si(scan_input), .se(scan_enable), .clk(CK));
+  sdff ff2 (.q(G6), .d(G11), .si(G5), .se(scan_enable), .clk(CK));
+  sdff ff3 (.q(G7), .d(G13), .si(G6), .se(scan_enable), .clk(CK));
+
+  not  g14 (G14, G0);
+  not  g17 (G17, G11);
+  and  g8  (G8, G14, G6);
+  or   g15 (G15, G12, G8);
+  or   g16 (G16, G3, G8);
+  nand g9  (G9, G16, G15);
+  nor  g10 (G10, G14, G11);
+  nor  g11 (G11, G5, G9);
+  nor  g12 (G12, G1, G7);
+  nand g13 (G13, G2, G12);
+endmodule

@@ -17,7 +17,7 @@ let check_spec spec =
            "unknown circuit %S: not a profile (%s), not s27 or fig1, and no such file" spec
            (String.concat ", " profile_names))
 
-let load_circuit ?(scale = 1.0) spec =
+let load_circuit ?(scale = 1.0) ?format spec =
   match check_spec spec with
   | Error _ as e -> e
   | Ok _ -> (
@@ -27,9 +27,13 @@ let load_circuit ?(scale = 1.0) spec =
       | name when List.mem name profile_names ->
           Ok (Tvs_circuits.Synth.generate (Profiles.scale (Profiles.find name) scale))
       | path -> (
-          try Ok (Tvs_netlist.Bench_format.parse_file path)
-          with Failure msg | Sys_error msg ->
-            Error (Printf.sprintf "cannot load %S: %s" path msg)))
+          try Ok (Tvs_verilog.Loader.load_file ?format path)
+          with
+          | Failure msg | Sys_error msg -> Error (Printf.sprintf "cannot load %S: %s" path msg)
+          | Tvs_netlist.Bench_format.Parse_error (line, msg) ->
+              (* the filename makes multi-file flows (serve, xcheck)
+                 debuggable; the exception payload itself stays (line, msg) *)
+              Error (Printf.sprintf "%s:%d: %s" path line msg)))
 
 (* The scheme/selection vocabularies are shared verbatim between the [tvs]
    CLI flags and the serve protocol's job fields, so a job submitted over
@@ -49,17 +53,31 @@ let parse_selection = function
 let check_shift s =
   if s >= 1 then Ok s else Error (Printf.sprintf "shift must be at least 1 (got %d)" s)
 
+let parse_format = function
+  | "auto" -> Ok None
+  | s -> (
+      match Tvs_verilog.Loader.format_of_name s with
+      | Some f -> Ok (Some f)
+      | None -> Error (Printf.sprintf "unknown format %S (expected auto, bench or verilog)" s))
+
 (* Inline netlists are named by the content digest of their raw text, so an
    identical text always builds a digest-identical circuit (the serve dedupe
-   key), and a copy persisted to [inline-<hex>.bench] parses back — via the
-   file's basename — to the same circuit name. *)
+   key), and a copy persisted to [inline-<hex>.<ext>] parses back — via the
+   file's basename — to the same circuit name. The digest covers the raw
+   text only: the resolved format is a function of the text (or of an
+   explicit field that the job digest covers separately). *)
 let inline_name text = "inline-" ^ Tvs_store.Digest.to_hex (Tvs_store.Digest.of_string text)
 
-let inline_circuit text =
-  match Tvs_netlist.Bench_format.parse_string ~name:(inline_name text) text with
+let inline_file_name ?format text =
+  let fmt = match format with Some f -> f | None -> Tvs_verilog.Loader.detect text in
+  inline_name text ^ Tvs_verilog.Loader.extension fmt
+
+let inline_circuit ?format text =
+  match Tvs_verilog.Loader.parse_string ?format ~name:(inline_name text) text with
   | c -> Ok c
   | exception Tvs_netlist.Bench_format.Parse_error (line, msg) ->
       Error (Printf.sprintf "inline netlist, line %d: %s" line msg)
+  | exception Failure msg -> Error (Printf.sprintf "inline netlist: %s" msg)
 
 let check_table n =
   if n >= 1 && n <= 5 then Ok n

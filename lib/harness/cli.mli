@@ -6,12 +6,19 @@
 
 val check_spec : string -> (string, string) result
 (** A circuit spec is a benchmark profile name, ["s27"], ["fig1"], or a path
-    to an existing [.bench] file. *)
+    to an existing netlist file ([.bench] or structural Verilog). *)
 
 val load_circuit :
-  ?scale:float -> string -> (Tvs_netlist.Circuit.t, string) result
+  ?scale:float -> ?format:Tvs_verilog.Loader.format -> string -> (Tvs_netlist.Circuit.t, string) result
 (** Validate [spec] and build the circuit. [scale] (default 1.0) applies to
-    profile circuits only. *)
+    profile circuits only. File specs are parsed through
+    {!Tvs_verilog.Loader} — format forced by [format], else auto-detected by
+    extension then content — and parse failures render as
+    ["path:line: message"]. *)
+
+val parse_format : string -> (Tvs_verilog.Loader.format option, string) result
+(** The [--format] / job-field vocabulary: ["auto"] ([None]), ["bench"],
+    ["verilog"]. Shared between the CLI and the serve protocol. *)
 
 val parse_scheme : string -> (Tvs_scan.Xor_scheme.t, string) result
 (** ["nxor"] | ["vxor"] | ["hxor:<taps>"] — the [--scheme] vocabulary,
@@ -25,14 +32,20 @@ val check_shift : int -> (int, string) result
 (** Fixed shift size: at least 1. *)
 
 val inline_name : string -> string
-(** The circuit name given to an inline [.bench] text: ["inline-<hex>"] of
+(** The circuit name given to an inline netlist text: ["inline-<hex>"] of
     the text's content digest, so identical texts name (and digest)
-    identically, and a copy saved as [<name>.bench] reparses to the same
-    circuit. *)
+    identically, and a copy saved as {!inline_file_name} reparses to the
+    same circuit. *)
 
-val inline_circuit : string -> (Tvs_netlist.Circuit.t, string) result
-(** Parse an inline [.bench] text (a serve-protocol job with a ["bench"]
-    field), named by {!inline_name}. [Error] carries the source line. *)
+val inline_file_name : ?format:Tvs_verilog.Loader.format -> string -> string
+(** {!inline_name} plus the extension of the resolved format
+    ([.bench] / [.v]), the file name serve uses to persist inline text. *)
+
+val inline_circuit :
+  ?format:Tvs_verilog.Loader.format -> string -> (Tvs_netlist.Circuit.t, string) result
+(** Parse an inline netlist text (a serve-protocol job with a ["bench"]
+    field), named by {!inline_name}; format auto-detected by content when
+    absent. [Error] carries the source line. *)
 
 val check_table : int -> (int, string) result
 (** The paper has tables 1-5. *)

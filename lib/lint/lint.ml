@@ -117,8 +117,16 @@ let run ?(options = default_options) ?lines ?chain c =
 let source_failure ?(options = default_options) ~name diags =
   finish ~circuit:name ~nets:0 ~shift:0 ~risk:[||] options diags
 
-let run_source ?(options = default_options) ~name text =
-  match Bench_format.statements_of_string text with
+(* Both frontends speak the same statement vocabulary, so once the text is
+   tokenised the whole pass pipeline below is format-blind — Verilog inputs
+   get the same rules with Verilog line numbers. *)
+let statements_of ?format text =
+  match Option.value format ~default:(Tvs_verilog.Loader.detect text) with
+  | Tvs_verilog.Loader.Bench -> Bench_format.statements_of_string text
+  | Tvs_verilog.Loader.Verilog -> snd (Tvs_verilog.Frontend.statements_of_string text)
+
+let run_source ?(options = default_options) ?format ~name text =
+  match statements_of ?format text with
   | exception Bench_format.Parse_error (line, msg) ->
       source_failure ~options ~name [ Diagnostic.make ~rule:"TVS-P001" ~line msg ]
   | stmts -> (

@@ -41,12 +41,17 @@ val run :
     {!Tvs_netlist.Circuit.flops}). The risk table is computed only when the
     chain passes integrity without errors. *)
 
-val run_source : ?options:options -> name:string -> string -> report
-(** Lint `.bench` text. Statement-level defects a [Circuit.t] cannot
-    represent — syntax errors (P001), multiply-driven nets (N010), undefined
-    references (N009), combinational cycles (N001) — are reported with line
-    numbers instead of raising; when the source is build-clean this is
-    {!run} with the line table attached. *)
+val run_source :
+  ?options:options -> ?format:Tvs_verilog.Loader.format -> name:string -> string -> report
+(** Lint netlist text — `.bench` or structural Verilog, auto-detected by
+    content when [format] is absent (callers that know the file path should
+    resolve it with {!Tvs_verilog.Loader.detect} and pass the result).
+    Statement-level defects a [Circuit.t] cannot represent — syntax errors
+    (P001), multiply-driven nets (N010), undefined references (N009),
+    combinational cycles (N001) — are reported with line numbers instead of
+    raising; when the source is build-clean this is {!run} with the line
+    table attached. Line numbers always refer to the original source, bench
+    or Verilog. *)
 
 val preflight : Tvs_netlist.Circuit.t -> Diagnostic.t list
 (** The cheap gate for {!Tvs_core.Engine}: structural and

@@ -60,7 +60,10 @@ let cyclic_sccs (adj : int list array) =
 (* ---------- statement-level pass ---------- *)
 
 let statement_target = function
-  | Bench_format.St_input nm | Bench_format.St_dff (nm, _) | Bench_format.St_gate (nm, _, _) ->
+  | Bench_format.St_input nm
+  | Bench_format.St_dff (nm, _)
+  | Bench_format.St_gate (nm, _, _)
+  | Bench_format.St_const (nm, _) ->
       Some nm
   | Bench_format.St_output _ -> None
 
@@ -102,7 +105,7 @@ let source_pass numbered =
   List.iter
     (fun (lineno, st) ->
       match st with
-      | Bench_format.St_input _ -> ()
+      | Bench_format.St_input _ | Bench_format.St_const _ -> ()
       | Bench_format.St_output nm -> reference lineno ~by:"an OUTPUT declaration" nm
       | Bench_format.St_dff (q, d) -> reference lineno ~by:(Printf.sprintf "flop %S" q) d
       | Bench_format.St_gate (g, _, ins) ->

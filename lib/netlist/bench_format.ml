@@ -5,6 +5,7 @@ type statement =
   | St_output of string
   | St_dff of string * string
   | St_gate of string * Gate.kind * string list
+  | St_const of string * bool
 
 let fail line msg = raise (Parse_error (line, msg))
 
@@ -90,7 +91,7 @@ let line_of_net numbered =
   List.iter
     (fun (lineno, st) ->
       match st with
-      | St_input nm | St_dff (nm, _) | St_gate (nm, _, _) ->
+      | St_input nm | St_dff (nm, _) | St_gate (nm, _, _) | St_const (nm, _) ->
           if not (Hashtbl.mem tbl nm) then Hashtbl.add tbl nm lineno
       | St_output _ -> ())
     numbered;
@@ -114,18 +115,20 @@ let circuit_of_statements ~name numbered =
         | None -> Hashtbl.add tbl nm lineno
       in
       match st with
-      | St_input nm | St_dff (nm, _) | St_gate (nm, _, _) ->
+      | St_input nm | St_dff (nm, _) | St_gate (nm, _, _) | St_const (nm, _) ->
           check_dup defined_at "definition" nm
       | St_output nm -> check_dup output_at "OUTPUT declaration" nm)
     numbered;
   let b = Circuit.Builder.create name in
-  (* Pass 1: declare inputs and flip-flops (forward), recording definitions. *)
+  (* Pass 1: declare inputs, constants and flip-flops (forward), recording
+     definitions. *)
   let defined = Hashtbl.create 64 in
   let declare nm net = Hashtbl.replace defined nm net in
   List.iter
     (fun (_, st) ->
       match st with
       | St_input nm -> declare nm (Circuit.Builder.input b nm)
+      | St_const (nm, v) -> declare nm (Circuit.Builder.const b ~name:nm v)
       | St_dff (q, _) -> declare q (Circuit.Builder.flop_forward b q)
       | St_output _ | St_gate _ -> ())
     numbered;
@@ -137,7 +140,7 @@ let circuit_of_statements ~name numbered =
       (List.filter_map
          (function
            | lineno, St_gate (nm, k, ins) -> Some (lineno, nm, k, ins)
-           | _, (St_input _ | St_output _ | St_dff _) -> None)
+           | _, (St_input _ | St_output _ | St_dff _ | St_const _) -> None)
          numbered)
   in
   let progress = ref true in
@@ -183,7 +186,7 @@ let circuit_of_statements ~name numbered =
           match Hashtbl.find_opt defined nm with
           | Some net -> Circuit.Builder.mark_output b net
           | None -> fail lineno ("OUTPUT references undefined net " ^ nm))
-      | St_input _ | St_gate _ -> ())
+      | St_input _ | St_gate _ | St_const _ -> ())
     numbered;
   Circuit.Builder.finish b
 

@@ -23,6 +23,12 @@ type statement =
   | St_output of string
   | St_dff of string * string  (** (Q net, data net) *)
   | St_gate of string * Gate.kind * string list  (** (target, kind, fanins) *)
+  | St_const of string * bool
+      (** (target, value). Never produced by the `.bench` parser — the format
+          has no constant statement — but part of the shared statement
+          vocabulary so source frontends that do have constants (structural
+          Verilog tie cells, [assign n = 1'b0]) build circuits through the
+          same {!circuit_of_statements} machinery. *)
 
 val statements_of_string : string -> (int * statement) list
 (** Tokenize and parse, statement per non-empty line, each paired with its

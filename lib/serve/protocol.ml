@@ -35,6 +35,7 @@ type source = Spec of string | Bench of string
 
 type job = {
   source : source;
+  format : Tvs_verilog.Loader.format option;
   scale : float;
   scheme : Tvs_scan.Xor_scheme.t;
   selection : Tvs_core.Policy.selection;
@@ -45,6 +46,7 @@ type job = {
 let default_job source =
   {
     source;
+    format = None;
     scale = 1.0;
     scheme = Tvs_scan.Xor_scheme.Nxor;
     selection = Tvs_core.Policy.Most_faults 5;
@@ -88,6 +90,8 @@ let job_of_json j =
     | Some _, Some _ -> Error "job has both \"spec\" and \"bench\"; give exactly one"
     | None, None -> Error "job needs a \"spec\" (circuit name/path) or \"bench\" (inline netlist)"
   in
+  let* format = opt_string "format" j in
+  let* format = match format with None -> Ok None | Some s -> Cli.parse_format s in
   let* scale = opt_number "scale" j in
   let* scale =
     match scale with None -> Ok 1.0 | Some f -> Cli.check_scale f
@@ -110,7 +114,7 @@ let job_of_json j =
   in
   let* label = opt_string "label" j in
   let label = Option.value ~default:"cli" label in
-  Ok { source; scale; scheme; selection; shift; label }
+  Ok { source; format; scale; scheme; selection; shift; label }
 
 let request_of_json j =
   match Json.member "verb" j with
@@ -134,6 +138,9 @@ let json_of_job (job : job) =
   Json.Obj
     (("verb", Json.Str "submit")
      :: source_fields
+    @ (match job.format with
+      | None -> []
+      | Some f -> [ ("format", Json.Str (Tvs_verilog.Loader.format_name f)) ])
     @ [
         ("scale", Json.Float job.scale);
         ("scheme", Json.Str (Tvs_scan.Xor_scheme.to_string job.scheme));

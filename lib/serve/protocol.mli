@@ -18,11 +18,13 @@
     one-shot [tvs stitch] would print for the same job.
 
     Job fields reuse the CLI vocabulary verbatim ({!Tvs_harness.Cli}):
-    ["spec"] is a profile name / s27 / fig1 / server-side [.bench] path
-    (alternatively ["bench"] is an inline netlist text), and ["scale"],
-    ["scheme"], ["selection"], ["shift"], ["label"] mirror the [stitch]
-    flags. Absent fields take the CLI defaults; present-but-malformed
-    fields are errors, never silent defaults. *)
+    ["spec"] is a profile name / s27 / fig1 / server-side netlist path
+    (alternatively ["bench"] is an inline netlist text — `.bench` or
+    structural Verilog, resolved by the ["format"] field, default
+    auto-detect), and ["scale"], ["scheme"], ["selection"], ["shift"],
+    ["label"] mirror the [stitch] flags. Absent fields take the CLI
+    defaults; present-but-malformed fields are errors, never silent
+    defaults. *)
 
 val max_frame : int
 (** Upper bound on a frame's payload bytes (16 MiB). *)
@@ -36,10 +38,14 @@ val read_frame : in_channel -> (Tvs_obs.Json.t, string) result option
 
 type source =
   | Spec of string  (** circuit spec resolved server-side, as on the CLI *)
-  | Bench of string  (** inline [.bench] text, named by its content digest *)
+  | Bench of string  (** inline netlist text, named by its content digest *)
 
 type job = {
   source : source;
+  format : Tvs_verilog.Loader.format option;
+      (** netlist format of the source text/path; [None] = auto-detect.
+          On the wire: ["format"] of ["auto"], ["bench"] or ["verilog"];
+          any other value is a typed protocol error, never a default. *)
   scale : float;
   scheme : Tvs_scan.Xor_scheme.t;
   selection : Tvs_core.Policy.selection;

@@ -118,16 +118,19 @@ let prep_for t circuit =
 let resolve t (job : Protocol.job) =
   match job.source with
   | Protocol.Spec s ->
-      Result.map (fun c -> (c, s)) (Cli.load_circuit ~scale:job.scale s)
+      Result.map (fun c -> (c, s)) (Cli.load_circuit ~scale:job.scale ?format:job.format s)
   | Protocol.Bench text -> (
-      match Cli.inline_circuit text with
+      match Cli.inline_circuit ?format:job.format text with
       | Error _ as e -> e
       | Ok c ->
           let spec =
             match t.state_dir with
             | None -> "<inline>"
             | Some dir ->
-                let path = Filename.concat dir (Cli.inline_name text ^ ".bench") in
+                (* the persisted copy's extension pins the resolved format,
+                   so a restarted server reparses it identically even though
+                   the checkpoint has no format field *)
+                let path = Filename.concat dir (Cli.inline_file_name ?format:job.format text) in
                 if not (Sys.file_exists path) then write_text_atomic path text;
                 path
           in
@@ -417,6 +420,9 @@ let scan_recovery t dir =
             let job =
               {
                 Protocol.source = Protocol.Spec ck.Checkpoint.spec;
+                (* the checkpointed spec is a resolved server-side path whose
+                   extension already pins the format *)
+                format = None;
                 scale = ck.Checkpoint.scale;
                 scheme = ck.Checkpoint.scheme;
                 selection = ck.Checkpoint.selection;

@@ -1,0 +1,92 @@
+type template = Dff | Sdff | Mux2
+type role = Q | D | Si | Se | Clk | Y | A | B | S
+
+let builtin = function
+  | "dff" | "tvs_dff" | "dffqx1" | "fd1" -> Some Dff
+  | "sdff" | "tvs_sdff" | "sdffr" | "sdffqx1" -> Some Sdff
+  | "mux2" | "tvs_mux2" | "mux21" -> Some Mux2
+  | _ -> None
+
+let template_of_string = function
+  | "dff" -> Some Dff
+  | "sdff" -> Some Sdff
+  | "mux2" -> Some Mux2
+  | _ -> None
+
+(* TVS_CELLS is parsed once; malformed entries are user input, so complain
+   (once) instead of dying — the variable is a convenience, not a spec. *)
+let env_aliases =
+  lazy
+    (match Sys.getenv_opt "TVS_CELLS" with
+    | None | Some "" -> []
+    | Some spec ->
+        String.split_on_char ',' spec
+        |> List.filter_map (fun entry ->
+               let entry = String.trim entry in
+               if entry = "" then None
+               else
+                 match String.index_opt entry '=' with
+                 | Some i when i > 0 -> (
+                     let alias =
+                       String.lowercase_ascii (String.trim (String.sub entry 0 i))
+                     in
+                     let tgt =
+                       String.lowercase_ascii
+                         (String.trim
+                            (String.sub entry (i + 1) (String.length entry - i - 1)))
+                     in
+                     match template_of_string tgt with
+                     | Some t -> Some (alias, t)
+                     | None ->
+                         Printf.eprintf
+                           "tvs: TVS_CELLS: unknown template %S in %S (want dff|sdff|mux2); \
+                            ignoring\n\
+                            %!"
+                           tgt entry;
+                         None)
+                 | _ ->
+                     Printf.eprintf
+                       "tvs: TVS_CELLS: malformed entry %S (want alias=template); ignoring\n%!"
+                       entry;
+                     None))
+
+let template_of_cell ?(extra = []) name =
+  let key = String.lowercase_ascii name in
+  let find l = List.assoc_opt key (List.map (fun (a, t) -> (String.lowercase_ascii a, t)) l) in
+  match find extra with
+  | Some t -> Some t
+  | None -> (
+      match find (Lazy.force env_aliases) with Some t -> Some t | None -> builtin key)
+
+let roles = function
+  | Dff -> [| Q; D; Clk |]
+  | Sdff -> [| Q; D; Si; Se; Clk |]
+  | Mux2 -> [| Y; A; B; S |]
+
+let role_of_pin template pin =
+  let p = String.lowercase_ascii pin in
+  let r =
+    match template with
+    | Dff | Sdff -> (
+        match p with
+        | "q" | "out" -> Some Q
+        | "d" | "din" | "data" -> Some D
+        | "si" | "sd" | "scan_in" -> Some Si
+        | "se" | "sen" | "scan_enable" | "scan_en" -> Some Se
+        | "clk" | "ck" | "cp" | "clock" | "gclk" -> Some Clk
+        | _ -> None)
+    | Mux2 -> (
+        match p with
+        | "y" | "z" | "out" -> Some Y
+        | "a" | "i0" -> Some A
+        | "b" | "i1" -> Some B
+        | "s" | "sel" | "select" -> Some S
+        | _ -> None)
+  in
+  (* A pin is only valid if the template actually has that role: a plain DFF
+     has no scan pins. *)
+  match r with
+  | Some role when Array.exists (fun x -> x = role) (roles template) -> Some role
+  | _ -> None
+
+let ignored = function Se | Clk | Si -> true | Q | D | Y | A | B | S -> false

@@ -1,0 +1,50 @@
+(** The built-in sequential/steering cell library the Verilog frontend
+    understands, plus the user-extensible alias map.
+
+    Structural netlists from real flows instantiate vendor flops under names
+    like [DFFQX1] or [sky130_fd_sc_hd__dfxtp_1]. Rather than parse liberty
+    files, the frontend recognises three {e templates} and lets users map
+    their cell names onto them:
+
+    - [Dff]  — D flip-flop: pins (q, d, clk)
+    - [Sdff] — scan D flip-flop: pins (q, d, si, se, clk); the frontend
+      keeps only the functional data path (q, d) and drops the scan pins,
+      recovering the pre-DFT netlist — {!Tvs_netlist.Scan_insert} re-derives
+      the chain when the stack needs it
+    - [Mux2] — 2-to-1 multiplexer: pins (y, a, b, s), y = s ? b : a
+
+    Pin roles are matched by (case-insensitive) pin-name synonyms in
+    named-port instantiations and by template order in positional ones. *)
+
+type template = Dff | Sdff | Mux2
+
+type role =
+  | Q  (** flop output *)
+  | D  (** functional data *)
+  | Si  (** scan-in data *)
+  | Se  (** scan-enable; ignored in the functional view *)
+  | Clk  (** clock; ignored — the circuit model is single-clock *)
+  | Y  (** mux output *)
+  | A  (** mux input selected when s = 0 *)
+  | B  (** mux input selected when s = 1 *)
+  | S  (** mux select *)
+
+val template_of_cell : ?extra:(string * template) list -> string -> template option
+(** [template_of_cell name] resolves a module/cell name, case-insensitively,
+    against the built-in names ([dff], [tvs_dff], [sdff], [tvs_sdff], [sdffr],
+    [mux2], [tvs_mux2], [mux21]), the [extra] alias list, and the [TVS_CELLS]
+    environment variable ([alias=dff,other=sdff,...]; malformed entries are
+    reported once on stderr and skipped). [extra] wins over the environment,
+    which wins over the built-ins. *)
+
+val roles : template -> role array
+(** Pin roles in positional-connection order, output first — e.g.
+    [Dff] is [|Q; D; Clk|]. *)
+
+val role_of_pin : template -> string -> role option
+(** Named-connection pin lookup, case-insensitive, with synonyms:
+    q/out, d/din/data, si/sd/scan_in, se/sen/scan_enable/scan_en,
+    clk/ck/cp/clock/gclk, y/z/out, a/i0, b/i1, s/sel/select. *)
+
+val ignored : role -> bool
+(** Roles the functional circuit model drops ([Se], [Clk], [Si]). *)

@@ -1,0 +1,185 @@
+module Circuit = Tvs_netlist.Circuit
+module Gate = Tvs_netlist.Gate
+
+type ports = {
+  pi : string array;
+  po : string array;
+  clk : string option;
+  scan : (string * string * string) option;
+}
+
+type t = { module_name : string; text : string; ports : ports }
+
+let keywords =
+  [
+    "module"; "endmodule"; "input"; "output"; "inout"; "wire"; "reg"; "tri"; "assign";
+    "and"; "nand"; "or"; "nor"; "xor"; "xnor"; "not"; "buf"; "bufif0"; "bufif1";
+    "initial"; "always"; "begin"; "end"; "if"; "else"; "case"; "endcase"; "default";
+    "task"; "endtask"; "function"; "endfunction"; "parameter"; "localparam"; "integer";
+    "real"; "time"; "posedge"; "negedge"; "generate"; "endgenerate"; "genvar";
+    "specify"; "endspecify"; "for"; "while"; "repeat"; "forever"; "wait"; "signed";
+    "supply0"; "supply1"; "edge"; "scalared"; "vectored"; "small"; "medium"; "large";
+    (* cell names the frontend dispatches on at statement position *)
+    "dff"; "sdff"; "mux2"; "tvs_dff"; "tvs_sdff"; "tvs_mux2"; "sdffr"; "mux21";
+    "dffqx1"; "sdffqx1"; "fd1";
+  ]
+
+let is_legal_char c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' -> true | _ -> false
+
+(* A fresh-name allocator over one Verilog namespace (nets, ports and
+   instance names share it in practice). *)
+let namer () =
+  let taken = Hashtbl.create 64 in
+  fun raw ->
+    let base =
+      let b = Bytes.of_string raw in
+      Bytes.iteri (fun i c -> if not (is_legal_char c) then Bytes.set b i '_') b;
+      let s = Bytes.to_string b in
+      let s = if s = "" then "n" else s in
+      let s = match s.[0] with '0' .. '9' | '$' -> "n" ^ s | _ -> s in
+      if List.mem (String.lowercase_ascii s) keywords then s ^ "_" else s
+    in
+    let rec claim cand k =
+      if Hashtbl.mem taken cand then claim (Printf.sprintf "%s_%d" base k) (k + 1)
+      else begin
+        Hashtbl.add taken cand ();
+        cand
+      end
+    in
+    claim base 0
+
+let cell_models =
+  String.concat "\n"
+    [
+      "// Behavioural models for the tvs cell library. Zero-initialised to";
+      "// match the internal simulator's reset state.";
+      "module tvs_dff (q, d, clk);";
+      "  output reg q;";
+      "  input d, clk;";
+      "  initial q = 1'b0;";
+      "  always @(posedge clk) q <= d;";
+      "endmodule";
+      "";
+      "module tvs_sdff (q, d, si, se, clk);";
+      "  output reg q;";
+      "  input d, si, se, clk;";
+      "  initial q = 1'b0;";
+      "  always @(posedge clk) q <= se ? si : d;";
+      "endmodule";
+      "";
+      "module tvs_mux2 (y, a, b, s);";
+      "  output y;";
+      "  input a, b, s;";
+      "  assign y = s ? b : a;";
+      "endmodule";
+      "";
+    ]
+
+let emit ?(scan = false) c =
+  let n_flops = Circuit.num_flops c in
+  if scan && n_flops = 0 then
+    invalid_arg "Emitter.emit: scan mode requires at least one flip-flop";
+  let fresh = namer () in
+  let module_name = fresh (Circuit.name c) in
+  let vname = Array.make (Circuit.num_nets c) "" in
+  for net = 0 to Circuit.num_nets c - 1 do
+    vname.(net) <- fresh (Circuit.net_name c net)
+  done;
+  let clk = if n_flops > 0 then Some (fresh "clk") else None in
+  let scan_ports =
+    if scan then Some (fresh "scan_en", fresh "scan_in", fresh "scan_out") else None
+  in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let pi_nets = Circuit.inputs c in
+  let is_pi = Array.make (Circuit.num_nets c) false in
+  Array.iter (fun p -> is_pi.(p) <- true) pi_nets;
+  (* An output port must not also be an input port, and a net may serve as a
+     port at most once — alias any other output through an assign. *)
+  let port_used = Hashtbl.create 16 in
+  let aliases = ref [] in
+  let po_ports =
+    Array.map
+      (fun o ->
+        if is_pi.(o) || Hashtbl.mem port_used o then begin
+          let alias = fresh (Circuit.net_name c o ^ "$o") in
+          aliases := (alias, vname.(o)) :: !aliases;
+          alias
+        end
+        else begin
+          Hashtbl.add port_used o ();
+          vname.(o)
+        end)
+      (Circuit.outputs c)
+  in
+  let aliases = List.rev !aliases in
+  let pi_ports = Array.map (fun p -> vname.(p)) pi_nets in
+  let ports_in_order =
+    Array.to_list pi_ports
+    @ Option.to_list clk
+    @ (match scan_ports with Some (se, si, _) -> [ se; si ] | None -> [])
+    @ Array.to_list po_ports
+    @ match scan_ports with Some (_, _, so) -> [ so ] | None -> []
+  in
+  add "// emitted by tvs from circuit %S\n" (Circuit.name c);
+  (match ports_in_order with
+  | [] -> add "module %s;\n" module_name
+  | ports -> add "module %s (%s);\n" module_name (String.concat ", " ports));
+  List.iter
+    (fun p -> add "  input %s;\n" p)
+    (Array.to_list pi_ports
+    @ Option.to_list clk
+    @ match scan_ports with Some (se, si, _) -> [ se; si ] | None -> []);
+  List.iter
+    (fun p -> add "  output %s;\n" p)
+    (Array.to_list po_ports
+    @ match scan_ports with Some (_, _, so) -> [ so ] | None -> []);
+  (* every non-port net gets a wire declaration *)
+  let is_output_port = Hashtbl.create 16 in
+  Array.iteri
+    (fun i o -> if po_ports.(i) = vname.(o) then Hashtbl.replace is_output_port o ())
+    (Circuit.outputs c);
+  for net = 0 to Circuit.num_nets c - 1 do
+    if (not is_pi.(net)) && not (Hashtbl.mem is_output_port net) then
+      add "  wire %s;\n" vname.(net)
+  done;
+  Buffer.add_char buf '\n';
+  let flop_pos = Hashtbl.create 16 in
+  Array.iteri (fun i q -> Hashtbl.replace flop_pos q i) (Circuit.flops c);
+  for net = 0 to Circuit.num_nets c - 1 do
+    match Circuit.driver c net with
+    | Circuit.Primary_input -> ()
+    | Circuit.Const v -> add "  assign %s = 1'b%d;\n" vname.(net) (if v then 1 else 0)
+    | Circuit.Gate_node (kind, ins) ->
+        add "  %s %s (%s);\n"
+          (String.lowercase_ascii (Gate.to_string kind) |> fun s ->
+           if s = "buff" then "buf" else s)
+          (fresh (Printf.sprintf "tvs$g%d" net))
+          (String.concat ", "
+             (vname.(net) :: (Array.to_list ins |> List.map (fun i -> vname.(i)))))
+    | Circuit.Flip_flop d -> (
+        match scan_ports with
+        | None ->
+            add "  tvs_dff %s (.q(%s), .d(%s), .clk(%s));\n"
+              (fresh (Printf.sprintf "tvs$ff%d" net))
+              vname.(net) vname.(d) (Option.get clk)
+        | Some (se, si, _) ->
+            let pos = Hashtbl.find flop_pos net in
+            let shift_src = if pos = 0 then si else vname.((Circuit.flops c).(pos - 1)) in
+            add "  tvs_sdff %s (.q(%s), .d(%s), .si(%s), .se(%s), .clk(%s));\n"
+              (fresh (Printf.sprintf "tvs$ff%d" net))
+              vname.(net) vname.(d) shift_src se (Option.get clk))
+  done;
+  (match scan_ports with
+  | Some (_, _, so) ->
+      let tail = (Circuit.flops c).(n_flops - 1) in
+      add "  assign %s = %s;\n" so vname.(tail)
+  | None -> ());
+  List.iter (fun (alias, src) -> add "  assign %s = %s;\n" alias src) aliases;
+  add "endmodule\n";
+  {
+    module_name;
+    text = Buffer.contents buf;
+    ports = { pi = pi_ports; po = po_ports; clk; scan = scan_ports };
+  }

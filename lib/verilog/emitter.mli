@@ -1,0 +1,36 @@
+(** Structural Verilog emitter.
+
+    Renders an in-memory circuit back to the same subset {!Frontend} reads:
+    gate primitives for logic, [tvs_dff] / [tvs_sdff] instances for
+    flip-flops, [assign] for constants and aliases. Net names are sanitised
+    into legal Verilog identifiers (illegal characters become [_], a leading
+    digit gains an [n] prefix, keywords gain a [_] suffix, collisions are
+    uniquified) — a circuit whose names are already legal round-trips with
+    its names intact, and [parse (emit c)] rebuilds [c] exactly in plain
+    mode.
+
+    In scan mode ([~scan:true]) every flop becomes a [tvs_sdff] wired into a
+    shift chain that mirrors {!Tvs_netlist.Scan_insert}: cell 0's [si] pin is
+    the new [scan_in] input, each later cell shifts from its predecessor's
+    [q], and the tail [q] drives the new [scan_out] output, with [scan_en]
+    selecting shift vs capture. The result is the netlist a tester would
+    see, suitable for cycle-accurate external simulation. *)
+
+type ports = {
+  pi : string array;  (** Verilog names of the functional primary inputs, circuit order *)
+  po : string array;  (** Verilog names of the primary outputs, circuit order *)
+  clk : string option;  (** clock port; present iff the circuit has flip-flops *)
+  scan : (string * string * string) option;
+      (** (scan_en, scan_in, scan_out) port names; present iff [~scan:true] *)
+}
+
+type t = { module_name : string; text : string; ports : ports }
+
+val emit : ?scan:bool -> Tvs_netlist.Circuit.t -> t
+(** [scan] defaults to [false]. Raises [Invalid_argument] when [~scan:true]
+    and the circuit has no flip-flops. *)
+
+val cell_models : string
+(** Behavioural Verilog for [tvs_dff], [tvs_sdff] and [tvs_mux2], zero-
+    initialised to match the internal simulator's reset state. Written
+    alongside emitted netlists so [iverilog] can compile them standalone. *)

@@ -1,0 +1,477 @@
+module Bench_format = Tvs_netlist.Bench_format
+module Gate = Tvs_netlist.Gate
+
+let fail line msg = raise (Bench_format.Parse_error (line, msg))
+
+(* ---------- lexer ---------- *)
+
+type tok = Tid of string | Tnum of string | Tsym of char
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9') || c = '$'
+let is_digit c = c >= '0' && c <= '9'
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+let lex text =
+  let n = String.length text in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push t = toks := (!line, t) :: !toks in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if is_space c then incr i
+    else if c = '/' && !i + 1 < n && text.[!i + 1] = '/' then
+      while !i < n && text.[!i] <> '\n' do incr i done
+    else if c = '/' && !i + 1 < n && text.[!i + 1] = '*' then begin
+      let opened = !line in
+      let closed = ref false in
+      i := !i + 2;
+      while (not !closed) && !i < n do
+        if text.[!i] = '*' && !i + 1 < n && text.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else begin
+          if text.[!i] = '\n' then incr line;
+          incr i
+        end
+      done;
+      if not !closed then fail opened "unterminated block comment"
+    end
+    else if c = '`' then
+      (* compiler directive (`timescale, `define...): none affect the
+         structural subset, so the whole line is skipped *)
+      while !i < n && text.[!i] <> '\n' do incr i done
+    else if c = '\\' then begin
+      let start = !i + 1 in
+      i := start;
+      while !i < n && not (is_space text.[!i] || text.[!i] = '\n') do incr i done;
+      if !i = start then fail !line "empty escaped identifier";
+      push (Tid (String.sub text start (!i - start)))
+    end
+    else if is_id_start c then begin
+      let start = !i in
+      while !i < n && is_id_char text.[!i] do incr i done;
+      push (Tid (String.sub text start (!i - start)))
+    end
+    else if is_digit c || c = '\'' then begin
+      let start = !i in
+      while !i < n && is_digit text.[!i] do incr i done;
+      if !i < n && text.[!i] = '\'' then begin
+        incr i;
+        let base_ok =
+          !i < n
+          && match Char.lowercase_ascii text.[!i] with 'b' | 'd' | 'h' | 'o' -> true | _ -> false
+        in
+        if not base_ok then fail !line "malformed number literal";
+        incr i;
+        let vstart = !i in
+        while !i < n && is_id_char text.[!i] do incr i done;
+        if !i = vstart then fail !line "malformed number literal"
+      end;
+      push (Tnum (String.sub text start (!i - start)))
+    end
+    else
+      match c with
+      | '(' | ')' | ',' | ';' | '=' | '.' | '#' ->
+          push (Tsym c);
+          incr i
+      | '[' -> fail !line "vector ranges are not supported (scalar subset only)"
+      | _ -> fail !line (Printf.sprintf "unexpected character %C" c)
+  done;
+  Array.of_list (List.rev !toks)
+
+(* ---------- token stream ---------- *)
+
+type state = { toks : (int * tok) array; mutable pos : int }
+
+let peek st = if st.pos < Array.length st.toks then Some st.toks.(st.pos) else None
+
+let cur_line st =
+  let n = Array.length st.toks in
+  if st.pos < n then fst st.toks.(st.pos) else if n = 0 then 1 else fst st.toks.(n - 1)
+
+let next st =
+  match peek st with
+  | Some t ->
+      st.pos <- st.pos + 1;
+      t
+  | None -> fail (cur_line st) "unexpected end of file"
+
+let describe = function
+  | Tid nm -> Printf.sprintf "%S" nm
+  | Tnum s -> Printf.sprintf "%S" s
+  | Tsym c -> Printf.sprintf "%C" c
+
+let expect_sym st c =
+  let line, t = next st in
+  match t with
+  | Tsym c' when c' = c -> line
+  | t -> fail line (Printf.sprintf "expected %C, got %s" c (describe t))
+
+let expect_id st =
+  let line, t = next st in
+  match t with
+  | Tid nm -> (line, nm)
+  | t -> fail line (Printf.sprintf "expected an identifier, got %s" (describe t))
+
+let eat_sym st c =
+  match peek st with
+  | Some (_, Tsym c') when c' = c ->
+      st.pos <- st.pos + 1;
+      true
+  | _ -> false
+
+(* ---------- terminals ---------- *)
+
+type netexpr = Net of string | Lit of bool
+
+let const_of_literal line s =
+  let value =
+    match String.index_opt s '\'' with
+    | None -> s
+    | Some q -> String.sub s (q + 2) (String.length s - q - 2)
+  in
+  match value with
+  | "0" -> false
+  | "1" -> true
+  | _ -> fail line (Printf.sprintf "unsupported constant %S (only 1-bit 0 and 1)" s)
+
+let parse_netexpr st =
+  let line, t = next st in
+  match t with
+  | Tid nm -> (line, Net nm)
+  | Tnum s -> (line, Lit (const_of_literal line s))
+  | t -> fail line (Printf.sprintf "expected a net or constant, got %s" (describe t))
+
+let gate_kind = function
+  | "and" -> Some Gate.And
+  | "nand" -> Some Gate.Nand
+  | "or" -> Some Gate.Or
+  | "nor" -> Some Gate.Nor
+  | "xor" -> Some Gate.Xor
+  | "xnor" -> Some Gate.Xnor
+  | "not" -> Some Gate.Not
+  | "buf" -> Some Gate.Buf
+  | _ -> None
+
+(* ---------- module body ---------- *)
+
+type collector = {
+  mutable stmts : (int * Bench_format.statement) list;  (* reversed *)
+  ignored_uses : (string, unit) Hashtbl.t;  (* nets seen only on clk/se/si pins *)
+  ties : (bool, unit) Hashtbl.t;  (* which shared tie constants exist *)
+}
+
+let push col line st = col.stmts <- (line, st) :: col.stmts
+
+let tie_name v = if v then "tvs$tie1" else "tvs$tie0"
+
+(* A constant terminal where a net is expected becomes a shared tie net,
+   declared (as St_const) on first use. *)
+let net_of_term col (line, e) =
+  match e with
+  | Net nm -> nm
+  | Lit v ->
+      if not (Hashtbl.mem col.ties v) then begin
+        Hashtbl.add col.ties v ();
+        push col line (Bench_format.St_const (tie_name v, v))
+      end;
+      tie_name v
+
+let parse_decl_names st =
+  (* after input/output/wire/reg/tri: optional net-type keyword, then
+     name {, name} ; *)
+  (match peek st with
+  | Some (_, Tid ("wire" | "reg" | "tri")) -> st.pos <- st.pos + 1
+  | _ -> ());
+  let names = ref [ expect_id st ] in
+  while eat_sym st ',' do
+    names := expect_id st :: !names
+  done;
+  ignore (expect_sym st ';');
+  List.rev !names
+
+let parse_assign col st =
+  let line, target = expect_id st in
+  ignore (expect_sym st '=');
+  let rhs = parse_netexpr st in
+  ignore (expect_sym st ';');
+  match snd rhs with
+  | Lit v -> push col line (Bench_format.St_const (target, v))
+  | Net nm -> push col line (Bench_format.St_gate (target, Gate.Buf, [ nm ]))
+
+let parse_primitives col st kind =
+  (* [instname] ( terms ) {, [instname] ( terms )} ; *)
+  let one () =
+    (match peek st with Some (_, Tid _) -> st.pos <- st.pos + 1 | _ -> ());
+    let lp_line = expect_sym st '(' in
+    let terms = ref [ parse_netexpr st ] in
+    while eat_sym st ',' do
+      terms := parse_netexpr st :: !terms
+    done;
+    ignore (expect_sym st ')');
+    let terms = List.rev !terms in
+    let kw = String.lowercase_ascii (Gate.to_string kind) in
+    match kind with
+    | Gate.Not | Gate.Buf -> (
+        (* one or more outputs, then exactly one input (Verilog primitive
+           semantics: the last terminal is the input) *)
+        match List.rev terms with
+        | (_, _) :: [] | [] ->
+            fail lp_line (Printf.sprintf "%s needs at least one output and one input" kw)
+        | input :: routs ->
+            let in_net = net_of_term col input in
+            List.iter
+              (fun (oline, oe) ->
+                match oe with
+                | Net out -> push col oline (Bench_format.St_gate (out, kind, [ in_net ]))
+                | Lit _ -> fail oline (Printf.sprintf "%s output terminal is a constant" kw))
+              (List.rev routs))
+    | _ -> (
+        match terms with
+        | ((oline, oe) as _out) :: ins ->
+            if not (Gate.arity_ok kind (List.length ins)) then
+              fail lp_line
+                (Printf.sprintf "%s needs one output and at least two inputs" kw);
+            let out =
+              match oe with
+              | Net out -> out
+              | Lit _ -> fail oline (Printf.sprintf "%s output terminal is a constant" kw)
+            in
+            let ins = List.map (net_of_term col) ins in
+            push col oline (Bench_format.St_gate (out, kind, ins))
+        | [] -> fail lp_line (Printf.sprintf "%s needs one output and at least two inputs" kw))
+  in
+  one ();
+  while eat_sym st ',' do
+    one ()
+  done;
+  ignore (expect_sym st ';')
+
+let parse_instance col st ~extra line cell =
+  let template =
+    match Cell_lib.template_of_cell ~extra cell with
+    | Some t -> t
+    | None ->
+        fail line
+          (Printf.sprintf
+             "unknown module or cell %S (built-in cells: dff, sdff, mux2; extend via \
+              TVS_CELLS=alias=template,...)"
+             cell)
+  in
+  (match peek st with
+  | Some (pline, Tsym '#') -> fail pline "parameter overrides are not supported"
+  | Some (_, Tid _) -> st.pos <- st.pos + 1 (* instance name *)
+  | _ -> ());
+  let lp_line = expect_sym st '(' in
+  let roles = Cell_lib.roles template in
+  let bound : (Cell_lib.role * (int * netexpr)) list ref = ref [] in
+  let bind pline role term =
+    if List.mem_assoc role !bound then fail pline (Printf.sprintf "cell %s: pin bound twice" cell)
+    else bound := (role, term) :: !bound
+  in
+  (* named (.pin(net)) or positional — all-or-nothing, as in Verilog *)
+  (match peek st with
+  | Some (_, Tsym '.') ->
+      let conn () =
+        ignore (expect_sym st '.');
+        let pline, pin = expect_id st in
+        ignore (expect_sym st '(');
+        (* an empty connection (.se()) is legal; only dropped pins may float *)
+        let term = if eat_sym st ')' then None else Some (parse_netexpr st) in
+        (match term with Some _ -> ignore (expect_sym st ')') | None -> ());
+        match Cell_lib.role_of_pin template pin with
+        | None -> fail pline (Printf.sprintf "cell %s has no pin %S" cell pin)
+        | Some role -> (
+            match term with
+            | Some t -> bind pline role t
+            | None ->
+                if not (Cell_lib.ignored role) then
+                  fail pline (Printf.sprintf "cell %s: pin %S may not be unconnected" cell pin))
+      in
+      conn ();
+      while eat_sym st ',' do
+        conn ()
+      done;
+      ignore (expect_sym st ')')
+  | Some (_, Tsym ')') -> fail lp_line (Printf.sprintf "cell %s: empty port list" cell)
+  | _ ->
+      let i = ref 0 in
+      let conn () =
+        let ((pline, _) as term) = parse_netexpr st in
+        if !i >= Array.length roles then
+          fail pline (Printf.sprintf "cell %s takes %d pins" cell (Array.length roles));
+        bind pline roles.(!i) term;
+        incr i
+      in
+      conn ();
+      while eat_sym st ',' do
+        conn ()
+      done;
+      ignore (expect_sym st ')'));
+  ignore (expect_sym st ';');
+  let find role = List.assoc_opt role !bound in
+  let require role pin =
+    match find role with
+    | Some t -> t
+    | None -> fail line (Printf.sprintf "cell %s: pin %S is unconnected" cell pin)
+  in
+  let out_net pin (pline, e) =
+    match e with
+    | Net nm -> nm
+    | Lit _ -> fail pline (Printf.sprintf "cell %s: output pin %S tied to a constant" cell pin)
+  in
+  (* dropped pins still mark their nets as used-on-ignored-pins, so a pure
+     clock/scan-enable port doesn't surface as a floating primary input *)
+  List.iter
+    (fun (role, (_, e)) ->
+      match (Cell_lib.ignored role, e) with
+      | true, Net nm -> Hashtbl.replace col.ignored_uses nm ()
+      | _ -> ())
+    !bound;
+  match template with
+  | Cell_lib.Dff | Cell_lib.Sdff ->
+      let q = out_net "q" (require Cell_lib.Q "q") in
+      let d = net_of_term col (require Cell_lib.D "d") in
+      push col line (Bench_format.St_dff (q, d))
+  | Cell_lib.Mux2 ->
+      let y = out_net "y" (require Cell_lib.Y "y") in
+      let a = net_of_term col (require Cell_lib.A "a") in
+      let b = net_of_term col (require Cell_lib.B "b") in
+      let s = net_of_term col (require Cell_lib.S "s") in
+      let sn = y ^ "$sn" and ga = y ^ "$a" and gb = y ^ "$b" in
+      push col line (Bench_format.St_gate (sn, Gate.Not, [ s ]));
+      push col line (Bench_format.St_gate (ga, Gate.And, [ sn; a ]));
+      push col line (Bench_format.St_gate (gb, Gate.And, [ s; b ]));
+      push col line (Bench_format.St_gate (y, Gate.Or, [ ga; gb ]))
+
+let parse_header col st =
+  (* port list: non-ANSI (names only, declared later) or ANSI (directions
+     inline, which persist across commas as in the standard) *)
+  if eat_sym st '(' then
+    if eat_sym st ')' then ()
+    else begin
+      let dir = ref None in
+      let item () =
+        let rec directions () =
+          match peek st with
+          | Some (_, Tid "input") ->
+              st.pos <- st.pos + 1;
+              dir := Some `Input;
+              directions ()
+          | Some (_, Tid "output") ->
+              st.pos <- st.pos + 1;
+              dir := Some `Output;
+              directions ()
+          | Some (line, Tid "inout") -> fail line "inout ports are not supported"
+          | Some (_, Tid ("wire" | "reg" | "tri")) ->
+              st.pos <- st.pos + 1;
+              directions ()
+          | _ -> ()
+        in
+        directions ();
+        let line, nm = expect_id st in
+        match !dir with
+        | Some `Input -> push col line (Bench_format.St_input nm)
+        | Some `Output -> push col line (Bench_format.St_output nm)
+        | None -> ()
+      in
+      item ();
+      while eat_sym st ',' do
+        item ()
+      done;
+      ignore (expect_sym st ')')
+    end;
+  ignore (expect_sym st ';')
+
+let parse_module col st ~extra =
+  parse_header col st;
+  let finished = ref false in
+  while not !finished do
+    let line, t = next st in
+    match t with
+    | Tid "endmodule" -> finished := true
+    | Tid "input" ->
+        List.iter (fun (l, nm) -> push col l (Bench_format.St_input nm)) (parse_decl_names st)
+    | Tid "output" ->
+        List.iter (fun (l, nm) -> push col l (Bench_format.St_output nm)) (parse_decl_names st)
+    | Tid ("wire" | "reg" | "tri") -> ignore (parse_decl_names st)
+    | Tid "inout" -> fail line "inout ports are not supported"
+    | Tid "assign" -> parse_assign col st
+    | Tid
+        (( "always" | "initial" | "parameter" | "localparam" | "specify" | "generate"
+         | "function" | "task" | "module" ) as kw) ->
+        fail line (Printf.sprintf "unsupported construct %S (structural subset only)" kw)
+    | Tid kw when gate_kind kw <> None -> parse_primitives col st (Option.get (gate_kind kw))
+    | Tid cell -> parse_instance col st ~extra line cell
+    | t -> fail line (Printf.sprintf "expected a statement, got %s" (describe t))
+  done
+
+let skip_module st =
+  let finished = ref false in
+  while not !finished do
+    match next st with _, Tid "endmodule" -> finished := true | _ -> ()
+  done
+
+(* ---------- entry points ---------- *)
+
+let statements_of_string ?(extra = []) text =
+  let st = { toks = lex text; pos = 0 } in
+  let result = ref None in
+  while peek st <> None do
+    let line, t = next st in
+    match t with
+    | Tid "module" -> (
+        let _, name = expect_id st in
+        if Cell_lib.template_of_cell ~extra name <> None then skip_module st
+        else
+          match !result with
+          | Some (prev, _) ->
+              fail line
+                (Printf.sprintf "multiple design modules (%S then %S); one module per file" prev
+                   name)
+          | None ->
+              let col =
+                { stmts = []; ignored_uses = Hashtbl.create 16; ties = Hashtbl.create 2 }
+              in
+              parse_module col st ~extra;
+              result := Some (name, col))
+    | t -> fail line (Printf.sprintf "expected `module`, got %s" (describe t))
+  done;
+  match !result with
+  | None -> fail (cur_line st) "no module definition found"
+  | Some (name, col) ->
+      let stmts = List.rev col.stmts in
+      (* a net consumed by any gate fanin, flop data pin or output marking is
+         functionally live; an input used only on dropped pins (clk/se/si)
+         is a mode port, not a stimulus port *)
+      let used = Hashtbl.create 64 in
+      List.iter
+        (fun (_, s) ->
+          match s with
+          | Bench_format.St_gate (_, _, ins) ->
+              List.iter (fun nm -> Hashtbl.replace used nm ()) ins
+          | Bench_format.St_dff (_, d) -> Hashtbl.replace used d ()
+          | Bench_format.St_output nm -> Hashtbl.replace used nm ()
+          | Bench_format.St_input _ | Bench_format.St_const _ -> ())
+        stmts;
+      let keep nm = Hashtbl.mem used nm || not (Hashtbl.mem col.ignored_uses nm) in
+      ( name,
+        List.filter
+          (fun (_, s) ->
+            match s with Bench_format.St_input nm -> keep nm | _ -> true)
+          stmts )
+
+let parse_string ?name ?extra text =
+  let mod_name, stmts = statements_of_string ?extra text in
+  Bench_format.circuit_of_statements ~name:(Option.value name ~default:mod_name) stmts
+
+let parse_file ?extra path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string ?extra text

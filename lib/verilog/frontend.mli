@@ -1,0 +1,53 @@
+(** Structural Verilog frontend.
+
+    Parses a synthesised-netlist subset of Verilog into the same
+    statement/line-table vocabulary the `.bench` reader uses
+    ({!Tvs_netlist.Bench_format.statement}), so every lint rule and every
+    cross-statement error ([Parse_error]) carries real Verilog line numbers.
+
+    Supported subset (one design module per file; module definitions whose
+    names resolve to known cells — see {!Cell_lib} — are skipped, so a file
+    may carry its own cell models):
+
+    {v
+      module NAME (ports...);          // ANSI or non-ANSI header
+        input  a, b;  output y;        // scalar only; vectors are rejected
+        wire w; reg r; tri t;
+        and  g1 (y, a, b);             // gate primitives, instance name
+        not  (w, a);                   //   optional; buf/not allow multiple
+        buf  (o1, o2, in);             //   outputs (last terminal = input)
+        tvs_dff  ff0 (.q(s), .d(w), .clk(clk));   // cell instances, named
+        tvs_sdff ff1 (s2, w2, si, se, clk);       //   or positional pins
+        tvs_mux2 m0  (.y(y2), .a(a), .b(b), .s(s));
+        assign y3 = w;                 // alias (becomes a BUF)
+        assign y4 = 1'b0;              // tie cell (becomes a constant)
+      endmodule
+    v}
+
+    Semantics notes: clock pins are dropped (the circuit model is
+    single-clock and implicit); scan pins ([si]/[se]) of sdff cells are
+    dropped too, recovering the {e functional} netlist the rest of the stack
+    expects — {!Tvs_netlist.Scan_insert} re-derives the chain. Module inputs
+    used {e only} on dropped pins (a pure clock or scan-enable port) do not
+    become primary inputs; unused inputs remain primary inputs. [tvs_mux2]
+    decomposes into NOT/AND/AND/OR gates named [<y>$sn], [<y>$a], [<y>$b].
+    Constant terminals ([1'b0]/[1'b1]) in gate or cell positions become
+    shared tie nets [tvs$tie0]/[tvs$tie1]. *)
+
+val statements_of_string :
+  ?extra:(string * Cell_lib.template) list ->
+  string ->
+  string * (int * Tvs_netlist.Bench_format.statement) list
+(** [statements_of_string text] is [(module_name, numbered_statements)].
+    Raises {!Tvs_netlist.Bench_format.Parse_error} with a 1-based Verilog
+    line number on lexical or syntactic errors; cross-statement problems
+    (duplicate drivers, undefined nets, combinational cycles) are
+    {!Tvs_netlist.Bench_format.circuit_of_statements}'s job, as for
+    `.bench`. [extra] extends the cell-name map (highest precedence). *)
+
+val parse_string :
+  ?name:string -> ?extra:(string * Cell_lib.template) list -> string -> Tvs_netlist.Circuit.t
+(** Parse and build. The circuit name defaults to the Verilog module name.
+    Raises [Parse_error] on any malformed input, always with a line. *)
+
+val parse_file : ?extra:(string * Cell_lib.template) list -> string -> Tvs_netlist.Circuit.t

@@ -1,0 +1,79 @@
+module Bench_format = Tvs_netlist.Bench_format
+
+type format = Bench | Verilog
+
+let format_name = function Bench -> "bench" | Verilog -> "verilog"
+
+let format_of_name s =
+  match String.lowercase_ascii s with
+  | "bench" -> Some Bench
+  | "verilog" | "v" -> Some Verilog
+  | _ -> None
+
+let extension = function Bench -> ".bench" | Verilog -> ".v"
+
+let of_extension path =
+  match String.lowercase_ascii (Filename.extension path) with
+  | ".v" | ".sv" | ".vlog" -> Some Verilog
+  | ".bench" -> Some Bench
+  | _ -> None
+
+(* First meaningful character/word of the text, skipping whitespace and
+   Verilog-style comments. Bench comments start with '#', so a file whose
+   first code is a comment still classifies correctly either way. *)
+let detect_content text =
+  let n = String.length text in
+  let rec skip i =
+    if i >= n then i
+    else
+      match text.[i] with
+      | ' ' | '\t' | '\r' | '\n' -> skip (i + 1)
+      | '/' when i + 1 < n && text.[i + 1] = '/' ->
+          let rec eol j = if j >= n || text.[j] = '\n' then j else eol (j + 1) in
+          skip (eol (i + 2))
+      | '/' when i + 1 < n && text.[i + 1] = '*' ->
+          let rec close j =
+            if j + 1 >= n then n
+            else if text.[j] = '*' && text.[j + 1] = '/' then j + 2
+            else close (j + 1)
+          in
+          skip (close (i + 2))
+      | _ -> i
+  in
+  let i = skip 0 in
+  if i >= n then Bench
+  else
+    match text.[i] with
+    | '#' -> Bench
+    | '`' -> Verilog
+    | _ ->
+        let j = ref i in
+        while
+          !j < n
+          &&
+          match text.[!j] with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' -> true
+          | _ -> false
+        do
+          incr j
+        done;
+        if String.sub text i (!j - i) = "module" then Verilog else Bench
+
+let detect ?path text =
+  match Option.bind path of_extension with Some f -> f | None -> detect_content text
+
+let parse_string ?format ?name text =
+  match Option.value format ~default:(detect_content text) with
+  | Verilog -> Frontend.parse_string ?name text
+  | Bench -> Bench_format.parse_string ~name:(Option.value name ~default:"inline") text
+
+let load_file ?format path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let fmt = match format with Some f -> f | None -> detect ~path text in
+  match fmt with
+  | Verilog -> Frontend.parse_string text
+  | Bench ->
+      Bench_format.parse_string ~name:(Filename.remove_extension (Filename.basename path)) text

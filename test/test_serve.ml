@@ -128,6 +128,7 @@ let test_submit_full_roundtrip () =
   let job =
     {
       Protocol.source = Protocol.Spec "s27";
+      format = None;
       scale = 0.5;
       scheme = Xor_scheme.Vxor;
       selection = Policy.Hardness_order;
@@ -139,6 +140,44 @@ let test_submit_full_roundtrip () =
   | Ok (Protocol.Submit job') ->
       Alcotest.(check bool) "job round-trips through its own JSON" true (job = job')
   | _ -> Alcotest.fail "round-trip rejected"
+
+let test_submit_format () =
+  (* Explicit formats parse; "auto" is the spelled-out default. *)
+  (match parse_request {|{"verb":"submit","spec":"fig1","format":"verilog"}|} with
+  | Ok (Protocol.Submit job) ->
+      Alcotest.(check bool) "verilog format" true
+        (job.Protocol.format = Some Tvs_verilog.Loader.Verilog)
+  | _ -> Alcotest.fail "explicit verilog format rejected");
+  (match parse_request {|{"verb":"submit","spec":"fig1","format":"bench"}|} with
+  | Ok (Protocol.Submit job) ->
+      Alcotest.(check bool) "bench format" true
+        (job.Protocol.format = Some Tvs_verilog.Loader.Bench)
+  | _ -> Alcotest.fail "explicit bench format rejected");
+  (match parse_request {|{"verb":"submit","spec":"fig1","format":"auto"}|} with
+  | Ok (Protocol.Submit job) ->
+      Alcotest.(check bool) "auto is the default" true (job.Protocol.format = None)
+  | _ -> Alcotest.fail "auto format rejected");
+  (* Unknown formats are a typed protocol error naming the field. *)
+  (match parse_request {|{"verb":"submit","spec":"fig1","format":"vhdl"}|} with
+  | Error m ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "error names the bad value" true (contains m "vhdl")
+  | Ok _ -> Alcotest.fail "unknown format accepted");
+  (* A job with an explicit format round-trips through its own JSON. *)
+  let job =
+    {
+      (Protocol.default_job (Protocol.Bench "module m (a, y);\n")) with
+      Protocol.format = Some Tvs_verilog.Loader.Verilog;
+    }
+  in
+  match Protocol.request_of_json (Protocol.json_of_job job) with
+  | Ok (Protocol.Submit job') ->
+      Alcotest.(check bool) "format survives the round-trip" true (job = job')
+  | _ -> Alcotest.fail "format round-trip rejected"
 
 let test_submit_rejects_malformed () =
   let bad =
@@ -320,6 +359,41 @@ let test_server_inline_bench () =
       | Ok _ -> Alcotest.fail "malformed netlist served");
       close_out_noerr oc)
 
+let test_server_inline_verilog () =
+  (* The same sequential netlist as the inline-bench test, written in
+     structural Verilog and auto-detected from the content — no format
+     field, no file. *)
+  let text =
+    "module inline_v (a, clk, y);\n  input a, clk;\n  output y;\n  wire f, g;\n\
+     \  tvs_dff ff (.q(f), .d(g), .clk(clk));\n  nand u1 (g, a, f);\n\
+     \  not u2 (y, f);\nendmodule\n"
+  in
+  let expected =
+    let c = Result.get_ok (Cli.inline_circuit text) in
+    let prep = Prep.of_circuit c in
+    let r = Experiments.run_flow ~label:"cli" prep in
+    Experiments.render_summary ~circuit:(Circuit.name c) ~scheme:Xor_scheme.Nxor
+      ~selection:(Policy.Most_faults 5) r
+  in
+  with_server (fun sock ->
+      let ic, oc = connect sock in
+      (match submit_and_wait ic oc (Protocol.default_job (Protocol.Bench text)) with
+      | Error m -> Alcotest.failf "inline verilog job failed: %s" m
+      | Ok j ->
+          Alcotest.(check string) "verilog inline output matches in-process run" expected
+            (Option.value ~default:"" (str_field "output" j)));
+      (* Forcing the wrong format turns the same text into a job error. *)
+      (match
+         submit_and_wait ic oc
+           {
+             (Protocol.default_job (Protocol.Bench text)) with
+             Protocol.format = Some Tvs_verilog.Loader.Bench;
+           }
+       with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "verilog text served as .bench");
+      close_out_noerr oc)
+
 (* Crash recovery: a checkpoint left behind by a killed server is replayed
    at startup — digest-verified — and its result lands in the cache, so the
    client's retry is a dedupe hit with the exact one-shot bytes. *)
@@ -398,12 +472,14 @@ let () =
           Alcotest.test_case "request verbs" `Quick test_request_verbs;
           Alcotest.test_case "submit defaults" `Quick test_submit_defaults;
           Alcotest.test_case "submit full round-trip" `Quick test_submit_full_roundtrip;
+          Alcotest.test_case "submit format field" `Quick test_submit_format;
           Alcotest.test_case "malformed submits rejected" `Quick test_submit_rejects_malformed;
         ] );
       ( "server",
         [
           Alcotest.test_case "end to end over a Unix socket" `Quick test_server_end_to_end;
           Alcotest.test_case "inline netlist jobs" `Quick test_server_inline_bench;
+          Alcotest.test_case "inline verilog jobs" `Quick test_server_inline_verilog;
           Alcotest.test_case "checkpoint recovery at startup" `Quick test_server_recovery;
         ] );
     ]

@@ -1,0 +1,218 @@
+(* The Verilog subsystem: frontend parse errors with real line numbers,
+   emitter/frontend round-trips on randomized circuits, format detection,
+   and lint determinism on Verilog input. *)
+
+module Circuit = Tvs_netlist.Circuit
+module Bench_format = Tvs_netlist.Bench_format
+module Synth = Tvs_circuits.Synth
+module Profiles = Tvs_circuits.Profiles
+module Frontend = Tvs_verilog.Frontend
+module Emitter = Tvs_verilog.Emitter
+module Loader = Tvs_verilog.Loader
+module Xcheck = Tvs_verilog.Xcheck
+module Lint = Tvs_lint.Lint
+
+(* Same family as test_properties: deterministic small circuits whose net
+   names (PI%d / FF%d / G%d) are already legal Verilog identifiers, so the
+   emitter's sanitiser is the identity and round-trips are exact. *)
+let tiny_circuit i =
+  let styles = [| Profiles.Balanced; Profiles.Shallow; Profiles.Deep |] in
+  Synth.generate
+    {
+      Profiles.name = Printf.sprintf "vprop%d" i;
+      npi = 2 + (i mod 5);
+      npo = 1 + (i mod 4);
+      nff = i mod 7;
+      ngates = 20 + (5 * (i mod 11));
+      style = styles.(i mod 3);
+    }
+
+(* Structural identity up to net renumbering: compare the canonical .bench
+   prints line-set-wise plus the headline counts, as test_properties does
+   for the .bench round-trip. *)
+let isomorphic a b =
+  let statement_lines c =
+    String.split_on_char '\n' (Bench_format.to_string c)
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    |> List.sort compare
+  in
+  Circuit.num_nets a = Circuit.num_nets b
+  && Circuit.num_inputs a = Circuit.num_inputs b
+  && Circuit.num_flops a = Circuit.num_flops b
+  && Circuit.num_outputs a = Circuit.num_outputs b
+  && statement_lines a = statement_lines b
+
+(* 1. parse (emit c) rebuilds c exactly, for arbitrary circuits. *)
+let qcheck_verilog_roundtrip =
+  QCheck.Test.make ~name:"verilog round-trip parse(emit c) = c" ~count:50
+    QCheck.(int_range 0 64)
+    (fun i ->
+      let c = tiny_circuit i in
+      let e = Emitter.emit c in
+      isomorphic c (Frontend.parse_string ~name:(Circuit.name c) e.Emitter.text))
+
+(* 2. Scan-mode emission re-parses to the functional netlist plus exactly
+   the scan-out alias: the frontend drops si/se/clk, so scan_in and scan_en
+   vanish from the PIs, while `assign scan_out = <tail q>` survives as one
+   BUF gate driving one extra output. *)
+let qcheck_scan_roundtrip_functional =
+  QCheck.Test.make ~name:"scan emission re-parses to functional netlist" ~count:30
+    QCheck.(int_range 0 64)
+    (fun i ->
+      let c = tiny_circuit i in
+      QCheck.assume (Circuit.num_flops c > 0);
+      let e = Emitter.emit ~scan:true c in
+      let c' = Frontend.parse_string e.Emitter.text in
+      Circuit.num_inputs c' = Circuit.num_inputs c
+      && Circuit.num_flops c' = Circuit.num_flops c
+      && Circuit.num_outputs c' = Circuit.num_outputs c + 1
+      && Circuit.num_nets c' = Circuit.num_nets c + 1)
+
+(* 3. Emission is deterministic and idempotent: emitting the re-parsed
+   circuit reproduces the text byte for byte. *)
+let qcheck_emit_idempotent =
+  QCheck.Test.make ~name:"emit is idempotent across a round-trip" ~count:30
+    QCheck.(int_range 0 64)
+    (fun i ->
+      let c = tiny_circuit i in
+      let e = Emitter.emit c in
+      let e' = Emitter.emit (Frontend.parse_string ~name:(Circuit.name c) e.Emitter.text) in
+      e'.Emitter.text = e.Emitter.text)
+
+(* 4. Lint on Verilog input is jobs-invariant: the rendered report is the
+   same whatever the worker-pool width. *)
+let qcheck_lint_jobs_invariant =
+  QCheck.Test.make ~name:"lint report on verilog is jobs-invariant" ~count:10
+    QCheck.(int_range 0 32)
+    (fun i ->
+      let c = tiny_circuit i in
+      let text = (Emitter.emit c).Emitter.text in
+      let report jobs =
+        Tvs_util.Pool.set_default_jobs jobs;
+        Fun.protect
+          ~finally:(fun () -> Tvs_util.Pool.set_default_jobs 1)
+          (fun () ->
+            Lint.to_json_string
+              (Lint.run_source ~format:Loader.Verilog ~name:(Circuit.name c) text))
+      in
+      report 1 = report 4)
+
+(* Seeded parse failures: each malformed source must raise Parse_error
+   carrying the 1-based line number of the offending construct. *)
+let error_cases =
+  [
+    ( "vector range",
+      "module m (a, y);\n  input [3:0] a;\n  output y;\nendmodule\n",
+      2,
+      "vector ranges" );
+    ( "unsupported initial block",
+      "module m (clk, y);\n  input clk;\n  output y;\n  reg y;\n\
+       \  initial y = 1'b0;\nendmodule\n",
+      5,
+      "unsupported construct" );
+    ( "behavioural event control",
+      "module m (clk, y);\n  input clk;\n  output y;\n\
+       \  always @(posedge clk) y = 1'b0;\nendmodule\n",
+      4,
+      "unexpected character" );
+    ( "parameter override",
+      "module m (d, q);\n  input d;\n  output q;\n  tvs_dff #(1) ff (q, d, clk);\nendmodule\n",
+      4,
+      "parameter overrides" );
+    ( "unknown cell",
+      "module m (a, y);\n  input a;\n  output y;\n  mystery u0 (.z(y), .i(a));\nendmodule\n",
+      4,
+      "mystery" );
+    ( "missing endmodule",
+      "module m (a, y);\n  input a;\n  output y;\n  buf (y, a);\n",
+      4,
+      "" );
+    ( "two design modules",
+      "module m1 (a, y);\n  input a;\n  output y;\n  buf (y, a);\nendmodule\n\
+       module m2 (b, z);\n  input b;\n  output z;\n  buf (z, b);\nendmodule\n",
+      6,
+      "" );
+  ]
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_parse_errors () =
+  List.iter
+    (fun (label, src, want_line, want_substr) ->
+      match Frontend.parse_string src with
+      | (_ : Circuit.t) -> Alcotest.failf "%s: expected Parse_error, got a circuit" label
+      | exception Bench_format.Parse_error (line, msg) ->
+          Alcotest.(check int) (label ^ ": line") want_line line;
+          if not (contains msg want_substr) then
+            Alcotest.failf "%s: message %S does not mention %S" label msg want_substr)
+    error_cases
+
+(* Semantic (cross-statement) errors flow through circuit_of_statements with
+   Verilog line numbers attached. *)
+let test_semantic_error_lines () =
+  let src =
+    "module m (a, b, y);\n  input a, b;\n  output y;\n  wire u;\n\
+     \  and g1 (u, a, b);\n  and g2 (u, b, a);\n  xor g3 (y, u, a);\nendmodule\n"
+  in
+  match Frontend.parse_string src with
+  | (_ : Circuit.t) -> Alcotest.fail "expected duplicate-driver Parse_error"
+  | exception Bench_format.Parse_error (line, msg) ->
+      Alcotest.(check int) "duplicate driver reported on the second and" 6 line;
+      Alcotest.(check bool) "message names the net" true (contains msg "\"u\"")
+
+(* Format detection: extension wins, then content. *)
+let test_detection () =
+  let check l want got = Alcotest.(check string) l (Loader.format_name want) (Loader.format_name got) in
+  check "ext .v" Loader.Verilog (Loader.detect ~path:"x.v" "# looks like bench");
+  check "ext .bench" Loader.Bench (Loader.detect ~path:"x.bench" "module m; endmodule");
+  check "content module" Loader.Verilog (Loader.detect "  // hdl\nmodule m (a); input a; endmodule");
+  check "content backtick" Loader.Verilog (Loader.detect "`timescale 1ns/1ps\nmodule m; endmodule");
+  check "content bench" Loader.Bench (Loader.detect "# s27\nINPUT(G0)\n");
+  check "bare netlist defaults to bench" Loader.Bench (Loader.detect "INPUT(G0)\nOUTPUT(G0)\n")
+
+(* The ignored-pin rule end to end: a pure-clock/scan port file parses to
+   the same circuit as the built-in s27 profile. *)
+let test_s27_example_equivalent () =
+  let file = Filename.concat (Filename.concat "../examples" "verilog") "s27.v" in
+  let file = if Sys.file_exists file then file else "examples/verilog/s27.v" in
+  if Sys.file_exists file then begin
+    let c = Loader.load_file file in
+    let builtin = Tvs_circuits.S27.circuit () in
+    Alcotest.(check int) "PI" (Circuit.num_inputs builtin) (Circuit.num_inputs c);
+    Alcotest.(check int) "PO" (Circuit.num_outputs builtin) (Circuit.num_outputs c);
+    Alcotest.(check int) "FF" (Circuit.num_flops builtin) (Circuit.num_flops c)
+  end
+
+(* The internal xcheck oracle on a tiny hand-checked case: a single AND
+   gate, two capture ops. (External simulation is exercised in CI where
+   iverilog is installed; here we pin the trace the testbench will embed.) *)
+let test_internal_trace () =
+  let c =
+    Frontend.parse_string ~name:"tand"
+      "module tand (a, b, y);\n  input a, b;\n  output y;\n  and g (y, a, b);\nendmodule\n"
+  in
+  let program = Xcheck.Comb [ [| true; true |]; [| true; false |] ] in
+  Alcotest.(check (list string)) "comb trace" [ "C 1"; "C 0" ] (Xcheck.internal_trace c program)
+
+let () =
+  Alcotest.run "verilog"
+    [
+      ( "frontend",
+        [
+          Alcotest.test_case "seeded parse errors carry line numbers" `Quick test_parse_errors;
+          Alcotest.test_case "semantic errors carry line numbers" `Quick test_semantic_error_lines;
+          Alcotest.test_case "format detection" `Quick test_detection;
+          Alcotest.test_case "s27 example matches builtin" `Quick test_s27_example_equivalent;
+          Alcotest.test_case "xcheck internal trace" `Quick test_internal_trace;
+        ] );
+      ( "round-trip",
+        [
+          QCheck_alcotest.to_alcotest qcheck_verilog_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_scan_roundtrip_functional;
+          QCheck_alcotest.to_alcotest qcheck_emit_idempotent;
+          QCheck_alcotest.to_alcotest qcheck_lint_jobs_invariant;
+        ] );
+    ]
