@@ -25,7 +25,7 @@ let out : string option ref = ref None
 let artifacts =
   [
     "table1"; "table2"; "table3"; "table4"; "table5"; "ablations"; "misr"; "comparison";
-    "diagnosis"; "randtest"; "micro";
+    "diagnosis"; "randtest"; "tpi"; "micro";
   ]
 
 let usage_and_exit msg =
@@ -84,6 +84,9 @@ let wants what = !only = [] || List.mem what !only
 
 (* Artifact runs accumulated for the --out report, in execution order. *)
 let runs : Report.run list ref = ref []
+
+(* Test-point-insertion studies for the report's [tpi] section. *)
+let tpi_entries : Report.tpi_entry list ref = ref []
 
 (* [body] produces the artifact's printed text plus any Bechamel estimates;
    the header carries the artifact's own wall time so a slow table is
@@ -219,11 +222,39 @@ let run_micro () =
 
 (* ------------------------------------------------------------------ *)
 
+(* The TPI artifact: one greedy study per circuit, rendered like the CLI,
+   with the headline numbers folded into the report's [tpi] section. *)
+let run_tpi () =
+  let module Tpi = Tvs_tpi.Tpi in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun name ->
+      let c =
+        if name = "s27" then Tvs_circuits.S27.circuit ()
+        else Tvs_circuits.Synth.generate_named name
+      in
+      let r = Tpi.run ~options:{ Tpi.default_options with Tpi.points = 2 } c in
+      Buffer.add_string buf (Tpi.to_ascii r);
+      let final = Tpi.final_summary r in
+      tpi_entries :=
+        {
+          Report.tpi_circuit = r.Tpi.circuit;
+          points = List.length r.Tpi.points;
+          converted_faults = r.Tpi.converted_faults;
+          caught = r.Tpi.caught;
+          d_coverage = final.Experiments.coverage -. r.Tpi.base.Experiments.coverage;
+          dm = final.Experiments.m -. r.Tpi.base.Experiments.m;
+          dt = final.Experiments.t -. r.Tpi.base.Experiments.t;
+        }
+        :: !tpi_entries)
+    [ "s27"; "s444" ];
+  Buffer.contents buf
+
 let write_report file =
   let jobs = match !jobs with Some j -> j | None -> Tvs_util.Pool.default_jobs () in
   let report =
-    Report.make ?scale:!scale ?git_rev:(Report.git_rev ()) ~jobs ~runs:(List.rev !runs)
-      ~metrics:(Tvs_obs.Metrics.snapshot ()) ()
+    Report.make ?scale:!scale ?git_rev:(Report.git_rev ()) ~tpi:(List.rev !tpi_entries) ~jobs
+      ~runs:(List.rev !runs) ~metrics:(Tvs_obs.Metrics.snapshot ()) ()
   in
   let oc = open_out file in
   output_string oc (Report.to_json report);
@@ -254,6 +285,7 @@ let () =
     table "Diagnosis resolution" "diagnosis" (fun () -> Experiments.diagnosis_study ());
   if wants "randtest" then
     table "Random-pattern testability" "randtest" (fun () -> Experiments.random_testability ());
+  if wants "tpi" then table "Test-point insertion" "tpi" run_tpi;
   if wants "micro" then
     section "Bechamel microbenchmarks (one kernel per table)" "micro" run_micro;
   Option.iter write_report !out;

@@ -6,6 +6,7 @@
      atpg      traditional full-shift test generation (baseline)
      faultsim  fault-simulate a circuit's baseline test set
      stitch    run the stitched flow and report compression
+     tpi       ATPG-aware test-point insertion driven by the risk table
      serve     persistent stitching daemon (Unix/TCP socket, JSONL frames)
      table     regenerate a paper table (1-5)
      ablation  run the design-choice ablations
@@ -27,6 +28,7 @@ module Experiments = Tvs_harness.Experiments
 module Prep = Tvs_harness.Prep
 module Lint = Tvs_lint.Lint
 module Lint_diag = Tvs_lint.Diagnostic
+module Tpi = Tvs_tpi.Tpi
 module Codec = Tvs_store.Codec
 module Checkpoint = Tvs_store.Checkpoint
 module Cache = Tvs_store.Cache
@@ -218,8 +220,12 @@ let lint_cmd =
       & info [ "fail-on" ] ~docv:"SEV" ~doc)
   in
   let lint_shift_arg =
-    let doc = "Shift size for the hidden-fault risk table (default: chain length / 4)." in
-    Arg.(value & opt (some int) None & info [ "shift" ] ~docv:"S" ~doc)
+    let doc =
+      "Shift size(s) for the hidden-fault risk table (default: chain length / 4). A \
+       comma-separated list ($(b,--shift 2,4,8)) sweeps: the first shift is the primary table, \
+       each further shift adds its own table."
+    in
+    Arg.(value & opt (some string) None & info [ "shift" ] ~docv:"S[,S...]" ~doc)
   in
   let sat_faults_arg =
     let doc = "Attempt SAT untestability proofs on at most $(docv) hardest faults (0 disables)." in
@@ -273,7 +279,20 @@ let lint_cmd =
             ids)
           rules
       in
-      let options = { Lint.rules; sat_faults; sat_decisions = sat_budget; shift } in
+      let shift, sweep =
+        match shift with
+        | None -> (None, [])
+        | Some s -> (
+            let parse v =
+              match int_of_string_opt v with
+              | Some n when n >= 1 -> n
+              | _ -> die_cli (Printf.sprintf "--shift: %S is not a positive shift size" v)
+            in
+            match List.filter (fun v -> v <> "") (String.split_on_char ',' s) with
+            | [] -> die_cli "--shift: empty shift list"
+            | first :: rest -> (Some (parse first), List.map parse rest))
+      in
+      let options = { Lint.rules; sat_faults; sat_decisions = sat_budget; shift; sweep } in
       (* Netlist files (.bench or structural Verilog) are linted from source
          so statement-level defects (syntax, cycles, duplicate/undefined
          nets) become diagnostics with line numbers in the original file;
@@ -525,6 +544,70 @@ let resume_cmd =
     Term.(
       const run $ obs_term $ cache_term $ file_arg $ jobs_arg $ batch_arg $ checkpoint_file_arg
       $ checkpoint_every_arg)
+
+let tpi_cmd =
+  let format_arg =
+    let doc = "Output format: $(b,ascii) or $(b,json)." in
+    Arg.(
+      value
+      & opt (Arg.enum [ ("ascii", `Ascii); ("json", `Json) ]) `Ascii
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let positive name =
+    Arg.conv ~docv:"K"
+      ( (fun s ->
+          match int_of_string_opt s with
+          | Some n when n >= 1 -> Ok n
+          | _ -> Error (`Msg (Printf.sprintf "invalid %s %S (want a positive integer)" name s))),
+        Format.pp_print_int )
+  in
+  let points_arg =
+    let doc = "Number of test points to select (greedy rounds)." in
+    Arg.(value & opt (positive "point count") Tpi.default_options.Tpi.points
+         & info [ "points"; "k" ] ~docv:"K" ~doc)
+  in
+  let budget_arg =
+    let doc = "Candidate pool size: evaluate only the top $(docv) mined candidates." in
+    Arg.(value & opt (positive "candidate budget") Tpi.default_options.Tpi.budget
+         & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let tpi_shift_arg =
+    let doc =
+      "Mining shift for the risk analysis candidates are ranked under (default: chain length / \
+       4, the lint default)."
+    in
+    Arg.(value & opt (some (positive "shift")) None & info [ "shift" ] ~docv:"S" ~doc)
+  in
+  let po_taps_arg =
+    let doc = "Also mine direct primary-output observation taps." in
+    Arg.(value & flag & info [ "po-taps" ] ~doc)
+  in
+  let controls_arg =
+    let doc = "Also mine control points (OR-force-1 / AND-force-0 behind a new input)." in
+    Arg.(value & flag & info [ "controls" ] ~doc)
+  in
+  let run () () spec scale points budget shift po_taps controls format jobs batch =
+    set_jobs jobs;
+    set_batch batch;
+    let c = load_circuit ~scale spec in
+    let options = { Tpi.points; budget; shift; po_taps; controls } in
+    match Tpi.run ~options c with
+    | r -> (
+        match format with
+        | `Ascii -> print_string (Tpi.to_ascii r)
+        | `Json -> print_endline (Tpi.to_json_string r))
+    | exception Circuit.Build_error msg ->
+        prerr_endline ("tvs: " ^ msg);
+        exit Cmd.Exit.some_error
+  in
+  Cmd.v
+    (Cmd.info "tpi"
+       ~doc:
+         "ATPG-aware test-point insertion: mine candidates from the lint risk table, select \
+          greedily by re-running the stitched flow, report hidden-to-caught conversions")
+    Term.(
+      const run $ obs_term $ cache_term $ circuit_arg $ scale_arg $ points_arg $ budget_arg
+      $ tpi_shift_arg $ po_taps_arg $ controls_arg $ format_arg $ jobs_arg $ batch_arg)
 
 let table_cmd =
   let which =
@@ -892,4 +975,4 @@ let () =
     Cmd.info "tvs" ~version:version_string
       ~doc:"Virtual test compression through test vector stitching (DATE 2003 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ stats_cmd; lint_cmd; atpg_cmd; faultsim_cmd; stitch_cmd; resume_cmd; serve_cmd; table_cmd; ablation_cmd; misr_cmd; comparison_cmd; diagnosis_cmd; randtest_cmd; export_cmd; emit_cmd; xcheck_cmd; fig1_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ stats_cmd; lint_cmd; atpg_cmd; faultsim_cmd; stitch_cmd; resume_cmd; tpi_cmd; serve_cmd; table_cmd; ablation_cmd; misr_cmd; comparison_cmd; diagnosis_cmd; randtest_cmd; export_cmd; emit_cmd; xcheck_cmd; fig1_cmd ]))

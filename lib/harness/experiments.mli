@@ -32,6 +32,12 @@ val render_summary :
     makes "server response byte-identical to the one-shot CLI" hold by
     construction. *)
 
+val write_summary : Tvs_util.Wire.writer -> run_summary -> unit
+val read_summary : Tvs_util.Wire.reader -> run_summary
+(** The cache wire form of a summary — shared with [Tvs_tpi], whose study
+    entries embed per-point summaries. [read_summary] raises
+    [Tvs_util.Wire.Error] on malformed input. *)
+
 val set_cache : Tvs_store.Cache.t option -> unit
 (** Install (or clear) the process-wide result cache that {!run_flow} and
     {!baseline_detection} consult — set from the drivers' [--cache DIR]. *)

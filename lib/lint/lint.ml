@@ -6,7 +6,7 @@ module Trace = Tvs_obs.Trace
 module Table = Tvs_util.Table
 module Wire = Tvs_util.Wire
 
-let schema_version = 1
+let schema_version = 2
 
 let m_runs = Metrics.counter "lint.runs"
 let m_errors = Metrics.counter "lint.diagnostics.error"
@@ -18,9 +18,11 @@ type options = {
   sat_faults : int;
   sat_decisions : int;
   shift : int option;
+  sweep : int list;
 }
 
-let default_options = { rules = None; sat_faults = 32; sat_decisions = 2000; shift = None }
+let default_options =
+  { rules = None; sat_faults = 32; sat_decisions = 2000; shift = None; sweep = [] }
 
 type report = {
   circuit : string;
@@ -28,6 +30,7 @@ type report = {
   diagnostics : Diagnostic.t list;
   shift : int;
   risk : Scan_lint.risk_row array;
+  sweep : (int * Scan_lint.risk_row array) list;
 }
 
 let filter_rules rules diags =
@@ -49,7 +52,7 @@ let failed ~fail_on r =
     (fun (d : Diagnostic.t) -> Diagnostic.severity_rank d.severity >= threshold)
     r.diagnostics
 
-let finish ~circuit ~nets ~shift ~risk options diags =
+let finish ~circuit ~nets ~shift ~risk ~sweep options diags =
   let diagnostics = filter_rules options.rules diags in
   List.iter
     (fun (d : Diagnostic.t) ->
@@ -59,7 +62,7 @@ let finish ~circuit ~nets ~shift ~risk options diags =
         | Diagnostic.Warning -> m_warnings
         | Diagnostic.Info -> m_infos))
     diagnostics;
-  { circuit; nets; diagnostics; shift; risk }
+  { circuit; nets; diagnostics; shift; risk; sweep }
 
 (* The S004 hotspot: name the riskiest retained position so the headline
    finding survives even when nobody reads the full table. *)
@@ -109,13 +112,28 @@ let run ?(options = default_options) ?lines ?chain c =
     else [||]
   in
   let shift = if Array.length risk = 0 then 0 else shift in
+  (* The sweep: one extra table per requested shift, clamped like the
+     primary, duplicates (of the primary or of earlier entries) dropped so
+     the report never prints the same table twice. *)
+  let sweep =
+    if Array.length risk = 0 then []
+    else
+      let clamp s = max 1 (min s (max 1 (Circuit.num_flops c))) in
+      List.fold_left
+        (fun acc s ->
+          let s = clamp s in
+          if s = shift || List.mem_assoc s acc then acc
+          else (s, Scan_lint.risk_table ?chain ~s c) :: acc)
+        [] options.sweep
+      |> List.rev
+  in
   let diags =
     structural @ constants @ sat @ chain_diags @ hotspot shift risk
   in
-  finish ~circuit:(Circuit.name c) ~nets:(Circuit.num_nets c) ~shift ~risk options diags
+  finish ~circuit:(Circuit.name c) ~nets:(Circuit.num_nets c) ~shift ~risk ~sweep options diags
 
 let source_failure ?(options = default_options) ~name diags =
-  finish ~circuit:name ~nets:0 ~shift:0 ~risk:[||] options diags
+  finish ~circuit:name ~nets:0 ~shift:0 ~risk:[||] ~sweep:[] options diags
 
 (* Both frontends speak the same statement vocabulary, so once the text is
    tokenised the whole pass pipeline below is format-blind — Verilog inputs
@@ -156,10 +174,10 @@ let to_ascii r =
        r.nets (count r Diagnostic.Error) (count r Diagnostic.Warning)
        (count r Diagnostic.Info));
   List.iter (fun d -> Buffer.add_string b ("  " ^ Diagnostic.to_ascii d ^ "\n")) r.diagnostics;
-  if Array.length r.risk > 0 then begin
+  let risk_table shift risk =
     Buffer.add_string b
-      (Printf.sprintf "hidden-fault risk under shift s=%d (tail cell %d is scan-out):\n" r.shift
-         (Array.length r.risk - 1));
+      (Printf.sprintf "hidden-fault risk under shift s=%d (tail cell %d is scan-out):\n" shift
+         (Array.length risk - 1));
     let t =
       Table.create [ "pos"; "cell"; "captures"; "exclusive"; "obs"; "emitted"; "risk" ]
     in
@@ -175,9 +193,13 @@ let to_ascii r =
             (if row.emitted then "yes" else "no");
             string_of_int row.risk;
           ])
-      r.risk;
+      risk;
     Buffer.add_string b (Table.render t);
     Buffer.add_char b '\n'
+  in
+  if Array.length r.risk > 0 then begin
+    risk_table r.shift r.risk;
+    List.iter (fun (s, risk) -> risk_table s risk) r.sweep
   end;
   Buffer.contents b
 
@@ -213,6 +235,16 @@ let to_json r =
             ("shift", Json.Int r.shift);
             ("positions", Json.Arr (Array.to_list (Array.map risk_row_json r.risk)));
           ] );
+      ( "risk_sweep",
+        Json.Arr
+          (List.map
+             (fun (s, risk) ->
+               Json.Obj
+                 [
+                   ("shift", Json.Int s);
+                   ("positions", Json.Arr (Array.to_list (Array.map risk_row_json risk)));
+                 ])
+             r.sweep) );
     ]
 
 let to_json_string r = Json.to_string (to_json r)
@@ -223,7 +255,8 @@ let encode_options w o =
   Wire.write_option (Wire.write_list Wire.write_string) w o.rules;
   Wire.write_varint w o.sat_faults;
   Wire.write_varint w o.sat_decisions;
-  Wire.write_option (fun w s -> Wire.write_varint w s) w o.shift
+  Wire.write_option (fun w s -> Wire.write_varint w s) w o.shift;
+  Wire.write_list (fun w s -> Wire.write_varint w s) w o.sweep
 
 let encode_risk_row w (row : Scan_lint.risk_row) =
   Wire.write_varint w row.position;
@@ -249,7 +282,12 @@ let encode_report w r =
   Wire.write_varint w r.nets;
   Wire.write_list Diagnostic.encode w r.diagnostics;
   Wire.write_varint w r.shift;
-  Wire.write_array encode_risk_row w r.risk
+  Wire.write_array encode_risk_row w r.risk;
+  Wire.write_list
+    (fun w (s, risk) ->
+      Wire.write_varint w s;
+      Wire.write_array encode_risk_row w risk)
+    w r.sweep
 
 let decode_report rd =
   let circuit = Wire.read_string rd in
@@ -257,4 +295,12 @@ let decode_report rd =
   let diagnostics = Wire.read_list Diagnostic.decode rd in
   let shift = Wire.read_varint rd in
   let risk = Wire.read_array decode_risk_row rd in
-  { circuit; nets; diagnostics; shift; risk }
+  let sweep =
+    Wire.read_list
+      (fun rd ->
+        let s = Wire.read_varint rd in
+        let risk = Wire.read_array decode_risk_row rd in
+        (s, risk))
+      rd
+  in
+  { circuit; nets; diagnostics; shift; risk; sweep }

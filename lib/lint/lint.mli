@@ -16,10 +16,15 @@ type options = {
   sat_faults : int;  (** SAT untestability budget: at most this many faults; 0 disables *)
   sat_decisions : int;  (** per-fault SAT decision budget *)
   shift : int option;  (** shift size for the risk table; [None] = {!Scan_lint.default_shift} *)
+  sweep : int list;
+      (** additional shifts to tabulate risk at ([tvs lint --shift 2,4,8]
+          puts 2 in [shift] and [4; 8] here); clamped like [shift],
+          duplicates dropped *)
 }
 
 val default_options : options
-(** All rules, 32 SAT faults at 2000 decisions each, default shift. *)
+(** All rules, 32 SAT faults at 2000 decisions each, default shift, no
+    sweep. *)
 
 type report = {
   circuit : string;
@@ -27,6 +32,8 @@ type report = {
   diagnostics : Diagnostic.t list;  (** pass order, post rule-filter *)
   shift : int;  (** the shift the risk table used; 0 when there is no chain *)
   risk : Scan_lint.risk_row array;
+  sweep : (int * Scan_lint.risk_row array) list;
+      (** one extra risk table per surviving sweep shift, request order *)
 }
 
 val run :
@@ -65,12 +72,13 @@ val failed : fail_on:Diagnostic.severity -> report -> bool
 
 val to_ascii : report -> string
 (** Summary line, one line per diagnostic, then the risk table (when a
-    chain exists). Ends with a newline. *)
+    chain exists) followed by one table per sweep shift. Ends with a
+    newline. *)
 
 val to_json : report -> Tvs_obs.Json.t
 (** Schema (also enforced by `validate_report --lint`):
     {v
-    { "schema": 1, "circuit": str, "nets": int,
+    { "schema": 2, "circuit": str, "nets": int,
       "summary": {"errors": int, "warnings": int, "infos": int},
       "diagnostics": [ {"rule": "TVS-...", "severity": "error|warning|info",
                         "message": str, "nets": [str], "line": int|null,
@@ -78,7 +86,8 @@ val to_json : report -> Tvs_obs.Json.t
       "risk": {"shift": int,
                "positions": [ {"position": int, "cell": str, "captures": int,
                                "exclusive": int, "observability": int,
-                               "emitted": bool, "risk": int} ]} }
+                               "emitted": bool, "risk": int} ]},
+      "risk_sweep": [ {"shift": int, "positions": [...]} ] }
     v} *)
 
 val to_json_string : report -> string

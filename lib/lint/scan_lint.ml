@@ -122,6 +122,44 @@ let chain_aware_co c guide ~chain ~emitted =
   done;
   co
 
+(* The shared substrate of [risk_table] and [exclusive_nets]: per-cell
+   supports plus the "observable elsewhere" net marking (transitive fanin of
+   every primary output and of every emitted cell). *)
+let hidden_supports c ~chain ~emitted =
+  let nets = Circuit.num_nets c in
+  let stamp = Array.make nets 0 in
+  let cur = ref 0 in
+  let supports =
+    Array.map
+      (fun q ->
+        match Circuit.driver c q with
+        | Circuit.Flip_flop d -> support c stamp cur d
+        | _ -> [])
+      chain
+  in
+  let elsewhere = Array.make nets false in
+  let mark root = List.iter (fun x -> elsewhere.(x) <- true) (support c stamp cur root) in
+  Array.iter mark (Circuit.outputs c);
+  Array.iteri
+    (fun i q ->
+      if emitted i then
+        match Circuit.driver c q with Circuit.Flip_flop d -> mark d | _ -> ())
+    chain;
+  (supports, elsewhere)
+
+let exclusive_nets ?chain ~s c =
+  let chain = Option.value ~default:(Circuit.flops c) chain in
+  let len = Array.length chain in
+  if len = 0 then [||]
+  else begin
+    let s = max 1 (min s len) in
+    let emitted i = i >= len - s in
+    let supports, elsewhere = hidden_supports c ~chain ~emitted in
+    Array.map
+      (fun sup -> List.sort compare (List.filter (fun x -> not elsewhere.(x)) sup))
+      supports
+  end
+
 let risk_table ?chain ~s c =
   let chain = Option.value ~default:(Circuit.flops c) chain in
   let len = Array.length chain in
@@ -129,27 +167,7 @@ let risk_table ?chain ~s c =
   else begin
     let s = max 1 (min s len) in
     let emitted i = i >= len - s in
-    let nets = Circuit.num_nets c in
-    let stamp = Array.make nets 0 in
-    let cur = ref 0 in
-    let supports =
-      Array.map
-        (fun q ->
-          match Circuit.driver c q with
-          | Circuit.Flip_flop d -> support c stamp cur d
-          | _ -> [])
-        chain
-    in
-    (* Nets a fault effect can surface through without this cell: the
-       transitive fanin of every primary output and of every emitted cell. *)
-    let elsewhere = Array.make nets false in
-    let mark root = List.iter (fun x -> elsewhere.(x) <- true) (support c stamp cur root) in
-    Array.iter mark (Circuit.outputs c);
-    Array.iteri
-      (fun i q ->
-        if emitted i then
-          match Circuit.driver c q with Circuit.Flip_flop d -> mark d | _ -> ())
-      chain;
+    let supports, elsewhere = hidden_supports c ~chain ~emitted in
     let guide = Scoap.compute c in
     let co = chain_aware_co c guide ~chain ~emitted in
     Array.mapi

@@ -49,6 +49,20 @@ val default_shift : Tvs_netlist.Circuit.t -> int
     [max 1 (L/4)], the lower end of the paper's variable-shift sweep, where
     hiding pressure is highest. 0 when the circuit has no flops. *)
 
+val exclusive_nets :
+  ?chain:Tvs_netlist.Circuit.net array ->
+  s:int ->
+  Tvs_netlist.Circuit.t ->
+  Tvs_netlist.Circuit.net list array
+(** Per chain position, the [exclusive(i)] net set of the risk formula: the
+    support nets of cell [i]'s D that no primary output and no emitted cell
+    can observe — a fault on one of them can only ever surface through cell
+    [i]. Sorted ascending by net id; emitted positions come out empty
+    (their own support marks itself observable). These are exactly the nets
+    test-point insertion ([Tvs_tpi]) wants to tap: observing one of them
+    anywhere else removes it from every position's exclusive set. Same
+    [chain]/[s] conventions as {!risk_table}. *)
+
 val risk_table :
   ?chain:Tvs_netlist.Circuit.net array ->
   s:int ->

@@ -1,4 +1,4 @@
-let schema_version = 1
+let schema_version = 2
 
 type bench = { name : string; ns_per_run : float }
 
@@ -9,17 +9,28 @@ type run = {
   benchmarks : bench list;
 }
 
+type tpi_entry = {
+  tpi_circuit : string;
+  points : int;
+  converted_faults : int;
+  caught : int;
+  d_coverage : float;
+  dm : float;
+  dt : float;
+}
+
 type t = {
   version : int;
   scale : float option;
   jobs : int;
   git_rev : string option;
   runs : run list;
+  tpi : tpi_entry list;
   metrics : Metrics.snapshot;
 }
 
-let make ?scale ?git_rev ~jobs ~runs ~metrics () =
-  { version = schema_version; scale; jobs; git_rev; runs; metrics }
+let make ?scale ?git_rev ?(tpi = []) ~jobs ~runs ~metrics () =
+  { version = schema_version; scale; jobs; git_rev; runs; tpi; metrics }
 
 (* --- JSON emission ---------------------------------------------------- *)
 
@@ -67,6 +78,21 @@ let to_json t =
          ("jobs", Json.Int t.jobs);
          ("git_rev", opt (fun r -> Json.Str r) t.git_rev);
          ("runs", Json.Arr (List.map run_to_json t.runs));
+         ( "tpi",
+           Json.Arr
+             (List.map
+                (fun e ->
+                  Json.Obj
+                    [
+                      ("circuit", Json.Str e.tpi_circuit);
+                      ("points", Json.Int e.points);
+                      ("converted_faults", Json.Int e.converted_faults);
+                      ("caught", Json.Int e.caught);
+                      ("d_coverage", Json.Float e.d_coverage);
+                      ("dm", Json.Float e.dm);
+                      ("dt", Json.Float e.dt);
+                    ])
+                t.tpi) );
          ("metrics", Json.Obj (List.map (fun (k, v) -> (k, metric_to_json v)) t.metrics));
        ])
 
@@ -143,8 +169,10 @@ let of_json s =
   | Ok v -> (
       try
         let version = as_int "schema_version" (get "schema_version" v) in
-        if version <> schema_version then
-          fail "schema_version %d unsupported (expected %d)" version schema_version;
+        (* v1 reports (no [tpi] section) stay parseable — the accumulated
+           BENCH_*.json trajectory must not go stale on a schema bump. *)
+        if version < 1 || version > schema_version then
+          fail "schema_version %d unsupported (expected 1..%d)" version schema_version;
         (match as_string "tool" (get "tool" v) with
         | "tvs-bench" -> ()
         | t -> fail "tool %S unsupported" t);
@@ -155,6 +183,28 @@ let of_json s =
             jobs = as_int "jobs" (get "jobs" v);
             git_rev = as_opt as_string "git_rev" (get "git_rev" v);
             runs = List.map run_of_json (as_list "runs" (get "runs" v));
+            tpi =
+              (if version < 2 then []
+               else
+                 List.map
+                   (fun e ->
+                     let caught = as_int "caught" (get "caught" e) in
+                     let converted_faults =
+                       as_int "converted_faults" (get "converted_faults" e)
+                     in
+                     if caught < 0 || converted_faults < 0 || caught > converted_faults then
+                       fail "tpi entry: caught %d out of range (converted_faults %d)" caught
+                         converted_faults;
+                     {
+                       tpi_circuit = as_string "circuit" (get "circuit" e);
+                       points = as_int "points" (get "points" e);
+                       converted_faults;
+                       caught;
+                       d_coverage = as_number "d_coverage" (get "d_coverage" e);
+                       dm = as_number "dm" (get "dm" e);
+                       dt = as_number "dt" (get "dt" e);
+                     })
+                   (as_list "tpi" (get "tpi" v)));
             metrics =
               List.map (fun (k, m) -> (k, metric_of_json k m)) (as_obj "metrics" (get "metrics" v));
           }
@@ -175,11 +225,20 @@ let to_table t =
           Tvs_util.Table.add_row tbl [ ""; b.name; Printf.sprintf "%.0f" b.ns_per_run; "" ])
         r.benchmarks)
     t.runs;
-  Printf.sprintf "bench report v%d: jobs=%d scale=%s rev=%s\n%s%d stable metric(s) captured\n"
+  let tpi_lines =
+    String.concat ""
+      (List.map
+         (fun e ->
+           Printf.sprintf "tpi %s: %d point(s), %d/%d converted fault(s) caught, dm=%+.2f dt=%+.2f\n"
+             e.tpi_circuit e.points e.caught e.converted_faults e.dm e.dt)
+         t.tpi)
+  in
+  Printf.sprintf "bench report v%d: jobs=%d scale=%s rev=%s\n%s%s%d stable metric(s) captured\n"
     t.version t.jobs
     (match t.scale with Some s -> Printf.sprintf "%g" s | None -> "default")
     (Option.value ~default:"unknown" t.git_rev)
     (Tvs_util.Table.render tbl)
+    tpi_lines
     (List.length t.metrics)
 
 (* --- provenance ------------------------------------------------------- *)

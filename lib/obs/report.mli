@@ -9,7 +9,8 @@
     across [--jobs] values. *)
 
 val schema_version : int
-(** Currently 1. *)
+(** Currently 2: v2 added the [tpi] section (test-point-insertion studies
+    run by the bench). *)
 
 type bench = { name : string; ns_per_run : float }
 (** One Bechamel estimate (micro artifacts only). *)
@@ -21,19 +22,34 @@ type run = {
   benchmarks : bench list;
 }
 
+type tpi_entry = {
+  tpi_circuit : string;
+  points : int;  (** test points selected *)
+  converted_faults : int;  (** statically hidden stem faults made observable *)
+  caught : int;  (** of those, caught by the final circuit's own test set *)
+  d_coverage : float;  (** final minus base stitched coverage *)
+  dm : float;  (** memory-ratio delta *)
+  dt : float;  (** test-time-ratio delta *)
+}
+(** One `tvs tpi` study, summarized for the bench trajectory. The [tpi_]
+    prefix on [tpi_circuit] avoids clashing with {!run.circuit}; the JSON
+    field is plain ["circuit"]. *)
+
 type t = {
   version : int;
   scale : float option;  (** --scale override, if given *)
   jobs : int;  (** resolved fan-out width *)
   git_rev : string option;
   runs : run list;
+  tpi : tpi_entry list;  (** test-point-insertion studies, execution order *)
   metrics : Metrics.snapshot;
 }
 
 val make :
-  ?scale:float -> ?git_rev:string -> jobs:int -> runs:run list -> metrics:Metrics.snapshot ->
-  unit -> t
-(** Stamp a report with the current {!schema_version}. *)
+  ?scale:float -> ?git_rev:string -> ?tpi:tpi_entry list -> jobs:int -> runs:run list ->
+  metrics:Metrics.snapshot -> unit -> t
+(** Stamp a report with the current {!schema_version}; [tpi] defaults to
+    empty. *)
 
 val to_json : t -> string
 

@@ -33,8 +33,22 @@ let read_frame ic =
 
 type source = Spec of string | Bench of string
 
+type tpi_params = { points : int; budget : int; po_taps : bool; controls : bool }
+
+type kind = Stitch | Tpi of tpi_params
+
+let default_tpi_params =
+  let o = Tvs_tpi.Tpi.default_options in
+  {
+    points = o.Tvs_tpi.Tpi.points;
+    budget = o.Tvs_tpi.Tpi.budget;
+    po_taps = o.Tvs_tpi.Tpi.po_taps;
+    controls = o.Tvs_tpi.Tpi.controls;
+  }
+
 type job = {
   source : source;
+  kind : kind;
   format : Tvs_verilog.Loader.format option;
   scale : float;
   scheme : Tvs_scan.Xor_scheme.t;
@@ -43,9 +57,10 @@ type job = {
   label : string;
 }
 
-let default_job source =
+let default_job ?(kind = Stitch) source =
   {
     source;
+    kind;
     format = None;
     scale = 1.0;
     scheme = Tvs_scan.Xor_scheme.Nxor;
@@ -80,7 +95,34 @@ let opt_int k j =
   | Some (Json.Int i) -> Ok (Some i)
   | Some _ -> Error (Printf.sprintf "field %S must be an integer" k)
 
-let job_of_json j =
+let opt_bool k j =
+  match Json.member k j with
+  | None -> Ok None
+  | Some (Json.Bool b) -> Ok (Some b)
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" k)
+
+let tpi_params_of_json j =
+  let positive name = function
+    | None -> Ok None
+    | Some v when v >= 1 -> Ok (Some v)
+    | Some v -> Error (Printf.sprintf "field %S must be a positive integer, got %d" name v)
+  in
+  let* points = opt_int "points" j in
+  let* points = positive "points" points in
+  let* budget = opt_int "budget" j in
+  let* budget = positive "budget" budget in
+  let* po_taps = opt_bool "po_taps" j in
+  let* controls = opt_bool "controls" j in
+  let d = default_tpi_params in
+  Ok
+    {
+      points = Option.value ~default:d.points points;
+      budget = Option.value ~default:d.budget budget;
+      po_taps = Option.value ~default:d.po_taps po_taps;
+      controls = Option.value ~default:d.controls controls;
+    }
+
+let job_of_json ?(kind = Stitch) j =
   let* spec = opt_string "spec" j in
   let* bench = opt_string "bench" j in
   let* source =
@@ -114,19 +156,23 @@ let job_of_json j =
   in
   let* label = opt_string "label" j in
   let label = Option.value ~default:"cli" label in
-  Ok { source; format; scale; scheme; selection; shift; label }
+  Ok { source; kind; format; scale; scheme; selection; shift; label }
 
 let request_of_json j =
   match Json.member "verb" j with
   | None -> Error "request needs a \"verb\" field"
   | Some (Json.Str "submit") -> Result.map (fun job -> Submit job) (job_of_json j)
+  | Some (Json.Str "tpi") ->
+      let* params = tpi_params_of_json j in
+      Result.map (fun job -> Submit job) (job_of_json ~kind:(Tpi params) j)
   | Some (Json.Str "status") -> Ok Status
   | Some (Json.Str "metrics") -> Ok Metrics
   | Some (Json.Str "ping") -> Ok Ping
   | Some (Json.Str "shutdown") -> Ok Shutdown
   | Some (Json.Str v) ->
       Error
-        (Printf.sprintf "unknown verb %S (expected submit, status, metrics, ping or shutdown)" v)
+        (Printf.sprintf
+           "unknown verb %S (expected submit, tpi, status, metrics, ping or shutdown)" v)
   | Some _ -> Error "\"verb\" must be a string"
 
 let json_of_job (job : job) =
@@ -135,9 +181,21 @@ let json_of_job (job : job) =
     | Spec s -> [ ("spec", Json.Str s) ]
     | Bench b -> [ ("bench", Json.Str b) ]
   in
+  let verb, kind_fields =
+    match job.kind with
+    | Stitch -> ("submit", [])
+    | Tpi p ->
+        ( "tpi",
+          [
+            ("points", Json.Int p.points);
+            ("budget", Json.Int p.budget);
+            ("po_taps", Json.Bool p.po_taps);
+            ("controls", Json.Bool p.controls);
+          ] )
+  in
   Json.Obj
-    (("verb", Json.Str "submit")
-     :: source_fields
+    (("verb", Json.Str verb)
+     :: source_fields @ kind_fields
     @ (match job.format with
       | None -> []
       | Some f -> [ ("format", Json.Str (Tvs_verilog.Loader.format_name f)) ])

@@ -10,12 +10,13 @@
     netlist may be arbitrary text) while staying trivially implementable
     from any language — and greppable on the wire.
 
-    Requests carry a ["verb"]: [submit] (a job), [status], [metrics],
-    [ping], [shutdown]. Responses are events: [queued], [started],
-    [checkpoint], [done], [error], [status], [metrics], [pong],
-    [shutting-down]. Job events carry the submission ["id"], and [done]
-    additionally the run summary plus ["output"] — the exact bytes the
-    one-shot [tvs stitch] would print for the same job.
+    Requests carry a ["verb"]: [submit] (a stitch job), [tpi] (a test-point
+    insertion study), [status], [metrics], [ping], [shutdown]. Responses
+    are events: [queued], [started], [checkpoint], [done], [error],
+    [status], [metrics], [pong], [shutting-down]. Job events carry the
+    submission ["id"], and [done] additionally the run summary (or the
+    ["tpi"] study document) plus ["output"] — the exact bytes the one-shot
+    [tvs stitch] (or [tvs tpi]) would print for the same job.
 
     Job fields reuse the CLI vocabulary verbatim ({!Tvs_harness.Cli}):
     ["spec"] is a profile name / s27 / fig1 / server-side netlist path
@@ -40,8 +41,26 @@ type source =
   | Spec of string  (** circuit spec resolved server-side, as on the CLI *)
   | Bench of string  (** inline netlist text, named by its content digest *)
 
+type tpi_params = {
+  points : int;  (** test points to select; wire field ["points"] *)
+  budget : int;  (** candidate pool size; wire field ["budget"] *)
+  po_taps : bool;  (** wire field ["po_taps"] *)
+  controls : bool;  (** wire field ["controls"] *)
+}
+
+type kind =
+  | Stitch  (** verb ["submit"]: one stitched-flow run *)
+  | Tpi of tpi_params
+      (** verb ["tpi"]: a {!Tvs_tpi.Tpi} study; [shift] becomes the mining
+          shift and [scheme]/[selection] are ignored (a study always runs
+          the flow defaults, matching the [tvs tpi] CLI) *)
+
+val default_tpi_params : tpi_params
+(** {!Tvs_tpi.Tpi.default_options} projected onto the wire fields. *)
+
 type job = {
   source : source;
+  kind : kind;
   format : Tvs_verilog.Loader.format option;
       (** netlist format of the source text/path; [None] = auto-detect.
           On the wire: ["format"] of ["auto"], ["bench"] or ["verilog"];
@@ -53,8 +72,9 @@ type job = {
   label : string;  (** engine RNG label; the CLI uses ["cli"] *)
 }
 
-val default_job : source -> job
-(** A job with every option at its [tvs stitch] default. *)
+val default_job : ?kind:kind -> source -> job
+(** A job with every option at its [tvs stitch] default ([kind] defaults
+    to {!Stitch}). *)
 
 type request = Submit of job | Status | Metrics | Ping | Shutdown
 

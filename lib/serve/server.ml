@@ -148,12 +148,49 @@ let json_of_summary (s : Experiments.run_summary) =
       ("coverage", Json.Float s.Experiments.coverage);
     ]
 
+(* A test-point-insertion study. No checkpointing — a study is a sequence
+   of short flow runs, each memoized per modified-circuit digest, so a
+   restart recomputes at most one evaluation; the whole study dedupes
+   through its own cache kind. *)
+let run_tpi_job t (job : Protocol.job) circuit (params : Protocol.tpi_params) =
+  let module Tpi = Tvs_tpi.Tpi in
+  let options =
+    {
+      Tpi.points = params.Protocol.points;
+      budget = params.Protocol.budget;
+      shift = job.Protocol.shift;
+      po_taps = params.Protocol.po_taps;
+      controls = params.Protocol.controls;
+    }
+  in
+  let key = Tpi.study_key ~options circuit in
+  let key_hex = "tpi:" ^ Store_digest.to_hex key in
+  let deduped =
+    Hashtbl.mem t.seen key_hex
+    ||
+    match Experiments.cache () with
+    | Some c -> Sys.file_exists (Cache.entry_path c ~kind:Tpi.study_kind ~key)
+    | None -> false
+  in
+  match Tpi.run ~options circuit with
+  | exception Circuit.Build_error msg -> Error msg
+  | exception Failure msg -> Error msg
+  | r ->
+      Hashtbl.replace t.seen key_hex ();
+      Ok
+        ( deduped,
+          [
+            ("cached", Json.Bool deduped);
+            ("tpi", Tpi.to_json r);
+            ("output", Json.Str (Tpi.to_ascii r));
+          ] )
+
 (* Run one job to completion. [emit] streams protocol events (dropped for
    recovery jobs). Returns the done-event fields or an error message. *)
 let run_job t (p : pending) emit =
   match resolve t p.job with
   | Error msg -> Error msg
-  | Ok (circuit, spec) -> (
+  | Ok (circuit, spec) when p.job.Protocol.kind = Protocol.Stitch -> (
       let job = p.job in
       let prep = prep_for t circuit in
       let shift_policy = Option.map (fun s -> Policy.Fixed s) job.shift in
@@ -251,6 +288,10 @@ let run_job t (p : pending) emit =
                     ("summary", json_of_summary summary);
                     ("output", Json.Str output);
                   ] )))
+  | Ok (circuit, _) -> (
+      match p.job.Protocol.kind with
+      | Protocol.Tpi params -> run_tpi_job t p.job circuit params
+      | Protocol.Stitch -> assert false (* handled by the guarded arm above *))
 
 let execute t (p : pending) =
   let emit name fields =
@@ -420,6 +461,7 @@ let scan_recovery t dir =
             let job =
               {
                 Protocol.source = Protocol.Spec ck.Checkpoint.spec;
+                kind = Protocol.Stitch;
                 (* the checkpointed spec is a resolved server-side path whose
                    extension already pins the format *)
                 format = None;

@@ -1,0 +1,109 @@
+module Circuit = Tvs_netlist.Circuit
+module Cost = Tvs_scan.Cost
+module Scan_lint = Tvs_lint.Scan_lint
+
+type kind = Observe_cell | Observe_po | Control_one | Control_zero
+
+type t = {
+  kind : kind;
+  net : string;
+  score : int;
+  hits : int;
+  dmem : int;
+  dtime : int;
+}
+
+let kind_name = function
+  | Observe_cell -> "obs-cell"
+  | Observe_po -> "obs-po"
+  | Control_one -> "ctl-1"
+  | Control_zero -> "ctl-0"
+
+let kind_rank = function
+  | Observe_cell -> 0
+  | Observe_po -> 1
+  | Control_one -> 2
+  | Control_zero -> 3
+
+let same_target a b = a.kind = b.kind && a.net = b.net
+
+(* Mirrors the weight of the exclusive term in the S004 risk formula
+   (Scan_lint / DESIGN.md §8): removing one exclusive net from a retained
+   row removes 3 risk points there. *)
+let exclusive_weight = 3
+
+(* Marginal per-vector cost of one inserted point, expressed through the
+   same Cost model every ratio in the project is measured with: the delta of
+   the traditional-flow per-vector memory/time when the point's new scan
+   cell, output or control input is accounted for. *)
+let cost_delta c kind =
+  let chain_len = Circuit.num_flops c in
+  let npi = Circuit.num_inputs c in
+  let npo = Circuit.num_outputs c in
+  let mem ~chain_len ~npi ~npo = Cost.baseline_memory ~chain_len ~npi ~npo ~nvec:1 in
+  let time ~chain_len = Cost.baseline_time ~chain_len ~nvec:1 in
+  match kind with
+  | Observe_cell ->
+      ( mem ~chain_len:(chain_len + 1) ~npi ~npo - mem ~chain_len ~npi ~npo,
+        time ~chain_len:(chain_len + 1) - time ~chain_len )
+  | Observe_po -> (mem ~chain_len ~npi ~npo:(npo + 1) - mem ~chain_len ~npi ~npo, 0)
+  | Control_one | Control_zero ->
+      (mem ~chain_len ~npi:(npi + 1) ~npo - mem ~chain_len ~npi ~npo, 0)
+
+let mine ?shift ?(po_taps = false) ?(controls = false) ?limit c =
+  let chain_len = Circuit.num_flops c in
+  if chain_len = 0 then []
+  else begin
+    let s =
+      match shift with
+      | Some s -> max 1 (min s chain_len)
+      | None -> Scan_lint.default_shift c
+    in
+    let risk = Scan_lint.risk_table ~s c in
+    let excl = Scan_lint.exclusive_nets ~s c in
+    (* Tally every net that is exclusive to some retained position: [hits]
+       rows contain it, [maxobs] is the worst capped observability among
+       them — tapping the net pays off once per row and most where
+       observation is already expensive. *)
+    let tally = Hashtbl.create 32 in
+    Array.iteri
+      (fun i (row : Scan_lint.risk_row) ->
+        if not row.emitted then
+          List.iter
+            (fun x ->
+              let nm = Circuit.net_name c x in
+              let hits, maxobs =
+                Option.value ~default:(0, 0) (Hashtbl.find_opt tally nm)
+              in
+              Hashtbl.replace tally nm (hits + 1, max maxobs row.observability))
+            excl.(i))
+      risk;
+    let nets =
+      List.sort compare (Hashtbl.fold (fun nm hm acc -> (nm, hm) :: acc) tally [])
+    in
+    let candidate kind (nm, (hits, maxobs)) =
+      let dmem, dtime = cost_delta c kind in
+      let score = max 0 ((exclusive_weight * hits) + maxobs - dmem) in
+      { kind; net = nm; score; hits; dmem; dtime }
+    in
+    let kinds =
+      [ Observe_cell ]
+      @ (if po_taps then [ Observe_po ] else [])
+      @ if controls then [ Control_one; Control_zero ] else []
+    in
+    let all = List.concat_map (fun k -> List.map (candidate k) nets) kinds in
+    let ranked =
+      List.sort
+        (fun a b ->
+          match compare b.score a.score with
+          | 0 -> (
+              match compare (kind_rank a.kind) (kind_rank b.kind) with
+              | 0 -> compare a.net b.net
+              | n -> n)
+          | n -> n)
+        all
+    in
+    match limit with
+    | Some n -> List.filteri (fun i _ -> i < n) ranked
+    | None -> ranked
+  end

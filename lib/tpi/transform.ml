@@ -1,0 +1,128 @@
+module Circuit = Tvs_netlist.Circuit
+module Gate = Tvs_netlist.Gate
+
+let reserved_prefix = "tpi_"
+
+let has_prefix s = String.length s >= 4 && String.sub s 0 4 = reserved_prefix
+
+let obs_cell_name nm = "tpi_obs_" ^ nm
+let po_tap_name nm = "tpi_po_" ^ nm
+let control_pi_name nm = "tpi_ctl_" ^ nm
+let control_gate_name nm = "tpi_ctlg_" ^ nm
+let control_not_name nm = "tpi_ctln_" ^ nm
+
+(* Rebuild the circuit net by net — the [Scan_insert] idiom — applying the
+   candidate list in order. Net ids change; [map] carries old ids to new
+   ones, and [redirect] overrides the mapping for controlled nets so every
+   reader downstream of a control gate (gates, flop D pins, output marks,
+   observe points) sees the controlled value while the control gate itself
+   reads the original driver. Observe cells are declared after the original
+   flops, so they occupy the chain-tail positions in {!Circuit.flops}
+   order — exactly where the shifted schedule emits first. *)
+let apply c cands =
+  for net = 0 to Circuit.num_nets c - 1 do
+    let nm = Circuit.net_name c net in
+    if has_prefix nm then
+      raise
+        (Circuit.Build_error
+           (Printf.sprintf "net %s: %s is a reserved test-point name prefix" nm reserved_prefix))
+  done;
+  let rec dup = function
+    | [] -> ()
+    | (x : Candidate.t) :: rest ->
+        if List.exists (Candidate.same_target x) rest then
+          raise
+            (Circuit.Build_error
+               (Printf.sprintf "duplicate %s test point on net %s" (Candidate.kind_name x.kind)
+                  x.net));
+        dup rest
+  in
+  dup cands;
+  let target (cand : Candidate.t) =
+    match Circuit.find_net_opt c cand.net with
+    | Some n -> n
+    | None ->
+        raise
+          (Circuit.Build_error
+             (Printf.sprintf "test-point target %s is not a net of %s" cand.net (Circuit.name c)))
+  in
+  let controlled =
+    List.filter_map
+      (fun (cand : Candidate.t) ->
+        match cand.kind with
+        | Candidate.Control_one | Candidate.Control_zero -> Some (target cand, cand)
+        | Candidate.Observe_cell | Candidate.Observe_po -> None)
+      cands
+  in
+  let b = Circuit.Builder.create (Circuit.name c ^ "_tpi") in
+  let map = Array.make (Circuit.num_nets c) (-1) in
+  let redirect = Array.make (Circuit.num_nets c) (-1) in
+  let read x = if redirect.(x) >= 0 then redirect.(x) else map.(x) in
+  Array.iter
+    (fun net -> map.(net) <- Circuit.Builder.input b (Circuit.net_name c net))
+    (Circuit.inputs c);
+  let control_pis =
+    List.map
+      (fun (old, (cand : Candidate.t)) ->
+        (old, cand, Circuit.Builder.input b (control_pi_name cand.net)))
+      controlled
+  in
+  Array.iter
+    (fun net -> map.(net) <- Circuit.Builder.flop_forward b (Circuit.net_name c net))
+    (Circuit.flops c);
+  (* The control gate reads the target's ORIGINAL new id, never [read]: a
+     controlled net must not feed its own control gate. *)
+  let install_control (old, (cand : Candidate.t), pi) =
+    let g =
+      match cand.kind with
+      | Candidate.Control_one ->
+          Circuit.Builder.gate b ~name:(control_gate_name cand.net) Gate.Or [ map.(old); pi ]
+      | Candidate.Control_zero ->
+          let n = Circuit.Builder.gate b ~name:(control_not_name cand.net) Gate.Not [ pi ] in
+          Circuit.Builder.gate b ~name:(control_gate_name cand.net) Gate.And [ map.(old); n ]
+      | Candidate.Observe_cell | Candidate.Observe_po -> assert false
+    in
+    redirect.(old) <- g
+  in
+  (* Controls whose target is already mapped (a PI or a flop Q) install
+     before the combinational sweep; the rest install as soon as the topo
+     walk maps their target, so later gates read the controlled value. *)
+  List.iter (fun ((old, _, _) as cp) -> if map.(old) >= 0 then install_control cp) control_pis;
+  Array.iter
+    (fun net ->
+      (match Circuit.driver c net with
+      | Circuit.Gate_node (kind, ins) ->
+          map.(net) <-
+            Circuit.Builder.gate b ~name:(Circuit.net_name c net) kind
+              (Array.to_list (Array.map (fun i -> read i) ins))
+      | Circuit.Const v -> map.(net) <- Circuit.Builder.const b ~name:(Circuit.net_name c net) v
+      | Circuit.Primary_input | Circuit.Flip_flop _ -> ());
+      List.iter
+        (fun ((old, _, _) as cp) -> if old = net then install_control cp)
+        control_pis)
+    (Circuit.topo_order c);
+  Array.iter
+    (fun fnet ->
+      match Circuit.driver c fnet with
+      | Circuit.Flip_flop d -> Circuit.Builder.connect_flop b map.(fnet) (read d)
+      | Circuit.Primary_input | Circuit.Gate_node _ | Circuit.Const _ ->
+          raise (Circuit.Build_error "flop list corrupt"))
+    (Circuit.flops c);
+  Array.iter (fun net -> Circuit.Builder.mark_output b (read net)) (Circuit.outputs c);
+  List.iter
+    (fun (cand : Candidate.t) ->
+      match cand.kind with
+      | Candidate.Observe_po ->
+          let tap =
+            Circuit.Builder.gate b ~name:(po_tap_name cand.net) Gate.Buf [ read (target cand) ]
+          in
+          Circuit.Builder.mark_output b tap
+      | Candidate.Observe_cell ->
+          ignore (Circuit.Builder.flop b ~name:(obs_cell_name cand.net) (read (target cand)))
+      | Candidate.Control_one | Candidate.Control_zero -> ())
+    cands;
+  Circuit.Builder.finish b
+
+let observe_cells cands =
+  List.length
+    (List.filter (fun (c : Candidate.t) -> c.kind = Candidate.Observe_cell) cands)

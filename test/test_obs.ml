@@ -202,7 +202,7 @@ let test_report_rejects () =
   let good = Report.to_json (sample_report ()) in
   (* A future schema version must be rejected, not silently misread. *)
   let bumped =
-    let sub = "\"schema_version\":1" in
+    let sub = Printf.sprintf "\"schema_version\":%d" Report.schema_version in
     let len = String.length sub in
     let rec find i =
       if i + len > String.length good then Alcotest.fail "schema_version not in output"

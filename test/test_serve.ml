@@ -128,6 +128,7 @@ let test_submit_full_roundtrip () =
   let job =
     {
       Protocol.source = Protocol.Spec "s27";
+      kind = Protocol.Stitch;
       format = None;
       scale = 0.5;
       scheme = Xor_scheme.Vxor;
@@ -140,6 +141,40 @@ let test_submit_full_roundtrip () =
   | Ok (Protocol.Submit job') ->
       Alcotest.(check bool) "job round-trips through its own JSON" true (job = job')
   | _ -> Alcotest.fail "round-trip rejected"
+
+let test_tpi_verb () =
+  (* Minimal tpi request: defaults mirror Tvs_tpi.Tpi.default_options. *)
+  (match parse_request {|{"verb":"tpi","spec":"s27"}|} with
+  | Ok (Protocol.Submit job) ->
+      Alcotest.(check bool) "tpi kind with defaults" true
+        (job.Protocol.kind = Protocol.Tpi Protocol.default_tpi_params)
+  | _ -> Alcotest.fail "minimal tpi rejected");
+  (* Explicit params parse into the kind. *)
+  (match parse_request {|{"verb":"tpi","spec":"s27","points":3,"budget":5,"controls":true}|} with
+  | Ok (Protocol.Submit job) ->
+      Alcotest.(check bool) "tpi params" true
+        (job.Protocol.kind
+        = Protocol.Tpi
+            { Protocol.default_tpi_params with Protocol.points = 3; budget = 5; controls = true })
+  | _ -> Alcotest.fail "tpi with params rejected");
+  (* Non-positive counts are typed protocol errors, never defaults. *)
+  (match parse_request {|{"verb":"tpi","spec":"s27","points":0}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "points=0 accepted");
+  (* A tpi job round-trips through its own JSON. *)
+  let job =
+    {
+      (Protocol.default_job
+         ~kind:(Protocol.Tpi { Protocol.points = 3; budget = 6; po_taps = true; controls = false })
+         (Protocol.Spec "s444"))
+      with
+      Protocol.shift = Some 4;
+    }
+  in
+  match Protocol.request_of_json (Protocol.json_of_job job) with
+  | Ok (Protocol.Submit job') ->
+      Alcotest.(check bool) "tpi job round-trips through its own JSON" true (job = job')
+  | _ -> Alcotest.fail "tpi round-trip rejected"
 
 let test_submit_format () =
   (* Explicit formats parse; "auto" is the spelled-out default. *)
@@ -462,6 +497,44 @@ let test_server_recovery () =
                 (Option.value ~default:"" (str_field "output" j)));
           close_out_noerr oc))
 
+(* A tpi job end-to-end: the done event carries the study document and the
+   exact bytes `tvs tpi` would print; an identical resubmission dedupes
+   through the TPIS cache kind. *)
+let test_server_tpi () =
+  let cache_dir = fresh_dir () in
+  Experiments.set_cache (Some (Result.get_ok (Cache.open_dir cache_dir)));
+  Fun.protect
+    ~finally:(fun () -> Experiments.set_cache None)
+    (fun () ->
+      with_server (fun sock ->
+          let ic, oc = connect sock in
+          let job = Protocol.default_job ~kind:(Protocol.Tpi Protocol.default_tpi_params)
+              (Protocol.Spec "s27")
+          in
+          let first =
+            match submit_and_wait ic oc job with
+            | Error m -> Alcotest.failf "tpi job failed: %s" m
+            | Ok j -> j
+          in
+          (* The study is now cached; rendering it locally replays the same
+             bytes the one-shot CLI prints. *)
+          let module Tpi = Tvs_tpi.Tpi in
+          let expected =
+            Tpi.to_ascii (Tpi.run (Result.get_ok (Cli.load_circuit "s27")))
+          in
+          Alcotest.(check string) "output matches tvs tpi" expected
+            (Option.value ~default:"" (str_field "output" first));
+          Alcotest.(check bool) "done event carries the study document" true
+            (Json.member "tpi" first <> None);
+          (match submit_and_wait ic oc job with
+          | Error m -> Alcotest.failf "tpi repeat failed: %s" m
+          | Ok j ->
+              Alcotest.(check (option bool)) "repeat flagged cached" (Some true)
+                (bool_field "cached" j);
+              Alcotest.(check string) "repeat output still identical" expected
+                (Option.value ~default:"" (str_field "output" j)));
+          close_out_noerr oc))
+
 let () =
   Alcotest.run "serve"
     [
@@ -472,6 +545,7 @@ let () =
           Alcotest.test_case "request verbs" `Quick test_request_verbs;
           Alcotest.test_case "submit defaults" `Quick test_submit_defaults;
           Alcotest.test_case "submit full round-trip" `Quick test_submit_full_roundtrip;
+          Alcotest.test_case "tpi verb" `Quick test_tpi_verb;
           Alcotest.test_case "submit format field" `Quick test_submit_format;
           Alcotest.test_case "malformed submits rejected" `Quick test_submit_rejects_malformed;
         ] );
@@ -481,5 +555,6 @@ let () =
           Alcotest.test_case "inline netlist jobs" `Quick test_server_inline_bench;
           Alcotest.test_case "inline verilog jobs" `Quick test_server_inline_verilog;
           Alcotest.test_case "checkpoint recovery at startup" `Quick test_server_recovery;
+          Alcotest.test_case "tpi jobs" `Quick test_server_tpi;
         ] );
     ]

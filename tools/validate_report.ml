@@ -3,6 +3,7 @@
      validate_report FILE                 validate + print the ASCII view
      validate_report --metrics-equal A B  also require identical metrics
      validate_report --lint FILE          validate a `tvs lint --format json` document
+     validate_report --tpi FILE           validate a `tvs tpi --format json` document
 
    Exit codes: 0 valid, 1 invalid (schema or metrics mismatch), 2 usage or
    unreadable file. The metrics comparison is key-order-insensitive
@@ -18,7 +19,7 @@ module Json = Tvs_obs.Json
 let usage () =
   prerr_endline
     "usage: validate_report FILE | validate_report --metrics-equal FILE FILE | validate_report \
-     --lint FILE";
+     --lint FILE | validate_report --tpi FILE";
   exit 2
 
 let read_file path =
@@ -75,7 +76,7 @@ let lint_validate path doc =
     && digit s.[5] && digit s.[6] && digit s.[7]
   in
   (match get "schema" doc with
-  | Json.Int 1 -> ()
+  | Json.Int 2 -> ()
   | Json.Int n -> fail (Printf.sprintf "unknown schema version %d" n)
   | _ -> fail "schema is not an integer");
   if str "circuit" doc = "" then fail "circuit name is empty";
@@ -118,36 +119,132 @@ let lint_validate path doc =
   check_count "errors" !errors;
   check_count "warnings" !warnings;
   check_count "infos" !infos;
-  let risk = get "risk" doc in
-  let shift = int_ge 0 "shift" risk in
-  let positions =
-    match get "positions" risk with
-    | Json.Arr l -> l
-    | _ -> fail "risk.positions is not an array"
+  let risk_table label risk =
+    let fail_t msg = fail (Printf.sprintf "%s: %s" label msg) in
+    let shift = int_ge 0 "shift" risk in
+    let positions =
+      match get "positions" risk with
+      | Json.Arr l -> l
+      | _ -> fail_t "positions is not an array"
+    in
+    if positions <> [] && shift < 1 then fail_t "risk table present but shift < 1";
+    List.iteri
+      (fun i p ->
+        let fail msg = fail_t (Printf.sprintf "positions[%d]: %s" i msg) in
+        let pos = int_ge 0 "position" p in
+        if pos <> i then fail (Printf.sprintf "position %d out of order" pos);
+        if str "cell" p = "" then fail "cell name is empty";
+        ignore (int_ge 0 "captures" p);
+        ignore (int_ge 0 "exclusive" p);
+        ignore (int_ge 0 "observability" p);
+        let emitted =
+          match get "emitted" p with
+          | Json.Bool b -> b
+          | _ -> fail "emitted is not a boolean"
+        in
+        let r = int_ge 0 "risk" p in
+        if emitted && r <> 0 then fail (Printf.sprintf "emitted position has non-zero risk %d" r))
+      positions;
+    List.length positions
   in
-  if positions <> [] && shift < 1 then fail "risk table present but shift < 1";
+  let positions = risk_table "risk" (get "risk" doc) in
+  let sweep =
+    match get "risk_sweep" doc with
+    | Json.Arr l -> l
+    | _ -> fail "risk_sweep is not an array"
+  in
+  List.iteri (fun i e -> ignore (risk_table (Printf.sprintf "risk_sweep[%d]" i) e)) sweep;
+  Printf.printf "%s: valid lint report (%d diagnostics, %d scan positions, %d sweep tables)\n"
+    path (List.length diags) positions (List.length sweep)
+
+(* The tvs tpi JSON schema (see Tvs_tpi.Tpi.to_json). Structural like the
+   lint check, plus the cross-field invariants: caught never exceeds the
+   converted stem-fault count, which is exactly two per converted net. *)
+let tpi_validate path doc =
+  let fail msg =
+    Printf.eprintf "validate_report: %s: invalid tpi report: %s\n" path msg;
+    exit 1
+  in
+  let get k o =
+    match Json.member k o with Some v -> v | None -> fail (Printf.sprintf "missing member %S" k)
+  in
+  let int_ge lo k o =
+    match get k o with
+    | Json.Int n when n >= lo -> n
+    | Json.Int n -> fail (Printf.sprintf "%s = %d, expected >= %d" k n lo)
+    | _ -> fail (k ^ " is not an integer")
+  in
+  let str k o = match get k o with Json.Str s -> s | _ -> fail (k ^ " is not a string") in
+  let num k o =
+    match get k o with
+    | Json.Int n -> float_of_int n
+    | Json.Float f -> f
+    | _ -> fail (k ^ " is not a number")
+  in
+  let summary label s =
+    let fail_s msg = fail (Printf.sprintf "%s: %s" label msg) in
+    ignore (int_ge 0 "atv" s);
+    ignore (int_ge 0 "tv" s);
+    ignore (int_ge 0 "extra" s);
+    List.iter (fun k -> ignore (num k s)) [ "m"; "t"; "coverage" ];
+    let cov = num "coverage" s in
+    if cov < 0.0 || cov > 1.0 then fail_s (Printf.sprintf "coverage %g outside [0, 1]" cov);
+    ignore (int_ge 0 "peak_hidden" s)
+  in
+  (match get "schema" doc with
+  | Json.Int 1 -> ()
+  | Json.Int n -> fail (Printf.sprintf "unknown schema version %d" n)
+  | _ -> fail "schema is not an integer");
+  if str "circuit" doc = "" then fail "circuit name is empty";
+  ignore (int_ge 1 "chain_len" doc);
+  ignore (int_ge 1 "shift" doc);
+  ignore (int_ge 0 "candidates" doc);
+  summary "base" (get "base" doc);
+  summary "final" (get "final" doc);
+  let points =
+    match get "points" doc with Json.Arr l -> l | _ -> fail "points is not an array"
+  in
   List.iteri
     (fun i p ->
-      let fail msg = fail (Printf.sprintf "risk.positions[%d]: %s" i msg) in
-      let pos = int_ge 0 "position" p in
-      if pos <> i then fail (Printf.sprintf "position %d out of order" pos);
-      if str "cell" p = "" then fail "cell name is empty";
-      ignore (int_ge 0 "captures" p);
-      ignore (int_ge 0 "exclusive" p);
-      ignore (int_ge 0 "observability" p);
-      let emitted =
-        match get "emitted" p with
-        | Json.Bool b -> b
-        | _ -> fail "emitted is not a boolean"
-      in
-      let r = int_ge 0 "risk" p in
-      if emitted && r <> 0 then fail (Printf.sprintf "emitted position has non-zero risk %d" r))
-    positions;
-  Printf.printf "%s: valid lint report (%d diagnostics, %d scan positions)\n" path
-    (List.length diags) (List.length positions)
+      let fail_p msg = fail (Printf.sprintf "points[%d]: %s" i msg) in
+      (match str "kind" p with
+      | "obs-cell" | "obs-po" | "ctl-1" | "ctl-0" -> ()
+      | k -> fail_p (Printf.sprintf "unknown point kind %S" k));
+      if str "net" p = "" then fail_p "net name is empty";
+      ignore (int_ge 0 "score" p);
+      ignore (int_ge 0 "hits" p);
+      ignore (int_ge 0 "dmem" p);
+      ignore (int_ge 0 "dtime" p);
+      ignore (int_ge 0 "conversions" p);
+      summary (Printf.sprintf "points[%d].summary" i) (get "summary" p);
+      List.iter (fun k -> ignore (num k p)) [ "d_coverage"; "dm"; "dt" ])
+    points;
+  let converted =
+    match get "converted" doc with
+    | Json.Arr l ->
+        List.map (function Json.Str s -> s | _ -> fail "converted contains a non-string") l
+    | _ -> fail "converted is not an array"
+  in
+  let converted_faults = int_ge 0 "converted_faults" doc in
+  if converted_faults <> 2 * List.length converted then
+    fail
+      (Printf.sprintf "converted_faults = %d but %d converted net(s) imply %d" converted_faults
+         (List.length converted)
+         (2 * List.length converted));
+  let caught = int_ge 0 "caught" doc in
+  if caught > converted_faults then
+    fail (Printf.sprintf "caught %d exceeds converted_faults %d" caught converted_faults);
+  Printf.printf "%s: valid tpi report (%d point(s), %d/%d converted fault(s) caught)\n" path
+    (List.length points) caught converted_faults
 
 let () =
   match Array.to_list Sys.argv with
+  | [ _; "--tpi"; file ] -> (
+      match Json.parse (read_file file) with
+      | Error msg ->
+          Printf.eprintf "validate_report: %s: %s\n" file msg;
+          exit 1
+      | Ok doc -> tpi_validate file doc)
   | [ _; "--lint"; file ] -> (
       match Json.parse (read_file file) with
       | Error msg ->
