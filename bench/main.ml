@@ -25,7 +25,7 @@ let out : string option ref = ref None
 let artifacts =
   [
     "table1"; "table2"; "table3"; "table4"; "table5"; "ablations"; "misr"; "comparison";
-    "diagnosis"; "randtest"; "tpi"; "micro";
+    "diagnosis"; "randtest"; "tpi"; "cec"; "micro";
   ]
 
 let usage_and_exit msg =
@@ -87,6 +87,9 @@ let runs : Report.run list ref = ref []
 
 (* Test-point-insertion studies for the report's [tpi] section. *)
 let tpi_entries : Report.tpi_entry list ref = ref []
+
+(* Equivalence-checker gates for the report's [cec] section. *)
+let cec_entries : Report.cec_entry list ref = ref []
 
 (* [body] produces the artifact's printed text plus any Bechamel estimates;
    the header carries the artifact's own wall time so a slow table is
@@ -250,11 +253,47 @@ let run_tpi () =
     [ "s27"; "s444" ];
   Buffer.contents buf
 
+(* The CEC artifact: prove the scan and TPI rewrites function-preserving on
+   a couple of profiles, folding each verdict into the report's [cec]
+   section. The verdicts are deterministic at any --jobs width, so the
+   section is part of the stable, byte-comparable report body. *)
+let run_cec () =
+  let module Cec = Tvs_cec.Cec in
+  let module Tpi = Tvs_tpi.Tpi in
+  let buf = Buffer.create 1024 in
+  let gate transform left right =
+    let r = Cec.check left right in
+    Buffer.add_string buf (Cec.to_ascii r);
+    cec_entries :=
+      {
+        Report.cec_circuit = r.Cec.left;
+        transform;
+        verdict = Cec.verdict_name r.Cec.verdict;
+        points = Cec.points r;
+        sat_calls = r.Cec.sat_calls;
+        decisions = r.Cec.decisions;
+      }
+      :: !cec_entries
+  in
+  List.iter
+    (fun name ->
+      let c =
+        if name = "s27" then Tvs_circuits.S27.circuit ()
+        else Tvs_circuits.Synth.generate_named name
+      in
+      gate "scan" c (Tvs_netlist.Scan_insert.insert c).Tvs_netlist.Scan_insert.circuit;
+      let study = Tpi.run ~options:{ Tpi.default_options with Tpi.points = 2 } c in
+      let cands = List.map (fun (p : Tpi.point) -> p.Tpi.candidate) study.Tpi.points in
+      gate "tpi" c (Tvs_tpi.Transform.apply c cands))
+    [ "s27"; "s444" ];
+  Buffer.contents buf
+
 let write_report file =
   let jobs = match !jobs with Some j -> j | None -> Tvs_util.Pool.default_jobs () in
   let report =
-    Report.make ?scale:!scale ?git_rev:(Report.git_rev ()) ~tpi:(List.rev !tpi_entries) ~jobs
-      ~runs:(List.rev !runs) ~metrics:(Tvs_obs.Metrics.snapshot ()) ()
+    Report.make ?scale:!scale ?git_rev:(Report.git_rev ()) ~tpi:(List.rev !tpi_entries)
+      ~cec:(List.rev !cec_entries) ~jobs ~runs:(List.rev !runs)
+      ~metrics:(Tvs_obs.Metrics.snapshot ()) ()
   in
   let oc = open_out file in
   output_string oc (Report.to_json report);
@@ -286,6 +325,7 @@ let () =
   if wants "randtest" then
     table "Random-pattern testability" "randtest" (fun () -> Experiments.random_testability ());
   if wants "tpi" then table "Test-point insertion" "tpi" run_tpi;
+  if wants "cec" then table "Equivalence-checker gates" "cec" run_cec;
   if wants "micro" then
     section "Bechamel microbenchmarks (one kernel per table)" "micro" run_micro;
   Option.iter write_report !out;

@@ -29,6 +29,7 @@ module Prep = Tvs_harness.Prep
 module Lint = Tvs_lint.Lint
 module Lint_diag = Tvs_lint.Diagnostic
 module Tpi = Tvs_tpi.Tpi
+module Cec = Tvs_cec.Cec
 module Codec = Tvs_store.Codec
 module Checkpoint = Tvs_store.Checkpoint
 module Cache = Tvs_store.Cache
@@ -165,6 +166,25 @@ let setup_cache = function
           exit Cmd.Exit.cli_error)
 
 let cache_term = Term.(const setup_cache $ cache_arg)
+
+(* Equivalence gate behind the `--verify` flags of `tvs tpi` / `tvs emit`.
+   Reports through stderr so the gated command's own stdout stays
+   byte-identical with and without the gate. *)
+let verify_gate ~what left right =
+  match Cec.check ?cache:(Experiments.cache ()) left right with
+  | r -> (
+      match r.Cec.verdict with
+      | Cec.Equivalent ->
+          Printf.eprintf
+            "tvs: %s verify: proven function-preserving (%d point(s), %d sat call(s))\n" what
+            (Cec.points r) r.Cec.sat_calls
+      | Cec.Inequivalent _ | Cec.Unknown _ ->
+          prerr_string (Cec.to_ascii r);
+          Printf.eprintf "tvs: %s verify FAILED\n" what;
+          exit 1)
+  | exception Cec.Mismatch msg ->
+      Printf.eprintf "tvs: %s verify: interface mismatch: %s\n" what msg;
+      exit 1
 
 let stats_cmd =
   let run () spec scale =
@@ -586,16 +606,29 @@ let tpi_cmd =
     let doc = "Also mine control points (OR-force-1 / AND-force-0 behind a new input)." in
     Arg.(value & flag & info [ "controls" ] ~doc)
   in
-  let run () () spec scale points budget shift po_taps controls format jobs batch =
+  let verify_arg =
+    let doc =
+      "Prove the accepted transform function-preserving with the equivalence checker (as \
+       $(b,tvs equiv) would): original vs the circuit with every selected point inserted, \
+       tpi_ctl_* tied to 0, tpi_po_*/tpi_obs_* as inclusion extras. Exit 1 if the proof fails."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let run () () spec scale points budget shift po_taps controls format verify jobs batch =
     set_jobs jobs;
     set_batch batch;
     let c = load_circuit ~scale spec in
     let options = { Tpi.points; budget; shift; po_taps; controls } in
     match Tpi.run ~options c with
-    | r -> (
-        match format with
+    | r ->
+        (match format with
         | `Ascii -> print_string (Tpi.to_ascii r)
-        | `Json -> print_endline (Tpi.to_json_string r))
+        | `Json -> print_endline (Tpi.to_json_string r));
+        if verify then begin
+          let cands = List.map (fun (p : Tpi.point) -> p.Tpi.candidate) r.Tpi.points in
+          let transformed = Tvs_tpi.Transform.apply c cands in
+          verify_gate ~what:"tpi" c transformed
+        end
     | exception Circuit.Build_error msg ->
         prerr_endline ("tvs: " ^ msg);
         exit Cmd.Exit.some_error
@@ -607,7 +640,8 @@ let tpi_cmd =
           greedily by re-running the stitched flow, report hidden-to-caught conversions")
     Term.(
       const run $ obs_term $ cache_term $ circuit_arg $ scale_arg $ points_arg $ budget_arg
-      $ tpi_shift_arg $ po_taps_arg $ controls_arg $ format_arg $ jobs_arg $ batch_arg)
+      $ tpi_shift_arg $ po_taps_arg $ controls_arg $ format_arg $ verify_arg $ jobs_arg
+      $ batch_arg)
 
 let table_cmd =
   let which =
@@ -778,7 +812,15 @@ let emit_cmd =
     let doc = "Also write the behavioural tvs cell models (tvs_dff/tvs_sdff/tvs_mux2) to $(docv)." in
     Arg.(value & opt (some string) None & info [ "cells" ] ~docv:"FILE" ~doc)
   in
-  let run () spec scale scan cells out =
+  let verify_arg =
+    let doc =
+      "Re-parse the emitted Verilog and prove it equivalent to the source circuit with the \
+       equivalence checker (scan pins are dropped on re-parse, so the scan view verifies \
+       against the functional circuit). Exit 1 on any miscompare."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let run () spec scale scan cells verify out =
     let c = load_circuit ~scale spec in
     let e =
       try Tvs_verilog.Emitter.emit ~scan c
@@ -797,11 +839,127 @@ let emit_cmd =
         Out_channel.with_open_bin path (fun oc ->
             Out_channel.output_string oc Tvs_verilog.Emitter.cell_models);
         Printf.eprintf "tvs: wrote %s (cell models)\n" path)
-      cells
+      cells;
+    if verify then begin
+      match
+        Tvs_verilog.Loader.parse_string ~format:Tvs_verilog.Loader.Verilog
+          e.Tvs_verilog.Emitter.text
+      with
+      | reparsed -> verify_gate ~what:"emit" c reparsed
+      | exception Tvs_netlist.Bench_format.Parse_error (line, msg) ->
+          Printf.eprintf "tvs: emit verify: emitted Verilog does not re-parse (line %d): %s\n"
+            line msg;
+          exit 1
+    end
   in
   Cmd.v
     (Cmd.info "emit" ~doc:"Render a circuit as structural Verilog (optionally scan-inserted)")
-    Term.(const run $ obs_term $ circuit_arg $ scale_arg $ scan_flag $ cells_arg $ out_arg)
+    Term.(
+      const run $ obs_term $ circuit_arg $ scale_arg $ scan_flag $ cells_arg $ verify_arg
+      $ out_arg)
+
+let equiv_cmd =
+  let left_arg =
+    let doc = "Reference (golden) circuit: a profile name, s27, fig1, or a netlist file." in
+    Arg.(required & pos 0 (some circuit_conv) None & info [] ~docv:"LEFT" ~doc)
+  in
+  let right_arg =
+    let doc = "Revised circuit to check against $(i,LEFT). Omit with $(b,--scan)." in
+    Arg.(value & pos 1 (some circuit_conv) None & info [] ~docv:"RIGHT" ~doc)
+  in
+  let scan_flag =
+    let doc =
+      "Check $(i,LEFT) against its own scan-inserted form, proving the scan-mux rewrite \
+       function-preserving under the automatic scan_en=0 tie."
+    in
+    Arg.(value & flag & info [ "scan" ] ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: $(b,ascii) or $(b,json)." in
+    Arg.(
+      value
+      & opt (Arg.enum [ ("ascii", `Ascii); ("json", `Json) ]) `Ascii
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let positive name =
+    Arg.conv ~docv:"N"
+      ( (fun s ->
+          match int_of_string_opt s with
+          | Some n when n >= 1 -> Ok n
+          | _ -> Error (`Msg (Printf.sprintf "invalid %s %S (want a positive integer)" name s))),
+        Format.pp_print_int )
+  in
+  let budget_arg =
+    let doc = "SAT decision budget per observation-point miter." in
+    Arg.(value
+         & opt (positive "sat budget") Cec.default_options.Cec.budget
+         & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let vectors_arg =
+    let doc = "Random-simulation rounds for candidate-class discovery (63 patterns each)." in
+    Arg.(value
+         & opt (positive "vector rounds") Cec.default_options.Cec.vectors
+         & info [ "vectors" ] ~docv:"N" ~doc)
+  in
+  let scan_map_arg =
+    let doc =
+      "Pin ties applied before checking, comma-separated $(b,name=0|1) (e.g. \
+       $(b,scan_en=0,test_mode=1)). The scan_en and tpi_ctl_* conventions are tied to 0 \
+       automatically."
+    in
+    Arg.(value & opt (some string) None & info [ "scan-map" ] ~docv:"LIST" ~doc)
+  in
+  let run () () left_spec right_spec scan scale format budget vectors scan_map jobs =
+    set_jobs jobs;
+    let left = load_circuit ~scale left_spec in
+    let right =
+      match (right_spec, scan) with
+      | Some _, true ->
+          prerr_endline "tvs: give either RIGHT or --scan, not both";
+          exit Cmd.Exit.cli_error
+      | Some spec, false -> load_circuit ~scale spec
+      | None, true -> (
+          try (Tvs_netlist.Scan_insert.insert left).Tvs_netlist.Scan_insert.circuit
+          with Circuit.Build_error msg ->
+            prerr_endline ("tvs: scan insertion failed: " ^ msg);
+            exit Cmd.Exit.cli_error)
+      | None, false ->
+          prerr_endline "tvs: missing RIGHT circuit (or --scan)";
+          exit Cmd.Exit.cli_error
+    in
+    let ties =
+      match scan_map with
+      | None -> []
+      | Some s -> (
+          match Tvs_harness.Cli.parse_ties s with
+          | Ok l -> List.map (fun (name, value) -> { Cec.name; value }) l
+          | Error msg ->
+              prerr_endline ("tvs: " ^ msg);
+              exit Cmd.Exit.cli_error)
+    in
+    let options = { Cec.default_options with Cec.budget; vectors; ties } in
+    match Cec.check ~options ?cache:(Experiments.cache ()) left right with
+    | r -> (
+        (match format with
+        | `Ascii -> print_string (Cec.to_ascii r)
+        | `Json -> print_endline (Cec.to_json_string r));
+        match r.Cec.verdict with
+        | Cec.Equivalent -> ()
+        | Cec.Inequivalent _ -> exit 1
+        | Cec.Unknown _ -> exit 3)
+    | exception Cec.Mismatch msg ->
+        prerr_endline ("tvs: interface mismatch: " ^ msg);
+        exit Cmd.Exit.some_error
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:
+         "SAT-sweeping combinational equivalence check of two netlists under the full-scan \
+          abstraction. Exit status: 0 equivalent, 1 inequivalent (a simulation-confirmed \
+          counterexample is printed), 3 undecided within the SAT budget.")
+    Term.(
+      const run $ obs_term $ cache_term $ left_arg $ right_arg $ scan_flag $ scale_arg
+      $ format_arg $ budget_arg $ vectors_arg $ scan_map_arg $ jobs_arg)
 
 let xcheck_cmd =
   let workdir_arg =
@@ -975,4 +1133,4 @@ let () =
     Cmd.info "tvs" ~version:version_string
       ~doc:"Virtual test compression through test vector stitching (DATE 2003 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ stats_cmd; lint_cmd; atpg_cmd; faultsim_cmd; stitch_cmd; resume_cmd; tpi_cmd; serve_cmd; table_cmd; ablation_cmd; misr_cmd; comparison_cmd; diagnosis_cmd; randtest_cmd; export_cmd; emit_cmd; xcheck_cmd; fig1_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ stats_cmd; lint_cmd; atpg_cmd; faultsim_cmd; stitch_cmd; resume_cmd; tpi_cmd; serve_cmd; table_cmd; ablation_cmd; misr_cmd; comparison_cmd; diagnosis_cmd; randtest_cmd; export_cmd; emit_cmd; equiv_cmd; xcheck_cmd; fig1_cmd ]))

@@ -1,0 +1,17 @@
+// c17 with a single seeded defect: gate g16 is AND where the reference
+// (examples/verilog/c17.v) has NAND. Same ports, same wires — only the
+// equivalence checker tells them apart:
+//
+//   tvs equiv examples/verilog/c17.v examples/verilog/c17_defect.v   # exits 1
+module c17_defect (N1, N2, N3, N6, N7, N22, N23);
+  input N1, N2, N3, N6, N7;
+  output N22, N23;
+  wire N10, N11, N16, N19;
+
+  nand g10 (N10, N1, N3);
+  nand g11 (N11, N3, N6);
+  and  g16 (N16, N2, N11);
+  nand g19 (N19, N11, N7);
+  nand g22 (N22, N10, N16);
+  nand g23 (N23, N16, N19);
+endmodule

@@ -1,0 +1,14 @@
+// 4:1 multiplexer built from tvs_mux2 library cells. The frontend
+// decomposes each cell into NOT/AND/OR gates on parse; proving this file
+// equivalent to the gate-level reference exercises that decomposition:
+//
+//   tvs equiv examples/verilog/mux4_ref.bench examples/verilog/mux4.v
+module mux4 (d0, d1, d2, d3, s0, s1, y);
+  input d0, d1, d2, d3, s0, s1;
+  output y;
+  wire m0, m1;
+
+  tvs_mux2 u0 (.y(m0), .a(d0), .b(d1), .s(s0));
+  tvs_mux2 u1 (.y(m1), .a(d2), .b(d3), .s(s0));
+  tvs_mux2 u2 (.y(y),  .a(m0), .b(m1), .s(s1));
+endmodule

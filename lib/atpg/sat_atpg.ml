@@ -92,7 +92,7 @@ let fanout_cone c (fault : Fault.t) =
       | Circuit.Primary_input | Circuit.Const _ -> ()));
   (in_cone, obs_flops)
 
-let generate ?constraints ?(max_decisions = 200_000) c (fault : Fault.t) =
+let generate_stats ?constraints ?(max_decisions = 200_000) c (fault : Fault.t) =
   let n = Circuit.num_nets c in
   let b = { nvars = n; clauses = [] } in
   let good net = net + 1 in
@@ -191,22 +191,25 @@ let generate ?constraints ?(max_decisions = 200_000) c (fault : Fault.t) =
           end
       | Circuit.Primary_input | Circuit.Gate_node _ | Circuit.Const _ -> ())
     (Circuit.flops c);
-  if !diffs = [] then Untestable
+  if !diffs = [] then (Untestable, Sat.no_stats)
   else begin
     add b !diffs;
     let decision_order =
       Array.to_list (Array.map good (Circuit.inputs c))
       @ Array.to_list (Array.map good (Circuit.flops c))
     in
-    match Sat.solve ~decision_order ~max_decisions ~nvars:b.nvars b.clauses with
-    | Sat.Unknown -> Unknown
-    | Sat.Unsat -> Untestable
-    | Sat.Sat model ->
+    match Sat.solve_stats ~decision_order ~max_decisions ~nvars:b.nvars b.clauses with
+    | Sat.Unknown, stats -> (Unknown, stats)
+    | Sat.Unsat, stats -> (Untestable, stats)
+    | Sat.Sat model, stats ->
         let pi =
           Array.map (fun net -> Ternary.of_bool model.(good net)) (Circuit.inputs c)
         in
         let scan =
           Array.map (fun net -> Ternary.of_bool model.(good net)) (Circuit.flops c)
         in
-        Detected ({ pi; scan } : Cube.t)
+        (Detected ({ pi; scan } : Cube.t), stats)
   end
+
+let generate ?constraints ?max_decisions c fault =
+  fst (generate_stats ?constraints ?max_decisions c fault)

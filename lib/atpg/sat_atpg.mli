@@ -26,3 +26,12 @@ val generate :
 (** [constraints] pins scan cells exactly as in {!Podem.generate}.
     [max_decisions] bounds the search (default 200_000); decisions are made
     on input variables first, so internal nets follow by propagation. *)
+
+val generate_stats :
+  ?constraints:Tvs_logic.Ternary.t array ->
+  ?max_decisions:int ->
+  Tvs_netlist.Circuit.t ->
+  Tvs_fault.Fault.t ->
+  result * Tvs_util.Sat.stats
+(** {!generate} plus the solver work done, so callers can meter SAT effort
+    (and an [Unknown] can report how much of the budget was consumed). *)

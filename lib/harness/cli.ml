@@ -79,6 +79,30 @@ let inline_circuit ?format text =
       Error (Printf.sprintf "inline netlist, line %d: %s" line msg)
   | exception Failure msg -> Error (Printf.sprintf "inline netlist: %s" msg)
 
+(* "scan_en=0,tpi_ctl_x=1": the --scan-map / serve "scan_map" vocabulary.
+   Whitespace around entries is tolerated; empty entries (trailing commas)
+   are skipped so shell-built lists compose. *)
+let parse_ties s =
+  let entries =
+    String.split_on_char ',' s |> List.map String.trim |> List.filter (fun p -> p <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+        match String.index_opt p '=' with
+        | None -> Error (Printf.sprintf "bad tie %S (want name=0 or name=1)" p)
+        | Some i -> (
+            let name = String.trim (String.sub p 0 i) in
+            let value = String.trim (String.sub p (i + 1) (String.length p - i - 1)) in
+            if name = "" then Error (Printf.sprintf "bad tie %S: empty pin name" p)
+            else
+              match value with
+              | "0" -> go ((name, false) :: acc) rest
+              | "1" -> go ((name, true) :: acc) rest
+              | _ -> Error (Printf.sprintf "bad tie %S: value must be 0 or 1" p)))
+  in
+  go [] entries
+
 let check_table n =
   if n >= 1 && n <= 5 then Ok n
   else Error (Printf.sprintf "no table %d in the paper (tables are numbered 1-5)" n)

@@ -47,6 +47,12 @@ val inline_circuit :
     field), named by {!inline_name}; format auto-detected by content when
     absent. [Error] carries the source line. *)
 
+val parse_ties : string -> ((string * bool) list, string) result
+(** The [--scan-map] / serve ["scan_map"] vocabulary: comma-separated
+    [name=0|1] pin ties for the equivalence checker (e.g.
+    ["scan_en=0,test_mode=1"]). Whitespace-tolerant; empty entries are
+    skipped; the empty string is the empty list. *)
+
 val check_table : int -> (int, string) result
 (** The paper has tables 1-5. *)
 

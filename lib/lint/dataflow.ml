@@ -9,6 +9,8 @@ module Metrics = Tvs_obs.Metrics
 
 let m_sat_untestable = Metrics.counter "lint.sat.untestable"
 let m_sat_unknown = Metrics.counter "lint.sat.unknown"
+let m_sat_decisions = Metrics.counter "lint.sat.decisions"
+let m_sat_propagations = Metrics.counter "lint.sat.propagations"
 
 let values c =
   let v = Array.make (Circuit.num_nets c) Ternary.X in
@@ -81,7 +83,10 @@ let untestable ?lines ~max_faults ~max_decisions c =
     for k = picked - 1 downto 0 do
       let _, _, f = order.(k) in
       let nm = Circuit.net_name c f.Fault.stem in
-      match Sat_atpg.generate ~max_decisions c f with
+      let verdict, stats = Sat_atpg.generate_stats ~max_decisions c f in
+      Metrics.add m_sat_decisions stats.Tvs_util.Sat.decisions;
+      Metrics.add m_sat_propagations stats.Tvs_util.Sat.propagations;
+      match verdict with
       | Sat_atpg.Detected _ -> ()
       | Sat_atpg.Untestable ->
           Metrics.incr m_sat_untestable;

@@ -1,4 +1,4 @@
-let schema_version = 2
+let schema_version = 3
 
 type bench = { name : string; ns_per_run : float }
 
@@ -19,6 +19,17 @@ type tpi_entry = {
   dt : float;
 }
 
+type cec_entry = {
+  cec_circuit : string;
+  transform : string;
+  verdict : string;
+  points : int;
+  sat_calls : int;
+  decisions : int;
+}
+
+let verdict_vocabulary = [ "equivalent"; "inequivalent"; "unknown" ]
+
 type t = {
   version : int;
   scale : float option;
@@ -26,11 +37,12 @@ type t = {
   git_rev : string option;
   runs : run list;
   tpi : tpi_entry list;
+  cec : cec_entry list;
   metrics : Metrics.snapshot;
 }
 
-let make ?scale ?git_rev ?(tpi = []) ~jobs ~runs ~metrics () =
-  { version = schema_version; scale; jobs; git_rev; runs; tpi; metrics }
+let make ?scale ?git_rev ?(tpi = []) ?(cec = []) ~jobs ~runs ~metrics () =
+  { version = schema_version; scale; jobs; git_rev; runs; tpi; cec; metrics }
 
 (* --- JSON emission ---------------------------------------------------- *)
 
@@ -93,6 +105,20 @@ let to_json t =
                       ("dt", Json.Float e.dt);
                     ])
                 t.tpi) );
+         ( "cec",
+           Json.Arr
+             (List.map
+                (fun e ->
+                  Json.Obj
+                    [
+                      ("circuit", Json.Str e.cec_circuit);
+                      ("transform", Json.Str e.transform);
+                      ("verdict", Json.Str e.verdict);
+                      ("points", Json.Int e.points);
+                      ("sat_calls", Json.Int e.sat_calls);
+                      ("decisions", Json.Int e.decisions);
+                    ])
+                t.cec) );
          ("metrics", Json.Obj (List.map (fun (k, v) -> (k, metric_to_json v)) t.metrics));
        ])
 
@@ -205,6 +231,31 @@ let of_json s =
                        dt = as_number "dt" (get "dt" e);
                      })
                    (as_list "tpi" (get "tpi" v)));
+            cec =
+              (* the [cec] section arrived with v3; older reports simply
+                 have none *)
+              (if version < 3 then []
+               else
+                 List.map
+                   (fun e ->
+                     let verdict = as_string "verdict" (get "verdict" e) in
+                     if not (List.mem verdict verdict_vocabulary) then
+                       fail "cec entry: unknown verdict %S (expected %s)" verdict
+                         (String.concat "/" verdict_vocabulary);
+                     let non_negative field =
+                       let n = as_int field (get field e) in
+                       if n < 0 then fail "cec entry: %S must be non-negative, got %d" field n;
+                       n
+                     in
+                     {
+                       cec_circuit = as_string "circuit" (get "circuit" e);
+                       transform = as_string "transform" (get "transform" e);
+                       verdict;
+                       points = non_negative "points";
+                       sat_calls = non_negative "sat_calls";
+                       decisions = non_negative "decisions";
+                     })
+                   (as_list "cec" (get "cec" v)));
             metrics =
               List.map (fun (k, m) -> (k, metric_of_json k m)) (as_obj "metrics" (get "metrics" v));
           }
@@ -233,12 +284,20 @@ let to_table t =
              e.tpi_circuit e.points e.caught e.converted_faults e.dm e.dt)
          t.tpi)
   in
-  Printf.sprintf "bench report v%d: jobs=%d scale=%s rev=%s\n%s%s%d stable metric(s) captured\n"
+  let cec_lines =
+    String.concat ""
+      (List.map
+         (fun e ->
+           Printf.sprintf "cec %s (%s): %s — %d point(s), %d sat call(s), %d decision(s)\n"
+             e.cec_circuit e.transform e.verdict e.points e.sat_calls e.decisions)
+         t.cec)
+  in
+  Printf.sprintf "bench report v%d: jobs=%d scale=%s rev=%s\n%s%s%s%d stable metric(s) captured\n"
     t.version t.jobs
     (match t.scale with Some s -> Printf.sprintf "%g" s | None -> "default")
     (Option.value ~default:"unknown" t.git_rev)
     (Tvs_util.Table.render tbl)
-    tpi_lines
+    tpi_lines cec_lines
     (List.length t.metrics)
 
 (* --- provenance ------------------------------------------------------- *)

@@ -9,8 +9,9 @@
     across [--jobs] values. *)
 
 val schema_version : int
-(** Currently 2: v2 added the [tpi] section (test-point-insertion studies
-    run by the bench). *)
+(** Currently 3: v2 added the [tpi] section (test-point-insertion studies
+    run by the bench), v3 the [cec] section (equivalence-checker gates).
+    Earlier versions still parse — the missing sections read as empty. *)
 
 type bench = { name : string; ns_per_run : float }
 (** One Bechamel estimate (micro artifacts only). *)
@@ -35,6 +36,18 @@ type tpi_entry = {
     prefix on [tpi_circuit] avoids clashing with {!run.circuit}; the JSON
     field is plain ["circuit"]. *)
 
+type cec_entry = {
+  cec_circuit : string;
+  transform : string;  (** what was gated: ["scan"], ["tpi"], ... *)
+  verdict : string;  (** ["equivalent"], ["inequivalent"] or ["unknown"] *)
+  points : int;  (** observation points checked *)
+  sat_calls : int;
+  decisions : int;
+}
+(** One equivalence-checker gate run by the bench. As with {!tpi_entry},
+    the [cec_] prefix avoids clashing with {!run.circuit}; the JSON field
+    is plain ["circuit"]. *)
+
 type t = {
   version : int;
   scale : float option;  (** --scale override, if given *)
@@ -42,14 +55,15 @@ type t = {
   git_rev : string option;
   runs : run list;
   tpi : tpi_entry list;  (** test-point-insertion studies, execution order *)
+  cec : cec_entry list;  (** equivalence-checker gates, execution order *)
   metrics : Metrics.snapshot;
 }
 
 val make :
-  ?scale:float -> ?git_rev:string -> ?tpi:tpi_entry list -> jobs:int -> runs:run list ->
-  metrics:Metrics.snapshot -> unit -> t
-(** Stamp a report with the current {!schema_version}; [tpi] defaults to
-    empty. *)
+  ?scale:float -> ?git_rev:string -> ?tpi:tpi_entry list -> ?cec:cec_entry list -> jobs:int ->
+  runs:run list -> metrics:Metrics.snapshot -> unit -> t
+(** Stamp a report with the current {!schema_version}; [tpi] and [cec]
+    default to empty. *)
 
 val to_json : t -> string
 

@@ -35,7 +35,28 @@ type source = Spec of string | Bench of string
 
 type tpi_params = { points : int; budget : int; po_taps : bool; controls : bool }
 
-type kind = Stitch | Tpi of tpi_params
+(* What the equiv verb checks the job's circuit against: an explicit revised
+   netlist, or the scan-inserted form of the circuit itself (computed
+   server-side, mirroring [tvs equiv --scan]). *)
+type equiv_target = Scan_form | Netlist of source
+
+type equiv_params = {
+  target : equiv_target;
+  budget : int;
+  vectors : int;
+  ties : (string * bool) list;
+}
+
+type kind = Stitch | Tpi of tpi_params | Equiv of equiv_params
+
+let default_equiv_params =
+  let o = Tvs_cec.Cec.default_options in
+  {
+    target = Scan_form;
+    budget = o.Tvs_cec.Cec.budget;
+    vectors = o.Tvs_cec.Cec.vectors;
+    ties = [];
+  }
 
 let default_tpi_params =
   let o = Tvs_tpi.Tpi.default_options in
@@ -122,6 +143,42 @@ let tpi_params_of_json j =
       controls = Option.value ~default:d.controls controls;
     }
 
+let equiv_params_of_json j =
+  let positive name = function
+    | None -> Ok None
+    | Some v when v >= 1 -> Ok (Some v)
+    | Some v -> Error (Printf.sprintf "field %S must be a positive integer, got %d" name v)
+  in
+  let* right_spec = opt_string "right_spec" j in
+  let* right_bench = opt_string "right_bench" j in
+  let* scan = opt_bool "scan" j in
+  let scan = Option.value ~default:false scan in
+  let* target =
+    match (right_spec, right_bench, scan) with
+    | Some s, None, false -> Ok (Netlist (Spec s))
+    | None, Some b, false -> Ok (Netlist (Bench b))
+    | None, None, true -> Ok Scan_form
+    | None, None, false ->
+        Error "equiv job needs a \"right_spec\"/\"right_bench\" circuit or \"scan\": true"
+    | _ ->
+        Error
+          "equiv job takes exactly one of \"right_spec\", \"right_bench\" or \"scan\": true"
+  in
+  let* budget = opt_int "budget" j in
+  let* budget = positive "budget" budget in
+  let* vectors = opt_int "vectors" j in
+  let* vectors = positive "vectors" vectors in
+  let* scan_map = opt_string "scan_map" j in
+  let* ties = match scan_map with None -> Ok [] | Some s -> Cli.parse_ties s in
+  let d = default_equiv_params in
+  Ok
+    {
+      target;
+      budget = Option.value ~default:d.budget budget;
+      vectors = Option.value ~default:d.vectors vectors;
+      ties;
+    }
+
 let job_of_json ?(kind = Stitch) j =
   let* spec = opt_string "spec" j in
   let* bench = opt_string "bench" j in
@@ -165,6 +222,9 @@ let request_of_json j =
   | Some (Json.Str "tpi") ->
       let* params = tpi_params_of_json j in
       Result.map (fun job -> Submit job) (job_of_json ~kind:(Tpi params) j)
+  | Some (Json.Str "equiv") ->
+      let* params = equiv_params_of_json j in
+      Result.map (fun job -> Submit job) (job_of_json ~kind:(Equiv params) j)
   | Some (Json.Str "status") -> Ok Status
   | Some (Json.Str "metrics") -> Ok Metrics
   | Some (Json.Str "ping") -> Ok Ping
@@ -172,7 +232,7 @@ let request_of_json j =
   | Some (Json.Str v) ->
       Error
         (Printf.sprintf
-           "unknown verb %S (expected submit, tpi, status, metrics, ping or shutdown)" v)
+           "unknown verb %S (expected submit, tpi, equiv, status, metrics, ping or shutdown)" v)
   | Some _ -> Error "\"verb\" must be a string"
 
 let json_of_job (job : job) =
@@ -192,6 +252,25 @@ let json_of_job (job : job) =
             ("po_taps", Json.Bool p.po_taps);
             ("controls", Json.Bool p.controls);
           ] )
+    | Equiv p ->
+        ( "equiv",
+          (match p.target with
+          | Scan_form -> [ ("scan", Json.Bool true) ]
+          | Netlist (Spec s) -> [ ("right_spec", Json.Str s) ]
+          | Netlist (Bench b) -> [ ("right_bench", Json.Str b) ])
+          @ [ ("budget", Json.Int p.budget); ("vectors", Json.Int p.vectors) ]
+          @
+          match p.ties with
+          | [] -> []
+          | ties ->
+              [
+                ( "scan_map",
+                  Json.Str
+                    (String.concat ","
+                       (List.map
+                          (fun (n, v) -> Printf.sprintf "%s=%d" n (if v then 1 else 0))
+                          ties)) );
+              ] )
   in
   Json.Obj
     (("verb", Json.Str verb)

@@ -11,12 +11,13 @@
     from any language — and greppable on the wire.
 
     Requests carry a ["verb"]: [submit] (a stitch job), [tpi] (a test-point
-    insertion study), [status], [metrics], [ping], [shutdown]. Responses
-    are events: [queued], [started], [checkpoint], [done], [error],
-    [status], [metrics], [pong], [shutting-down]. Job events carry the
-    submission ["id"], and [done] additionally the run summary (or the
-    ["tpi"] study document) plus ["output"] — the exact bytes the one-shot
-    [tvs stitch] (or [tvs tpi]) would print for the same job.
+    insertion study), [equiv] (an equivalence check), [status], [metrics],
+    [ping], [shutdown]. Responses are events: [queued], [started],
+    [checkpoint], [done], [error], [status], [metrics], [pong],
+    [shutting-down]. Job events carry the submission ["id"], and [done]
+    additionally the run summary (or the ["tpi"] study / ["equiv"] check
+    document) plus ["output"] — the exact bytes the one-shot [tvs stitch]
+    (or [tvs tpi] / [tvs equiv]) would print for the same job.
 
     Job fields reuse the CLI vocabulary verbatim ({!Tvs_harness.Cli}):
     ["spec"] is a profile name / s27 / fig1 / server-side netlist path
@@ -48,15 +49,41 @@ type tpi_params = {
   controls : bool;  (** wire field ["controls"] *)
 }
 
+type equiv_target =
+  | Scan_form
+      (** wire field ["scan"]: true — check the job's circuit against its
+          own scan-inserted form, computed server-side as [tvs equiv --scan]
+          does *)
+  | Netlist of source
+      (** wire field ["right_spec"] (server-side spec) or ["right_bench"]
+          (inline netlist text) — an explicit revised circuit *)
+
+type equiv_params = {
+  target : equiv_target;
+  budget : int;  (** SAT decisions per point miter; wire field ["budget"] *)
+  vectors : int;  (** random-simulation rounds; wire field ["vectors"] *)
+  ties : (string * bool) list;
+      (** wire field ["scan_map"]: a CLI-syntax ["name=0|1,..."] string *)
+}
+
 type kind =
   | Stitch  (** verb ["submit"]: one stitched-flow run *)
   | Tpi of tpi_params
       (** verb ["tpi"]: a {!Tvs_tpi.Tpi} study; [shift] becomes the mining
           shift and [scheme]/[selection] are ignored (a study always runs
           the flow defaults, matching the [tvs tpi] CLI) *)
+  | Equiv of equiv_params
+      (** verb ["equiv"]: a {!Tvs_cec.Cec} check of the job's circuit
+          (golden left side) against [target]; [scheme]/[selection]/[shift]
+          are ignored, [scale]/[format] apply to both circuits as on the
+          [tvs equiv] CLI *)
 
 val default_tpi_params : tpi_params
 (** {!Tvs_tpi.Tpi.default_options} projected onto the wire fields. *)
+
+val default_equiv_params : equiv_params
+(** {!Tvs_cec.Cec.default_options} projected onto the wire fields, with a
+    {!Scan_form} target and no ties. *)
 
 type job = {
   source : source;

@@ -185,6 +185,59 @@ let run_tpi_job t (job : Protocol.job) circuit (params : Protocol.tpi_params) =
             ("output", Json.Str (Tpi.to_ascii r));
           ] )
 
+(* An equivalence check. No checkpointing — a check is seconds even on the
+   biggest bundled profile, and the whole verdict dedupes through the CEQV
+   cache kind, so a restarted client's retry is a cache hit. *)
+let run_equiv_job t (job : Protocol.job) left (params : Protocol.equiv_params) =
+  let module Cec = Tvs_cec.Cec in
+  let right =
+    match params.Protocol.target with
+    | Protocol.Scan_form -> (
+        match Tvs_netlist.Scan_insert.insert left with
+        | r -> Ok r.Tvs_netlist.Scan_insert.circuit
+        | exception Circuit.Build_error msg -> Error ("scan insertion failed: " ^ msg))
+    | Protocol.Netlist (Protocol.Spec s) ->
+        Cli.load_circuit ~scale:job.Protocol.scale ?format:job.Protocol.format s
+    | Protocol.Netlist (Protocol.Bench text) -> Cli.inline_circuit ?format:job.Protocol.format text
+  in
+  match right with
+  | Error msg -> Error msg
+  | Ok right -> (
+      let ties =
+        List.map (fun (name, value) -> { Cec.name; value }) params.Protocol.ties
+      in
+      let options =
+        {
+          Cec.default_options with
+          Cec.budget = params.Protocol.budget;
+          vectors = params.Protocol.vectors;
+          ties;
+        }
+      in
+      let key = Cec.check_key ~options left right in
+      let key_hex = "cec:" ^ Store_digest.to_hex key in
+      let deduped =
+        Hashtbl.mem t.seen key_hex
+        ||
+        match Experiments.cache () with
+        | Some c -> Sys.file_exists (Cache.entry_path c ~kind:Cec.cache_kind ~key)
+        | None -> false
+      in
+      match Cec.check ~options ?cache:(Experiments.cache ()) left right with
+      | exception Cec.Mismatch msg -> Error ("interface mismatch: " ^ msg)
+      | exception Circuit.Build_error msg -> Error msg
+      | exception Failure msg -> Error msg
+      | r ->
+          Hashtbl.replace t.seen key_hex ();
+          Ok
+            ( deduped,
+              [
+                ("cached", Json.Bool deduped);
+                ("verdict", Json.Str (Cec.verdict_name r.Cec.verdict));
+                ("equiv", Cec.to_json r);
+                ("output", Json.Str (Cec.to_ascii r));
+              ] ))
+
 (* Run one job to completion. [emit] streams protocol events (dropped for
    recovery jobs). Returns the done-event fields or an error message. *)
 let run_job t (p : pending) emit =
@@ -291,6 +344,7 @@ let run_job t (p : pending) emit =
   | Ok (circuit, _) -> (
       match p.job.Protocol.kind with
       | Protocol.Tpi params -> run_tpi_job t p.job circuit params
+      | Protocol.Equiv params -> run_equiv_job t p.job circuit params
       | Protocol.Stitch -> assert false (* handled by the guarded arm above *))
 
 let execute t (p : pending) =

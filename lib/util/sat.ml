@@ -1,5 +1,9 @@
 type result = Sat of bool array | Unsat | Unknown
 
+type stats = { decisions : int; propagations : int }
+
+let no_stats = { decisions = 0; propagations = 0 }
+
 (* Assignment: 0 = unassigned, 1 = true, -1 = false. *)
 
 let check ~nvars clauses model =
@@ -13,15 +17,29 @@ let check ~nvars clauses model =
         clause)
     clauses
 
+(* Drop duplicate literals and tautological clauses (containing both [v]
+   and [-v]) so the search never branches on them. [None] marks a
+   tautology — always satisfied, hence removable. *)
+let normalize_clause clause =
+  let rec go seen acc = function
+    | [] -> Some (List.rev acc)
+    | lit :: rest ->
+        if List.memq (-lit) seen then None
+        else if List.memq lit seen then go seen acc rest
+        else go (lit :: seen) (lit :: acc) rest
+  in
+  go [] [] clause
+
 exception Out_of_budget
 
-let solve ?(decision_order = []) ?max_decisions ~nvars clauses =
+let solve_stats ?(decision_order = []) ?max_decisions ~nvars clauses =
   if nvars < 0 then invalid_arg "Sat.solve: negative variable count";
   List.iter
     (List.iter (fun lit ->
          if lit = 0 || abs lit > nvars then invalid_arg "Sat.solve: literal out of range"))
     clauses;
-  if List.exists (fun c -> c = []) clauses then Unsat
+  let clauses = List.filter_map normalize_clause clauses in
+  if List.exists (fun c -> c = []) clauses then (Unsat, no_stats)
   else begin
     let clauses = Array.of_list (List.map Array.of_list clauses) in
     let assign = Array.make (nvars + 1) 0 in
@@ -54,6 +72,8 @@ let solve ?(decision_order = []) ?max_decisions ~nvars clauses =
         | [] -> assert false
       done
     in
+    let decisions = ref 0 in
+    let propagations = ref 0 in
     (* Unit propagation from the clauses touching recently assigned
        variables; returns false on conflict. *)
     let rec propagate queue =
@@ -83,6 +103,7 @@ let solve ?(decision_order = []) ?max_decisions ~nvars clauses =
                     if !unassigned = 0 then continue := None (* conflict *)
                     else if !unassigned = 1 then begin
                       set !last;
+                      incr propagations;
                       continue := Some (abs !last :: pending)
                     end)
             occurs.(v);
@@ -97,6 +118,7 @@ let solve ?(decision_order = []) ?max_decisions ~nvars clauses =
             | -1 -> false
             | 0 ->
                 set clause.(0);
+                incr propagations;
                 propagate [ abs clause.(0) ]
             | _ -> true
           end
@@ -110,13 +132,11 @@ let solve ?(decision_order = []) ?max_decisions ~nvars clauses =
       let rest = List.init nvars (fun i -> i + 1) |> List.filter (fun v -> not mark.(v)) in
       Array.of_list (preferred @ rest)
     in
-    let decisions = ref 0 in
     let budget_ok () =
+      incr decisions;
       match max_decisions with
       | None -> ()
-      | Some cap ->
-          incr decisions;
-          if !decisions > cap then raise Out_of_budget
+      | Some cap -> if !decisions > cap then raise Out_of_budget
     in
     let rec pick_unassigned i =
       if i >= Array.length order then 0
@@ -140,8 +160,12 @@ let solve ?(decision_order = []) ?max_decisions ~nvars clauses =
         try_value v || try_value (-v)
       end
     in
+    let stats () = { decisions = !decisions; propagations = !propagations } in
     match initial_ok && search () with
-    | true -> Sat (Array.init (nvars + 1) (fun v -> v > 0 && assign.(v) = 1))
-    | false -> Unsat
-    | exception Out_of_budget -> Unknown
+    | true -> (Sat (Array.init (nvars + 1) (fun v -> v > 0 && assign.(v) = 1)), stats ())
+    | false -> (Unsat, stats ())
+    | exception Out_of_budget -> (Unknown, stats ())
   end
+
+let solve ?decision_order ?max_decisions ~nvars clauses =
+  fst (solve_stats ?decision_order ?max_decisions ~nvars clauses)

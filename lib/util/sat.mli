@@ -2,18 +2,32 @@
 
     Complete (sound SAT and UNSAT answers) with unit propagation and
     chronological backtracking — deliberately simple, sized for the
-    cone-local CNFs of SAT-based ATPG where a few thousand variables is
-    typical. Variables are positive integers; a literal is [v] or [-v]. *)
+    cone-local CNFs of SAT-based ATPG and equivalence checking where a few
+    thousand variables is typical. Variables are positive integers; a
+    literal is [v] or [-v]. *)
 
 type result =
   | Sat of bool array  (** satisfying assignment, index = variable *)
   | Unsat
   | Unknown  (** decision budget exhausted *)
 
+type stats = {
+  decisions : int;  (** search nodes visited (the [max_decisions] currency) *)
+  propagations : int;  (** literals implied by unit propagation *)
+}
+
+val no_stats : stats
+(** All-zero statistics — the cost of a call that never reached the
+    search (e.g. an input containing an empty clause). *)
+
 val solve : ?decision_order:int list -> ?max_decisions:int -> nvars:int -> int list list -> result
 (** [solve ~nvars clauses] decides the conjunction of [clauses]. Variables
     range over [1 .. nvars]; index 0 of a [Sat] assignment is unused. An
     empty clause yields [Unsat]; an empty clause list is satisfiable.
+
+    Input clauses are normalized first: duplicate literals are dropped and
+    tautological clauses (containing both [v] and [-v]) are removed rather
+    than branched on, so encoders need not dedupe their output.
 
     [decision_order] lists the variables to branch on first (e.g. circuit
     inputs, whose assignment implies everything else by propagation);
@@ -21,6 +35,11 @@ val solve : ?decision_order:int list -> ?max_decisions:int -> nvars:int -> int l
     [max_decisions] bounds the search; exceeding it returns [Unknown]
     (default: unbounded). Raises [Invalid_argument] on a literal out of
     range. *)
+
+val solve_stats :
+  ?decision_order:int list -> ?max_decisions:int -> nvars:int -> int list list -> result * stats
+(** [solve] plus the work done: decisions consumed (so an [Unknown] verdict
+    can report how much of the budget was spent) and propagated literals. *)
 
 val check : nvars:int -> int list list -> bool array -> bool
 (** [check ~nvars clauses model] verifies a model (used by the tests). *)

@@ -176,6 +176,63 @@ let test_tpi_verb () =
       Alcotest.(check bool) "tpi job round-trips through its own JSON" true (job = job')
   | _ -> Alcotest.fail "tpi round-trip rejected"
 
+let test_equiv_verb () =
+  (* Minimal equiv request: scan-form target, Cec defaults. *)
+  (match parse_request {|{"verb":"equiv","spec":"s27","scan":true}|} with
+  | Ok (Protocol.Submit job) ->
+      Alcotest.(check bool) "equiv kind with defaults" true
+        (job.Protocol.kind = Protocol.Equiv Protocol.default_equiv_params)
+  | _ -> Alcotest.fail "minimal equiv rejected");
+  (* Explicit right circuit, budget, vectors and ties. *)
+  (match
+     parse_request
+       {|{"verb":"equiv","spec":"s27","right_spec":"s27","budget":5000,"vectors":4,"scan_map":"scan_en=0,test_mode=1"}|}
+   with
+  | Ok (Protocol.Submit job) ->
+      Alcotest.(check bool) "equiv params" true
+        (job.Protocol.kind
+        = Protocol.Equiv
+            {
+              Protocol.target = Protocol.Netlist (Protocol.Spec "s27");
+              budget = 5000;
+              vectors = 4;
+              ties = [ ("scan_en", false); ("test_mode", true) ];
+            })
+  | _ -> Alcotest.fail "equiv with params rejected");
+  (* Exactly one target: both, neither and non-positive budgets are typed
+     protocol errors. *)
+  List.iter
+    (fun (what, raw) ->
+      match parse_request raw with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s: malformed equiv accepted" what)
+    [
+      ("scan and right", {|{"verb":"equiv","spec":"s27","scan":true,"right_spec":"s27"}|});
+      ("no target", {|{"verb":"equiv","spec":"s27"}|});
+      ("two rights", {|{"verb":"equiv","spec":"s27","right_spec":"a","right_bench":"b"}|});
+      ("budget=0", {|{"verb":"equiv","spec":"s27","scan":true,"budget":0}|});
+      ("bad scan_map", {|{"verb":"equiv","spec":"s27","scan":true,"scan_map":"scan_en=2"}|});
+    ];
+  (* Equiv jobs round-trip through their own JSON, for every target shape. *)
+  List.iter
+    (fun target ->
+      let job =
+        Protocol.default_job
+          ~kind:
+            (Protocol.Equiv
+               { Protocol.target; budget = 777; vectors = 3; ties = [ ("scan_en", false) ] })
+          (Protocol.Spec "s444")
+      in
+      match Protocol.request_of_json (Protocol.json_of_job job) with
+      | Ok (Protocol.Submit job') ->
+          Alcotest.(check bool) "equiv job round-trips through its own JSON" true (job = job')
+      | _ -> Alcotest.fail "equiv round-trip rejected")
+    [
+      Protocol.Scan_form;
+      Protocol.Netlist (Protocol.Spec "s27");
+      Protocol.Netlist (Protocol.Bench "INPUT(a)\n");
+    ]
+
 let test_submit_format () =
   (* Explicit formats parse; "auto" is the spelled-out default. *)
   (match parse_request {|{"verb":"submit","spec":"fig1","format":"verilog"}|} with
@@ -535,6 +592,62 @@ let test_server_tpi () =
                 (Option.value ~default:"" (str_field "output" j)));
           close_out_noerr oc))
 
+(* An equiv job end-to-end: the done event carries the verdict, the check
+   document and the exact bytes `tvs equiv --scan` would print; an identical
+   resubmission dedupes through the CEQV cache kind. *)
+let test_server_equiv () =
+  let module Cec = Tvs_cec.Cec in
+  let cache_dir = fresh_dir () in
+  Experiments.set_cache (Some (Result.get_ok (Cache.open_dir cache_dir)));
+  Fun.protect
+    ~finally:(fun () -> Experiments.set_cache None)
+    (fun () ->
+      with_server (fun sock ->
+          let ic, oc = connect sock in
+          let job =
+            Protocol.default_job
+              ~kind:(Protocol.Equiv Protocol.default_equiv_params)
+              (Protocol.Spec "s27")
+          in
+          let first =
+            match submit_and_wait ic oc job with
+            | Error m -> Alcotest.failf "equiv job failed: %s" m
+            | Ok j -> j
+          in
+          let expected =
+            let left = Result.get_ok (Cli.load_circuit "s27") in
+            let right = (Tvs_netlist.Scan_insert.insert left).Tvs_netlist.Scan_insert.circuit in
+            Cec.to_ascii (Cec.check left right)
+          in
+          Alcotest.(check (option string)) "scan form proven equivalent" (Some "equivalent")
+            (str_field "verdict" first);
+          Alcotest.(check string) "output matches tvs equiv --scan" expected
+            (Option.value ~default:"" (str_field "output" first));
+          Alcotest.(check bool) "done event carries the check document" true
+            (Json.member "equiv" first <> None);
+          (match submit_and_wait ic oc job with
+          | Error m -> Alcotest.failf "equiv repeat failed: %s" m
+          | Ok j ->
+              Alcotest.(check (option bool)) "repeat flagged cached" (Some true)
+                (bool_field "cached" j);
+              Alcotest.(check string) "repeat output still identical" expected
+                (Option.value ~default:"" (str_field "output" j)));
+          (* An interface mismatch is a job error, not a dead server. *)
+          (match
+             submit_and_wait ic oc
+               (Protocol.default_job
+                  ~kind:
+                    (Protocol.Equiv
+                       {
+                         Protocol.default_equiv_params with
+                         Protocol.target = Protocol.Netlist (Protocol.Spec "fig1");
+                       })
+                  (Protocol.Spec "s27"))
+           with
+          | Error m -> Alcotest.(check bool) "mismatch reported" true (String.length m > 0)
+          | Ok _ -> Alcotest.fail "mismatched interfaces served");
+          close_out_noerr oc))
+
 let () =
   Alcotest.run "serve"
     [
@@ -546,6 +659,7 @@ let () =
           Alcotest.test_case "submit defaults" `Quick test_submit_defaults;
           Alcotest.test_case "submit full round-trip" `Quick test_submit_full_roundtrip;
           Alcotest.test_case "tpi verb" `Quick test_tpi_verb;
+          Alcotest.test_case "equiv verb" `Quick test_equiv_verb;
           Alcotest.test_case "submit format field" `Quick test_submit_format;
           Alcotest.test_case "malformed submits rejected" `Quick test_submit_rejects_malformed;
         ] );
@@ -556,5 +670,6 @@ let () =
           Alcotest.test_case "inline verilog jobs" `Quick test_server_inline_verilog;
           Alcotest.test_case "checkpoint recovery at startup" `Quick test_server_recovery;
           Alcotest.test_case "tpi jobs" `Quick test_server_tpi;
+          Alcotest.test_case "equiv jobs" `Quick test_server_equiv;
         ] );
     ]

@@ -350,10 +350,10 @@ let test_lint_sweep () =
          if String.length l >= 17 && String.sub l 0 17 = "hidden-fault risk" then incr tables);
   Alcotest.(check int) "one ascii table per shift" 3 !tables
 
-(* --- report schema v2 (satellite 5) -------------------------------------- *)
+(* --- report schema (satellite 5; cec section added by the v3 bump) ------- *)
 
 let test_report_schema_bump () =
-  Alcotest.(check int) "report schema is 2" 2 Report.schema_version;
+  Alcotest.(check int) "report schema is 3" 3 Report.schema_version;
   let entry =
     {
       Report.tpi_circuit = "s27";
@@ -365,26 +365,53 @@ let test_report_schema_bump () =
       dt = 0.35;
     }
   in
+  let cec_entry =
+    {
+      Report.cec_circuit = "s27";
+      transform = "scan";
+      verdict = "equivalent";
+      points = 4;
+      sat_calls = 3;
+      decisions = 7;
+    }
+  in
   let report =
-    Report.make ~tpi:[ entry ] ~jobs:1
+    Report.make ~tpi:[ entry ] ~cec:[ cec_entry ] ~jobs:1
       ~runs:[ { Report.artifact = "tpi"; circuit = None; wall_ns = 1e9; benchmarks = [] } ]
       ~metrics:[] ()
   in
   (match Report.of_json (Report.to_json report) with
-  | Error m -> Alcotest.failf "v2 report does not round-trip: %s" m
-  | Ok r -> Alcotest.(check bool) "tpi section survives" true (r.Report.tpi = [ entry ]));
-  (* A v1 document (no tpi member) still parses, with an empty section. *)
+  | Error m -> Alcotest.failf "v3 report does not round-trip: %s" m
+  | Ok r ->
+      Alcotest.(check bool) "tpi section survives" true (r.Report.tpi = [ entry ]);
+      Alcotest.(check bool) "cec section survives" true (r.Report.cec = [ cec_entry ]));
+  (* A v1 document (no tpi or cec member) still parses, with empty sections. *)
   let v1 =
     {|{"schema_version":1,"tool":"tvs-bench","scale":null,"jobs":1,"git_rev":null,"runs":[],"metrics":{}}|}
   in
   (match Report.of_json v1 with
   | Error m -> Alcotest.failf "v1 report rejected: %s" m
-  | Ok r -> Alcotest.(check bool) "v1 parses with empty tpi" true (r.Report.tpi = []));
-  (* An out-of-range caught count is invalid. *)
-  let bad = Report.to_json { report with Report.tpi = [ { entry with Report.caught = 3 } ] } in
+  | Ok r ->
+      Alcotest.(check bool) "v1 parses with empty tpi" true (r.Report.tpi = []);
+      Alcotest.(check bool) "v1 parses with empty cec" true (r.Report.cec = []));
+  (* A v2 document (tpi but no cec member) parses with an empty cec section. *)
+  let v2 =
+    {|{"schema_version":2,"tool":"tvs-bench","scale":null,"jobs":1,"git_rev":null,"runs":[],"tpi":[],"metrics":{}}|}
+  in
+  (match Report.of_json v2 with
+  | Error m -> Alcotest.failf "v2 report rejected: %s" m
+  | Ok r -> Alcotest.(check bool) "v2 parses with empty cec" true (r.Report.cec = []));
+  (* An out-of-range caught count is invalid, and so is a bad verdict. *)
+  (let bad = Report.to_json { report with Report.tpi = [ { entry with Report.caught = 3 } ] } in
+   match Report.of_json bad with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "caught > converted_faults accepted");
+  let bad =
+    Report.to_json { report with Report.cec = [ { cec_entry with Report.verdict = "maybe" } ] }
+  in
   match Report.of_json bad with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "caught > converted_faults accepted"
+  | Ok _ -> Alcotest.fail "unknown cec verdict accepted"
 
 (* --- Verilog round-trip over TPI-modified circuits (satellite 2) --------- *)
 
@@ -491,7 +518,7 @@ let () =
       ( "lint sweep",
         [ Alcotest.test_case "multi-shift risk tables" `Quick test_lint_sweep ] );
       ( "report",
-        [ Alcotest.test_case "schema v2 with tpi section" `Quick test_report_schema_bump ] );
+        [ Alcotest.test_case "schema v3 with tpi and cec sections" `Quick test_report_schema_bump ] );
       ( "verilog",
         [
           QCheck_alcotest.to_alcotest qcheck_tpi_verilog_roundtrip;

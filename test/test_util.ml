@@ -319,6 +319,79 @@ let test_env_invalid_warns_once () =
       Unix.putenv "TVS_JOBS" "1";
       Alcotest.(check (option int)) "valid again" (Some 1) (Env.positive_int "TVS_JOBS"))
 
+(* --- sat ---------------------------------------------------------------- *)
+
+module Sat = Tvs_util.Sat
+
+let test_sat_basic () =
+  (* (1 ∨ 2) ∧ ¬1 ∧ ¬2 is unsatisfiable; drop one unit and it isn't. *)
+  (match Sat.solve ~nvars:2 [ [ 1; 2 ]; [ -1 ]; [ -2 ] ] with
+  | Sat.Unsat -> ()
+  | _ -> Alcotest.fail "unsat formula not refuted");
+  match Sat.solve ~nvars:2 [ [ 1; 2 ]; [ -1 ] ] with
+  | Sat.Sat model ->
+      Alcotest.(check bool) "model checks" true
+        (Sat.check ~nvars:2 [ [ 1; 2 ]; [ -1 ] ] model)
+  | _ -> Alcotest.fail "sat formula not solved"
+
+let test_sat_normalization () =
+  (* Duplicate literals collapse: [1; 1] is the unit clause [1], so the
+     conflict with [-1] falls out of propagation alone — zero decisions. *)
+  (match Sat.solve_stats ~nvars:1 [ [ 1; 1 ]; [ -1 ] ] with
+  | Sat.Unsat, stats -> Alcotest.(check int) "no search needed" 0 stats.Sat.decisions
+  | _ -> Alcotest.fail "duplicate-literal unit not propagated");
+  (* A tautological clause is dropped, not branched on: alone it is the
+     empty (satisfiable) formula, and alongside a real conflict it neither
+     blocks the refutation nor costs decisions. *)
+  (match Sat.solve ~nvars:1 [ [ 1; -1 ] ] with
+  | Sat.Sat _ -> ()
+  | _ -> Alcotest.fail "tautology not satisfiable");
+  (match Sat.solve_stats ~nvars:3 [ [ 3; -3; 1 ]; [ 2 ]; [ -2 ] ] with
+  | Sat.Unsat, stats -> Alcotest.(check int) "tautology costs nothing" 0 stats.Sat.decisions
+  | _ -> Alcotest.fail "conflict behind a tautology missed");
+  (* An empty clause is immediately unsat, with the all-zero stats. *)
+  match Sat.solve_stats ~nvars:1 [ [] ] with
+  | Sat.Unsat, stats -> Alcotest.(check bool) "no work recorded" true (stats = Sat.no_stats)
+  | _ -> Alcotest.fail "empty clause not unsat"
+
+let test_sat_stats_and_budget () =
+  (* A 2-variable XOR constraint needs at least one decision; the counters
+     must report the work and the budget must cut it off as Unknown. *)
+  let xor = [ [ 1; 2 ]; [ -1; -2 ] ] in
+  (match Sat.solve_stats ~nvars:2 xor with
+  | Sat.Sat _, stats ->
+      Alcotest.(check bool) "decisions counted" true (stats.Sat.decisions >= 1);
+      Alcotest.(check bool) "propagations counted" true (stats.Sat.propagations >= 1)
+  | _ -> Alcotest.fail "xor not solved");
+  (* Pigeonhole 3-into-2: small but forces search; max_decisions:0 must
+     give up before deciding anything. *)
+  let php =
+    [ [ 1; 2 ]; [ 3; 4 ]; [ 5; 6 ]; [ -1; -3 ]; [ -1; -5 ]; [ -3; -5 ]; [ -2; -4 ];
+      [ -2; -6 ]; [ -4; -6 ] ]
+  in
+  (match Sat.solve ~nvars:6 php with
+  | Sat.Unsat -> ()
+  | _ -> Alcotest.fail "pigeonhole not refuted");
+  match Sat.solve_stats ~max_decisions:0 ~nvars:6 php with
+  | Sat.Unknown, stats ->
+      (* the counter includes the node where the budget check fired *)
+      Alcotest.(check bool) "budget respected" true (stats.Sat.decisions <= 1)
+  | _ -> Alcotest.fail "zero budget did not return Unknown"
+
+let test_sat_decision_order () =
+  (* decision_order may name any variable, including internal (non-source)
+     ones — the outputs-first miter heuristic depends on that — and must
+     not change the verdict. *)
+  let clauses = [ [ 1; 2; 3 ]; [ -3; 1 ]; [ -2; 3 ]; [ -1; 2 ] ] in
+  let expect_sat order =
+    match Sat.solve ?decision_order:order ~nvars:3 clauses with
+    | Sat.Sat model -> Alcotest.(check bool) "model checks" true (Sat.check ~nvars:3 clauses model)
+    | _ -> Alcotest.fail "satisfiable formula not solved"
+  in
+  expect_sat None;
+  expect_sat (Some [ 3; 2; 1 ]);
+  expect_sat (Some [ 2 ])
+
 let qcheck_int_in_bounds =
   QCheck.Test.make ~name:"Rng.int always lands in [0, bound)" ~count:500
     QCheck.(pair small_int (int_range 1 1000))
@@ -385,5 +458,12 @@ let () =
           Alcotest.test_case "unset is silent" `Quick test_env_unset_is_silent;
           Alcotest.test_case "valid value parses" `Quick test_env_valid_parses;
           Alcotest.test_case "bad value warns once per value" `Quick test_env_invalid_warns_once;
+        ] );
+      ( "sat",
+        [
+          Alcotest.test_case "basic sat/unsat" `Quick test_sat_basic;
+          Alcotest.test_case "clause normalization" `Quick test_sat_normalization;
+          Alcotest.test_case "stats and budget" `Quick test_sat_stats_and_budget;
+          Alcotest.test_case "decision order" `Quick test_sat_decision_order;
         ] );
     ]

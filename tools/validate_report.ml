@@ -4,6 +4,9 @@
      validate_report --metrics-equal A B  also require identical metrics
      validate_report --lint FILE          validate a `tvs lint --format json` document
      validate_report --tpi FILE           validate a `tvs tpi --format json` document
+     validate_report --cec FILE [FILE]    validate a `tvs equiv --format json` document;
+                                          with two files, also require them byte-identical
+                                          (the --jobs invariance gate)
 
    Exit codes: 0 valid, 1 invalid (schema or metrics mismatch), 2 usage or
    unreadable file. The metrics comparison is key-order-insensitive
@@ -19,7 +22,7 @@ module Json = Tvs_obs.Json
 let usage () =
   prerr_endline
     "usage: validate_report FILE | validate_report --metrics-equal FILE FILE | validate_report \
-     --lint FILE | validate_report --tpi FILE";
+     --lint FILE | validate_report --tpi FILE | validate_report --cec FILE [FILE]";
   exit 2
 
 let read_file path =
@@ -237,8 +240,131 @@ let tpi_validate path doc =
   Printf.printf "%s: valid tpi report (%d point(s), %d/%d converted fault(s) caught)\n" path
     (List.length points) caught converted_faults
 
+(* The tvs equiv JSON schema (see Tvs_cec.Cec.to_json). Structural plus the
+   cross-field invariants: points is the sum of the matched observation
+   points, the counterexample is present exactly on an inequivalent verdict
+   (with differing values), and the undecided list exactly on unknown. *)
+let cec_validate path doc =
+  let fail msg =
+    Printf.eprintf "validate_report: %s: invalid cec report: %s\n" path msg;
+    exit 1
+  in
+  let get k o =
+    match Json.member k o with Some v -> v | None -> fail (Printf.sprintf "missing member %S" k)
+  in
+  let int_ge lo k o =
+    match get k o with
+    | Json.Int n when n >= lo -> n
+    | Json.Int n -> fail (Printf.sprintf "%s = %d, expected >= %d" k n lo)
+    | _ -> fail (k ^ " is not an integer")
+  in
+  let str k o = match get k o with Json.Str s -> s | _ -> fail (k ^ " is not a string") in
+  let bit k o =
+    match int_ge 0 k o with 0 -> false | 1 -> true | n -> fail (Printf.sprintf "%s = %d, expected 0 or 1" k n)
+  in
+  let bitstring label s =
+    if s = "" then fail (label ^ " is empty (use \"-\" when there are no bits)");
+    if s <> "-" then
+      String.iter
+        (function '0' | '1' -> () | c -> fail (Printf.sprintf "%s has non-bit char %C" label c))
+        s
+  in
+  (match get "schema_version" doc with
+  | Json.Int 1 -> ()
+  | Json.Int n -> fail (Printf.sprintf "unknown schema version %d" n)
+  | _ -> fail "schema_version is not an integer");
+  if str "kind" doc <> "cec" then fail "kind is not \"cec\"";
+  if str "left" doc = "" then fail "left circuit name is empty";
+  if str "right" doc = "" then fail "right circuit name is empty";
+  let verdict = str "verdict" doc in
+  (match verdict with
+  | "equivalent" | "inequivalent" | "unknown" -> ()
+  | v -> fail (Printf.sprintf "unknown verdict %S" v));
+  let matched = get "matched" doc in
+  ignore (int_ge 0 "pi" matched);
+  let ff = int_ge 0 "ff" matched and po = int_ge 0 "po" matched in
+  let points = int_ge 0 "points" doc in
+  if points <> po + ff then
+    fail (Printf.sprintf "points = %d but matched po %d + ff %d imply %d" points po ff (po + ff));
+  List.iter
+    (fun k ->
+      match get k doc with
+      | Json.Arr l ->
+          List.iter (function Json.Str _ -> () | _ -> fail (k ^ " contains a non-string")) l
+      | _ -> fail (k ^ " is not an array"))
+    [ "free_inputs"; "extra_outputs"; "extra_flops" ];
+  (match get "ties" doc with
+  | Json.Arr l ->
+      List.iter
+        (fun t ->
+          if str "name" t = "" then fail "tie name is empty";
+          ignore (bit "value" t))
+        l
+  | _ -> fail "ties is not an array");
+  let sweep = get "sweep" doc in
+  ignore (int_ge 0 "classes" sweep);
+  ignore (int_ge 0 "proved" sweep);
+  let sat = get "sat" doc in
+  let calls = int_ge 0 "calls" sat in
+  ignore (int_ge 0 "decisions" sat);
+  ignore (int_ge 0 "propagations" sat);
+  let undecided =
+    match get "undecided" doc with
+    | Json.Arr l -> List.length l
+    | _ -> fail "undecided is not an array"
+  in
+  if (undecided > 0) <> (verdict = "unknown") then
+    fail
+      (Printf.sprintf "verdict %S inconsistent with %d undecided point(s)" verdict undecided);
+  (match (get "counterexample" doc, verdict) with
+  | Json.Null, ("equivalent" | "unknown") -> ()
+  | Json.Null, _ -> fail "inequivalent verdict without a counterexample"
+  | cex, "inequivalent" ->
+      let point = get "point" cex in
+      (match str "kind" point with
+      | "po" | "capture" -> ()
+      | k -> fail (Printf.sprintf "unknown point kind %S" k));
+      if str "name" point = "" then fail "counterexample point name is empty";
+      let side label =
+        let s = get label cex in
+        bitstring (label ^ ".pi") (str "pi" s);
+        bitstring (label ^ ".state") (str "state" s);
+        bit "value" s
+      in
+      if side "left" = side "right" then fail "counterexample values do not differ"
+  | _, v -> fail (Printf.sprintf "counterexample present on a %S verdict" v));
+  Printf.printf "%s: valid cec report (%s, %d point(s), %d sat call(s))\n" path verdict points
+    calls
+
+(* Jobs-invariance gate: two `tvs equiv --format json` runs of the same
+   check (e.g. --jobs 1 and --jobs 4) must be byte-identical. *)
+let cec_equal a b =
+  let ca = read_file a and cb = read_file b in
+  (match Json.parse ca with
+  | Error msg ->
+      Printf.eprintf "validate_report: %s: %s\n" a msg;
+      exit 1
+  | Ok doc -> cec_validate a doc);
+  (match Json.parse cb with
+  | Error msg ->
+      Printf.eprintf "validate_report: %s: %s\n" b msg;
+      exit 1
+  | Ok doc -> cec_validate b doc);
+  if ca = cb then Printf.printf "%s and %s: byte-identical\n" a b
+  else begin
+    Printf.eprintf "validate_report: cec reports differ between %s and %s\n" a b;
+    exit 1
+  end
+
 let () =
   match Array.to_list Sys.argv with
+  | [ _; "--cec"; file ] -> (
+      match Json.parse (read_file file) with
+      | Error msg ->
+          Printf.eprintf "validate_report: %s: %s\n" file msg;
+          exit 1
+      | Ok doc -> cec_validate file doc)
+  | [ _; "--cec"; a; b ] -> cec_equal a b
   | [ _; "--tpi"; file ] -> (
       match Json.parse (read_file file) with
       | Error msg ->
